@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: paper reference values and
+ * uniform printing. Every bench binary regenerates one table or figure
+ * of the paper and prints measured rows next to the paper's reference
+ * values so the shape comparison is immediate.
+ */
+
+#ifndef RHYTHM_BENCH_COMMON_HH
+#define RHYTHM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace rhythm::bench {
+
+/** Paper Table 3 reference values for one platform row. */
+struct PaperTable3Row
+{
+    const char *name;
+    double idleWatts;
+    double wallWatts;
+    double dynamicWatts;
+    double latencyMs;
+    double throughputK; //!< KReqs/s
+    double rpjWall;
+    double rpjDynamic;
+};
+
+/** The paper's Table 3 (SPECWeb Banking experimental results). */
+inline constexpr PaperTable3Row kPaperTable3[] = {
+    {"Core i5 1 worker", 47, 67, 20, 0.016, 75, 972, 3283},
+    {"Core i5 4 workers", 47, 98, 51, 0.016, 282, 2447, 4712},
+    {"Core i7 4 workers", 45, 147, 102, 0.014, 331, 1901, 2735},
+    {"Core i7 8 workers", 45, 156, 111, 0.014, 377, 2042, 2873},
+    {"ARM A9 1 worker", 2, 3.4, 1.4, 0.176, 8, 1672, 4061},
+    {"ARM A9 2 workers", 2, 4.5, 2.5, 0.176, 16, 2683, 4830},
+    {"Titan A", 74, 226, 152, 86, 398, 1469, 2193},
+    {"Titan B", 74, 306, 232, 24, 1535, 3329, 4410},
+    {"Titan C", 74, 285, 211, 10, 3082, 9070, 12264},
+};
+
+/** Prints a bench banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "\n=================================================="
+                 "====================\n"
+              << title << "\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "=================================================="
+                 "====================\n";
+}
+
+/** Formats a double with given precision (shorthand). */
+inline std::string
+fmt(double v, int precision = 2)
+{
+    return formatDouble(v, precision);
+}
+
+/** Formats "measured (paper ref)" in one cell. */
+inline std::string
+withRef(double measured, double reference, int precision = 2)
+{
+    return formatDouble(measured, precision) + " (" +
+           formatDouble(reference, precision) + ")";
+}
+
+} // namespace rhythm::bench
+
+#endif // RHYTHM_BENCH_COMMON_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: warp
+ * lockstep merge, the memory coalescer, HTTP parsing and trace
+ * recording. These measure *host* wall-clock cost (how fast the
+ * simulator simulates), not simulated performance — useful when tuning
+ * the simulator or sizing experiment budgets.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "backend/bankdb.hh"
+#include "host/server.hh"
+#include "http/parser.hh"
+#include "simt/kernel.hh"
+#include "specweb/workload.hh"
+
+namespace {
+
+using namespace rhythm;
+
+/** Warp merge over 32 identical ~200-block traces (the common case). */
+void
+BM_WarpMergeUniform(benchmark::State &state)
+{
+    simt::ThreadTrace trace;
+    simt::RecordingTracer rec(trace);
+    for (uint32_t b = 0; b < 200; ++b) {
+        rec.block(b % 40, 20);
+        rec.store(0x1000 + b * 512, 32, 128, 4);
+    }
+    std::vector<const simt::ThreadTrace *> lanes(32, &trace);
+    for (auto _ : state) {
+        simt::WarpStats ws = simt::simulateWarp(
+            std::span<const simt::ThreadTrace *const>(lanes.data(), 32));
+        benchmark::DoNotOptimize(ws.issueSlots);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_WarpMergeUniform);
+
+/** Warp merge over divergent traces (distinct block id streams). */
+void
+BM_WarpMergeDivergent(benchmark::State &state)
+{
+    std::vector<simt::ThreadTrace> traces(32);
+    for (uint32_t l = 0; l < 32; ++l) {
+        simt::RecordingTracer rec(traces[l]);
+        for (uint32_t b = 0; b < 100; ++b)
+            rec.block(1000 * (l % 8) + b, 10);
+    }
+    std::vector<const simt::ThreadTrace *> lanes;
+    for (auto &t : traces)
+        lanes.push_back(&t);
+    for (auto _ : state) {
+        simt::WarpStats ws = simt::simulateWarp(
+            std::span<const simt::ThreadTrace *const>(lanes.data(), 32));
+        benchmark::DoNotOptimize(ws.issueSlots);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_WarpMergeDivergent);
+
+/** The 128-byte coalescer on a full warp access. */
+void
+BM_Coalescer(benchmark::State &state)
+{
+    std::vector<uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(static_cast<uint64_t>(l) * 4096);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simt::coalesceTransactions(addrs, 4, 128));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Coalescer);
+
+/** HTTP request parsing (host fast path, null tracer). */
+void
+BM_HttpParse(benchmark::State &state)
+{
+    simt::NullTracer null;
+    const std::string raw =
+        "GET /bank/account_summary.php?acct=101&max=20 HTTP/1.1\r\n"
+        "Host: bank.example.com\r\n"
+        "Cookie: lang=en; session=987654321\r\n"
+        "Accept: text/html\r\n\r\n";
+    for (auto _ : state) {
+        http::Request req;
+        benchmark::DoNotOptimize(
+            http::parseRequest(raw, 0, null, req));
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(raw.size()));
+}
+BENCHMARK(BM_HttpParse);
+
+/** End-to-end host serving of one Banking request (null tracer). */
+void
+BM_HostServe(benchmark::State &state)
+{
+    backend::BankDb db(200, 3);
+    specweb::MapSessionProvider sessions;
+    host::HostServer server(db, sessions);
+    specweb::WorkloadGenerator gen(db, 7);
+    simt::NullTracer null;
+    const uint64_t sid = sessions.create(5, null);
+    const specweb::GeneratedRequest req =
+        gen.generate(specweb::RequestType::AccountSummary, 5, sid);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(server.serve(req.raw, null));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostServe);
+
+/** Same request with full trace recording (the simulation path). */
+void
+BM_HostServeRecorded(benchmark::State &state)
+{
+    backend::BankDb db(200, 3);
+    specweb::MapSessionProvider sessions;
+    host::HostServer server(db, sessions);
+    specweb::WorkloadGenerator gen(db, 7);
+    simt::NullTracer null;
+    const uint64_t sid = sessions.create(5, null);
+    const specweb::GeneratedRequest req =
+        gen.generate(specweb::RequestType::AccountSummary, 5, sid);
+    for (auto _ : state) {
+        simt::ThreadTrace trace;
+        simt::RecordingTracer rec(trace);
+        benchmark::DoNotOptimize(server.serve(req.raw, rec));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostServeRecorded);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#include "analysis/similarity.hh"
+
+#include <algorithm>
+
+#include "backend/bankdb.hh"
+#include "host/server.hh"
+#include "simt/warp.hh"
+#include "specweb/workload.hh"
+#include "util/logging.hh"
+
+namespace rhythm::analysis {
+
+SimilarityResult
+measureSimilarity(const std::vector<const simt::ThreadTrace *> &traces)
+{
+    SimilarityResult result;
+    result.traceCount = traces.size();
+    if (traces.empty())
+        return result;
+
+    // Merge with the SIMT lockstep scheduler, widened so all traces
+    // occupy one "warp" (the paper's idealized SIMD hardware).
+    simt::WarpModel model;
+    model.warpWidth = std::max<int>(32, static_cast<int>(traces.size()));
+    simt::WarpStats ws = simt::simulateWarp(
+        std::span<const simt::ThreadTrace *const>(traces.data(),
+                                                  traces.size()),
+        model);
+    result.sumBlocks = ws.laneBlockExecs;
+    result.mergedBlocks = ws.steps;
+    if (ws.steps > 0)
+        result.speedup = static_cast<double>(ws.laneBlockExecs) /
+                         static_cast<double>(ws.steps);
+    result.normalizedSpeedup =
+        result.speedup / static_cast<double>(traces.size());
+    return result;
+}
+
+std::vector<simt::ThreadTrace>
+captureRequestTraces(specweb::RequestType type, int count, uint64_t users,
+                     uint64_t seed)
+{
+    backend::BankDb db(users, seed);
+    specweb::MapSessionProvider sessions;
+    host::HostServer server(db, sessions);
+    specweb::WorkloadGenerator gen(db, seed * 131 + 7);
+    simt::NullTracer null;
+
+    std::vector<simt::ThreadTrace> traces(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const uint64_t user = gen.sampleUser();
+        const uint64_t sid = type == specweb::RequestType::Login
+                                 ? 0
+                                 : sessions.create(user, null);
+        specweb::GeneratedRequest req = gen.generate(type, user, sid);
+        // Traces are merged per request *form* (the paper merges traces
+        // that follow the same top-level flow): bill_pay_status_output
+        // has two forms — execute-payment and list-history — so pin the
+        // dominant history form.
+        while (type == specweb::RequestType::BillPayStatusOutput &&
+               req.raw.find("payee=") != std::string::npos)
+            req = gen.generate(type, user, sid);
+        simt::RecordingTracer rec(traces[static_cast<size_t>(i)]);
+        server.serve(req.raw, rec);
+    }
+    return traces;
+}
+
+} // namespace rhythm::analysis

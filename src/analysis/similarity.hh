@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Request-similarity analysis (paper Section 2.3, Figure 2).
+ *
+ * The paper Pin-traced individual PHP requests, merged same-type traces
+ * with diff, and used (sum of trace lengths / merged length) as the
+ * potential data-parallel speedup, normalized to the ideal (linear)
+ * speedup. We reproduce the methodology with our own dynamic
+ * basic-block traces and the SIMT lockstep merge.
+ */
+
+#ifndef RHYTHM_ANALYSIS_SIMILARITY_HH
+#define RHYTHM_ANALYSIS_SIMILARITY_HH
+
+#include <vector>
+
+#include "simt/trace.hh"
+#include "specweb/types.hh"
+
+namespace rhythm::analysis {
+
+/** Outcome of merging a set of same-type request traces. */
+struct SimilarityResult
+{
+    size_t traceCount = 0;
+    /** Sum of the individual traces' dynamic basic-block counts. */
+    uint64_t sumBlocks = 0;
+    /** Length of the merged (lockstep) trace. */
+    uint64_t mergedBlocks = 0;
+    /** sumBlocks / mergedBlocks — the potential speedup. */
+    double speedup = 0.0;
+    /** speedup / traceCount — Figure 2's normalized metric. */
+    double normalizedSpeedup = 0.0;
+};
+
+/** Merges traces and computes the Figure 2 metric. */
+SimilarityResult measureSimilarity(
+    const std::vector<const simt::ThreadTrace *> &traces);
+
+/**
+ * Captures dynamic traces for @p count independent requests of one type
+ * served end-to-end by the host server (fresh sessions per request).
+ */
+std::vector<simt::ThreadTrace> captureRequestTraces(
+    specweb::RequestType type, int count, uint64_t users = 500,
+    uint64_t seed = 3);
+
+} // namespace rhythm::analysis
+
+#endif // RHYTHM_ANALYSIS_SIMILARITY_HH

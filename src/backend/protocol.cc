@@ -1,0 +1,140 @@
+#include "backend/protocol.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rhythm::backend {
+namespace {
+
+struct OpEntry
+{
+    Op op;
+    std::string_view name;
+};
+
+constexpr OpEntry kOps[] = {
+    {Op::Authenticate, "AUTH"},
+    {Op::GetAccounts, "ACCTS"},
+    {Op::GetTransactions, "TXS"},
+    {Op::GetPayees, "PAYEES"},
+    {Op::AddPayee, "ADDPAYEE"},
+    {Op::PayBill, "PAYBILL"},
+    {Op::GetPayments, "PAYMENTS"},
+    {Op::UpdateProfile, "UPDPROF"},
+    {Op::GetProfile, "PROF"},
+    {Op::GetCheckDetail, "CHECK"},
+    {Op::OrderCheck, "ORDERCHK"},
+    {Op::PlaceCheckOrder, "PLACECHK"},
+    {Op::Transfer, "XFER"},
+    {Op::Summary, "SUMM"},
+};
+
+} // namespace
+
+std::string_view
+opName(Op op)
+{
+    for (const auto &entry : kOps) {
+        if (entry.op == op)
+            return entry.name;
+    }
+    RHYTHM_PANIC("unknown backend op");
+}
+
+bool
+parseOp(std::string_view name, Op &out)
+{
+    for (const auto &entry : kOps) {
+        if (entry.name == name) {
+            out = entry.op;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+BackendRequest::serialize() const
+{
+    std::string out;
+    out.append(opName(op));
+    out.push_back('|');
+    out.append(std::to_string(userId));
+    for (const std::string &arg : args) {
+        out.push_back('|');
+        out.append(arg);
+    }
+    RHYTHM_ASSERT(out.size() <= kRequestSlotBytes,
+                  "backend request exceeds its slot");
+    return out;
+}
+
+bool
+BackendRequest::parse(std::string_view text, BackendRequest &out)
+{
+    auto parts = split(text, '|');
+    if (parts.size() < 2)
+        return false;
+    if (!parseOp(parts[0], out.op))
+        return false;
+    if (!parseU64(parts[1], out.userId))
+        return false;
+    out.args.clear();
+    for (size_t i = 2; i < parts.size(); ++i)
+        out.args.emplace_back(parts[i]);
+    return true;
+}
+
+namespace response {
+
+std::string
+ok(std::string_view payload_text)
+{
+    std::string out = "OK|";
+    out.append(payload_text);
+    RHYTHM_ASSERT(out.size() <= kResponseSlotBytes,
+                  "backend response exceeds its slot");
+    return out;
+}
+
+std::string
+error(std::string_view reason)
+{
+    std::string out = "ERR|";
+    out.append(reason);
+    return out;
+}
+
+bool
+isOk(std::string_view text)
+{
+    return startsWith(text, "OK|");
+}
+
+std::string_view
+payload(std::string_view text)
+{
+    if (!isOk(text))
+        return {};
+    return text.substr(3);
+}
+
+std::vector<std::string_view>
+records(std::string_view payload_text)
+{
+    std::vector<std::string_view> out;
+    for (std::string_view rec : split(payload_text, ';')) {
+        if (!rec.empty())
+            out.push_back(rec);
+    }
+    return out;
+}
+
+std::vector<std::string_view>
+fields(std::string_view record)
+{
+    return split(record, ',');
+}
+
+} // namespace response
+} // namespace rhythm::backend

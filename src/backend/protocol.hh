@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Backend wire protocol.
+ *
+ * The Rhythm pipeline talks to the backend in fixed-size slots: 1 KiB
+ * request records and 4 KiB response records (the allocation the paper
+ * uses, Section 5.1). The byte sizes matter because Titan A moves these
+ * records across the PCIe link (Figure 9); the protocol is therefore a
+ * real serialized format, not an in-memory shortcut.
+ *
+ * Encoding: '|'-separated fields; list payloads use ';' between records
+ * and ',' between record fields. All values are ASCII.
+ */
+
+#ifndef RHYTHM_BACKEND_PROTOCOL_HH
+#define RHYTHM_BACKEND_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rhythm::backend {
+
+/** Backend operations required by the 14 Banking request types. */
+enum class Op : uint8_t {
+    Authenticate,     //!< user, password → profile summary
+    GetAccounts,      //!< user → accounts with balances
+    GetTransactions,  //!< account, max → recent transactions
+    GetPayees,        //!< user → registered payees
+    AddPayee,         //!< user, name, address, external → payee id
+    PayBill,          //!< user, payee, cents, date → payment id
+    GetPayments,      //!< user, from, to → bill payments
+    UpdateProfile,    //!< user, address, email, phone → ok
+    GetProfile,       //!< user → full profile
+    GetCheckDetail,   //!< tx id → transaction + check info
+    OrderCheck,       //!< user, style, quantity → order id
+    PlaceCheckOrder,  //!< user, order id → ok
+    Transfer,         //!< user, from, to, cents → tx id
+    Summary,          //!< user → accounts + recent checking transactions
+};
+
+/** Returns the wire keyword for an operation. */
+std::string_view opName(Op op);
+
+/** Parses a wire keyword. @return false if unknown. */
+bool parseOp(std::string_view name, Op &out);
+
+/** Fixed slot size reserved per backend request (paper Section 5.1). */
+inline constexpr size_t kRequestSlotBytes = 1024;
+/** Fixed slot size reserved per backend response. */
+inline constexpr size_t kResponseSlotBytes = 4096;
+
+/** A backend request before serialization. */
+struct BackendRequest
+{
+    Op op = Op::GetProfile;
+    uint64_t userId = 0;
+    std::vector<std::string> args;
+
+    /** Serializes to the wire format (must fit kRequestSlotBytes). */
+    std::string serialize() const;
+
+    /** Parses the wire format. @return false on malformed input. */
+    static bool parse(std::string_view text, BackendRequest &out);
+};
+
+/** Helpers for composing/inspecting backend responses. */
+namespace response {
+
+/** Builds an "OK|payload" response. */
+std::string ok(std::string_view payload);
+
+/** Builds an "ERR|reason" response. */
+std::string error(std::string_view reason);
+
+/** True if the response indicates success. */
+bool isOk(std::string_view text);
+
+/** Returns the payload of an OK response ("" otherwise). */
+std::string_view payload(std::string_view text);
+
+/** Splits a list payload into records (';'-separated, empties dropped). */
+std::vector<std::string_view> records(std::string_view payload);
+
+/** Splits a record into fields (','-separated, empties kept). */
+std::vector<std::string_view> fields(std::string_view record);
+
+} // namespace response
+} // namespace rhythm::backend
+
+#endif // RHYTHM_BACKEND_PROTOCOL_HH

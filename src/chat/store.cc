@@ -1,0 +1,103 @@
+#include "chat/store.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhythm::chat {
+namespace {
+
+const char *kOpeners[] = {"honestly", "by the way", "also", "ok so",
+                          "update:", "fwiw", "quick question:",
+                          "reminder:", "heads up:", "today"};
+const char *kSubjects[] = {"the deploy", "the meeting", "lunch",
+                           "the build", "that ticket", "the demo",
+                           "the review", "the schedule", "the server",
+                           "the release"};
+const char *kVerbs[] = {"is ready", "slipped an hour", "looks good",
+                        "needs another pass", "got cancelled",
+                        "just landed", "is blocked on me",
+                        "went out fine", "is flaky again",
+                        "moved to friday"};
+const char *kClosers[] = {"", " :)", ", will follow up", ", see thread",
+                          " — details in the doc", ", ping me",
+                          " (finally)", ", thanks all"};
+
+} // namespace
+
+std::string
+RoomStore::synthesizeText(Rng &rng)
+{
+    std::string out = kOpeners[rng.nextBounded(10)];
+    out += ' ';
+    out += kSubjects[rng.nextBounded(10)];
+    out += ' ';
+    out += kVerbs[rng.nextBounded(10)];
+    out += kClosers[rng.nextBounded(8)];
+    return out;
+}
+
+RoomStore::RoomStore(uint32_t rooms, uint32_t seed_messages, uint64_t seed)
+    : rooms_(rooms), store_(rooms)
+{
+    RHYTHM_ASSERT(rooms > 0);
+    Rng rng(seed);
+    for (uint32_t r = 1; r <= rooms; ++r) {
+        for (uint32_t m = 0; m < seed_messages; ++m)
+            post(r, 1 + rng.nextBounded(500), synthesizeText(rng));
+    }
+}
+
+uint64_t
+RoomStore::latestSeq(uint32_t room) const
+{
+    if (!validRoom(room))
+        return 0;
+    const Room &r = store_[room - 1];
+    return r.nextSeq - 1;
+}
+
+uint64_t
+RoomStore::post(uint32_t room, uint64_t user, std::string text)
+{
+    if (!validRoom(room) || text.empty())
+        return 0;
+    Room &r = store_[room - 1];
+    Message msg;
+    msg.seq = r.nextSeq++;
+    msg.userId = user;
+    msg.text = std::move(text);
+    r.ring.push_back(std::move(msg));
+    if (r.ring.size() > kRingCapacity)
+        r.ring.erase(r.ring.begin());
+    ++totalPosted_;
+    return r.ring.back().seq;
+}
+
+std::vector<const Message *>
+RoomStore::history(uint32_t room, size_t max) const
+{
+    std::vector<const Message *> out;
+    if (!validRoom(room))
+        return out;
+    const Room &r = store_[room - 1];
+    const size_t take = std::min(max, r.ring.size());
+    for (size_t i = r.ring.size() - take; i < r.ring.size(); ++i)
+        out.push_back(&r.ring[i]);
+    return out;
+}
+
+std::vector<const Message *>
+RoomStore::since(uint32_t room, uint64_t since_seq) const
+{
+    std::vector<const Message *> out;
+    if (!validRoom(room))
+        return out;
+    for (const Message &msg : store_[room - 1].ring) {
+        if (msg.seq > since_seq)
+            out.push_back(&msg);
+    }
+    return out;
+}
+
+} // namespace rhythm::chat

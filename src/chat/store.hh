@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Room/message store for the Chat workload (paper Section 8 names Chat
+ * among the services to deploy on Rhythm).
+ *
+ * A fixed set of rooms, each a bounded ring of messages. Posts are real
+ * mutations — the store is the workload's equivalent of the bank
+ * database — and polls/history reads return consistent snapshots, which
+ * lets tests assert end-to-end chat semantics through the cohort
+ * pipeline.
+ */
+
+#ifndef RHYTHM_CHAT_STORE_HH
+#define RHYTHM_CHAT_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace rhythm::chat {
+
+/** One chat message. */
+struct Message
+{
+    uint64_t seq = 0; //!< Room-local sequence number (1-based).
+    uint64_t userId = 0;
+    std::string text;
+};
+
+/**
+ * The chat rooms.
+ *
+ * Each room keeps its most recent kRingCapacity messages; the room-wide
+ * sequence number keeps growing, so pollers can detect missed messages.
+ */
+class RoomStore
+{
+  public:
+    /** Messages retained per room. */
+    static constexpr size_t kRingCapacity = 128;
+
+    /**
+     * @param rooms Number of rooms (ids 1..rooms).
+     * @param seed_messages Messages pre-posted per room (synthetic
+     *        history).
+     * @param seed Deterministic seed.
+     */
+    RoomStore(uint32_t rooms, uint32_t seed_messages = 40,
+              uint64_t seed = 23);
+
+    /** Number of rooms. */
+    uint32_t numRooms() const { return rooms_; }
+
+    /** True if the room id exists. */
+    bool validRoom(uint32_t room) const
+    {
+        return room >= 1 && room <= rooms_;
+    }
+
+    /** Latest sequence number of a room (0 when empty). */
+    uint64_t latestSeq(uint32_t room) const;
+
+    /**
+     * Posts a message.
+     * @return Its sequence number, or 0 for an invalid room/empty text.
+     */
+    uint64_t post(uint32_t room, uint64_t user, std::string text);
+
+    /**
+     * Returns up to @p max most recent messages (oldest first).
+     */
+    std::vector<const Message *> history(uint32_t room, size_t max) const;
+
+    /**
+     * Returns retained messages with seq > @p since (oldest first).
+     */
+    std::vector<const Message *> since(uint32_t room,
+                                       uint64_t since_seq) const;
+
+    /** Total messages ever posted (across rooms). */
+    uint64_t totalPosted() const { return totalPosted_; }
+
+    /** Synthesizes a deterministic chat phrase. */
+    static std::string synthesizeText(Rng &rng);
+
+  private:
+    struct Room
+    {
+        std::vector<Message> ring; //!< Ordered oldest → newest.
+        uint64_t nextSeq = 1;
+    };
+
+    uint32_t rooms_;
+    std::vector<Room> store_;
+    uint64_t totalPosted_ = 0;
+};
+
+} // namespace rhythm::chat
+
+#endif // RHYTHM_CHAT_STORE_HH

@@ -1,0 +1,63 @@
+#include "des/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace rhythm::des {
+
+EventId
+EventQueue::scheduleAt(Time when, Callback cb)
+{
+    RHYTHM_ASSERT(when >= now_, "cannot schedule into the past");
+    RHYTHM_ASSERT(cb, "null event callback");
+    EventId id{when, nextSequence_++};
+    events_.emplace(Key{id.when, id.sequence}, std::move(cb));
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Time delay, Callback cb)
+{
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(const EventId &id)
+{
+    return events_.erase(Key{id.when, id.sequence}) > 0;
+}
+
+uint64_t
+EventQueue::run(Time horizon)
+{
+    stopRequested_ = false;
+    uint64_t dispatched = 0;
+    while (!events_.empty() && !stopRequested_) {
+        auto it = events_.begin();
+        if (horizon != 0 && it->first.first > horizon) {
+            now_ = horizon;
+            return dispatched;
+        }
+        if (!step())
+            break;
+        ++dispatched;
+    }
+    if (horizon != 0 && now_ < horizon && events_.empty())
+        now_ = horizon;
+    return dispatched;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    auto it = events_.begin();
+    RHYTHM_ASSERT(it->first.first >= now_, "event queue went backwards");
+    now_ = it->first.first;
+    Callback cb = std::move(it->second);
+    events_.erase(it);
+    cb();
+    return true;
+}
+
+} // namespace rhythm::des

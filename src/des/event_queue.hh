@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time. Components schedule callbacks
+ * at absolute or relative times; run() dispatches them in (time, sequence)
+ * order, so events scheduled for the same instant fire in FIFO order,
+ * which keeps every experiment deterministic.
+ */
+
+#ifndef RHYTHM_DES_EVENT_QUEUE_HH
+#define RHYTHM_DES_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "des/time.hh"
+
+namespace rhythm::des {
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+struct EventId
+{
+    Time when = 0;
+    uint64_t sequence = 0;
+
+    bool operator==(const EventId &) const = default;
+};
+
+/**
+ * The simulation event queue and clock.
+ *
+ * Not thread safe by design: the Rhythm server is single threaded (one of
+ * the paper's explicit design points) and the whole simulation runs on one
+ * host thread.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedules a callback at an absolute simulated time.
+     * @param when Absolute time; must be >= now().
+     * @return Handle usable with cancel().
+     */
+    EventId scheduleAt(Time when, Callback cb);
+
+    /** Schedules a callback @p delay after the current time. */
+    EventId scheduleAfter(Time delay, Callback cb);
+
+    /**
+     * Cancels a pending event.
+     * @return true if the event was pending and has been removed.
+     */
+    bool cancel(const EventId &id);
+
+    /** Number of pending events. */
+    size_t pending() const { return events_.size(); }
+
+    /**
+     * Runs until the queue drains or the optional horizon is reached.
+     * @param horizon Stop once the next event is strictly beyond this
+     *        time (the clock is advanced to the horizon). 0 = no horizon.
+     * @return Number of events dispatched.
+     */
+    uint64_t run(Time horizon = 0);
+
+    /** Dispatches exactly one event if any is pending. @return true if so. */
+    bool step();
+
+    /** Requests that run() return after the current event completes. */
+    void stop() { stopRequested_ = true; }
+
+  private:
+    using Key = std::pair<Time, uint64_t>;
+
+    Time now_ = 0;
+    uint64_t nextSequence_ = 0;
+    bool stopRequested_ = false;
+    std::map<Key, Callback> events_;
+};
+
+} // namespace rhythm::des
+
+#endif // RHYTHM_DES_EVENT_QUEUE_HH

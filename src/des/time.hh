@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulated-time representation and unit helpers.
+ *
+ * Simulated time is an unsigned 64-bit count of picoseconds, giving
+ * picosecond resolution (sub-cycle at the Titan's 0.8 GHz clock) and a
+ * range of ~213 days — ample for any experiment in this suite.
+ */
+
+#ifndef RHYTHM_DES_TIME_HH
+#define RHYTHM_DES_TIME_HH
+
+#include <cstdint>
+
+namespace rhythm::des {
+
+/** Simulated time in picoseconds. */
+using Time = uint64_t;
+
+/** One picosecond. */
+inline constexpr Time kPicosecond = 1;
+/** One nanosecond. */
+inline constexpr Time kNanosecond = 1000 * kPicosecond;
+/** One microsecond. */
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+/** One millisecond. */
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+/** One second. */
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/** Converts simulated time to (double) seconds. */
+constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Converts simulated time to (double) milliseconds. */
+constexpr double
+toMillis(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/** Converts simulated time to (double) microseconds. */
+constexpr double
+toMicros(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/** Converts (double) seconds to simulated time, rounding to nearest. */
+constexpr Time
+fromSeconds(double seconds)
+{
+    return static_cast<Time>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+} // namespace rhythm::des
+
+#endif // RHYTHM_DES_TIME_HH

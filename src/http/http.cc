@@ -1,0 +1,132 @@
+#include "http/http.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace rhythm::http {
+
+std::string_view
+methodName(Method method)
+{
+    switch (method) {
+      case Method::Get:
+        return "GET";
+      case Method::Post:
+        return "POST";
+    }
+    return "GET";
+}
+
+std::string_view
+Request::param(std::string_view key) const
+{
+    for (const auto &[k, v] : params) {
+        if (k == key)
+            return v;
+    }
+    return {};
+}
+
+bool
+Request::hasParam(std::string_view key) const
+{
+    for (const auto &[k, v] : params) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+std::string_view
+statusReason(Status status)
+{
+    switch (status) {
+      case Status::Ok:
+        return "OK";
+      case Status::Found:
+        return "Found";
+      case Status::BadRequest:
+        return "Bad Request";
+      case Status::NotFound:
+        return "Not Found";
+      case Status::InternalError:
+        return "Internal Server Error";
+    }
+    return "Unknown";
+}
+
+ResponseBuilder::ResponseBuilder(Status status) : status_(status) {}
+
+void
+ResponseBuilder::addHeader(std::string_view name, std::string_view value)
+{
+    headers_.emplace_back(std::string(name), std::string(value));
+}
+
+std::string
+ResponseBuilder::serialize() const
+{
+    std::string out;
+    out.reserve(body_.size() + 256);
+    char line[128];
+    std::snprintf(line, sizeof(line), "HTTP/1.1 %u ",
+                  static_cast<unsigned>(status_));
+    out.append(line);
+    out.append(statusReason(status_));
+    out.append("\r\n");
+    for (const auto &[name, value] : headers_) {
+        out.append(name);
+        out.append(": ");
+        out.append(value);
+        out.append("\r\n");
+    }
+    out.append("Content-Length: ");
+    out.append(std::to_string(body_.size()));
+    out.append("\r\n\r\n");
+    out.append(body_);
+    return out;
+}
+
+std::string
+buildRequest(Method method,
+             std::string_view path,
+             const std::vector<std::pair<std::string, std::string>> &params,
+             std::string_view cookie)
+{
+    std::string form;
+    for (const auto &[k, v] : params) {
+        if (!form.empty())
+            form.push_back('&');
+        form.append(k);
+        form.push_back('=');
+        form.append(v);
+    }
+
+    std::string out;
+    out.append(methodName(method));
+    out.push_back(' ');
+    out.append(path);
+    if (method == Method::Get && !form.empty()) {
+        out.push_back('?');
+        out.append(form);
+    }
+    out.append(" HTTP/1.1\r\nHost: bank.example.com\r\n");
+    if (!cookie.empty()) {
+        out.append("Cookie: ");
+        out.append(cookie);
+        out.append("\r\n");
+    }
+    if (method == Method::Post) {
+        out.append("Content-Type: application/x-www-form-urlencoded\r\n");
+        out.append("Content-Length: ");
+        out.append(std::to_string(form.size()));
+        out.append("\r\n\r\n");
+        out.append(form);
+    } else {
+        out.append("\r\n");
+    }
+    return out;
+}
+
+} // namespace rhythm::http

@@ -1,0 +1,225 @@
+#include "http/parser.hh"
+
+#include <cctype>
+
+#include "util/strings.hh"
+
+namespace rhythm::http {
+namespace {
+
+/// Approximate dynamic x86 instructions per byte scanned in tight
+/// tokenizing loops (compare + advance + branch, amortized).
+constexpr uint32_t kScanInstsPerByte = 4;
+/// Fixed per-token bookkeeping weight.
+constexpr uint32_t kTokenOverhead = 24;
+
+/// Records a scan over [offset, offset+len) of the request buffer.
+void
+recordScan(simt::TraceRecorder &rec, uint64_t vaddr, size_t offset,
+           size_t len)
+{
+    if (len == 0)
+        return;
+    // The parser reads the buffer as 4-byte words.
+    const uint32_t words = static_cast<uint32_t>((len + 3) / 4);
+    rec.load(vaddr + offset, words, 4, 4);
+}
+
+/// Decodes %XX escapes and '+' in a URL-encoded token.
+std::string
+urlDecode(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '+') {
+            out.push_back(' ');
+        } else if (c == '%' && i + 2 < text.size() &&
+                   std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+                   std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+            auto hex = [](char h) {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                return (std::tolower(static_cast<unsigned char>(h)) - 'a') +
+                       10;
+            };
+            out.push_back(static_cast<char>(hex(text[i + 1]) * 16 +
+                                            hex(text[i + 2])));
+            i += 2;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/// Splits a form/query string into decoded key/value pairs.
+void
+parseParams(std::string_view text, uint64_t vaddr, size_t offset,
+            simt::TraceRecorder &rec, Request &out)
+{
+    if (text.empty())
+        return;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == '&') {
+            const std::string_view pair = text.substr(start, i - start);
+            rec.block(kBlockQueryParam,
+                      kTokenOverhead +
+                          static_cast<uint32_t>(pair.size()) *
+                              kScanInstsPerByte);
+            recordScan(rec, vaddr, offset + start, pair.size());
+            const size_t eq = pair.find('=');
+            if (eq == std::string_view::npos) {
+                out.params.emplace_back(urlDecode(pair), "");
+            } else {
+                out.params.emplace_back(urlDecode(pair.substr(0, eq)),
+                                        urlDecode(pair.substr(eq + 1)));
+            }
+            start = i + 1;
+        }
+    }
+}
+
+} // namespace
+
+bool
+parseRequest(std::string_view raw, uint64_t vaddr, simt::TraceRecorder &rec,
+             Request &out)
+{
+    out = Request{};
+
+    // ---- Request line ----------------------------------------------
+    const size_t line_end = raw.find("\r\n");
+    if (line_end == std::string_view::npos) {
+        rec.block(kBlockParseError, kTokenOverhead);
+        return false;
+    }
+    const std::string_view line = raw.substr(0, line_end);
+    rec.block(kBlockRequestLine,
+              kTokenOverhead +
+                  static_cast<uint32_t>(line.size()) * kScanInstsPerByte);
+    recordScan(rec, vaddr, 0, line.size());
+
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        rec.block(kBlockParseError, kTokenOverhead);
+        return false;
+    }
+    const std::string_view method = line.substr(0, sp1);
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+
+    if (method == "GET") {
+        out.method = Method::Get;
+    } else if (method == "POST") {
+        out.method = Method::Post;
+    } else {
+        rec.block(kBlockParseError, kTokenOverhead);
+        return false;
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+        rec.block(kBlockParseError, kTokenOverhead);
+        return false;
+    }
+    out.keepAlive = version == "HTTP/1.1";
+
+    std::string_view query;
+    const size_t qmark = target.find('?');
+    if (qmark != std::string_view::npos) {
+        query = target.substr(qmark + 1);
+        target = target.substr(0, qmark);
+    }
+    out.path = std::string(target);
+
+    // ---- Headers ----------------------------------------------------
+    size_t pos = line_end + 2;
+    std::string_view cookie;
+    while (pos < raw.size()) {
+        const size_t eol = raw.find("\r\n", pos);
+        if (eol == std::string_view::npos) {
+            rec.block(kBlockParseError, kTokenOverhead);
+            return false;
+        }
+        const std::string_view header = raw.substr(pos, eol - pos);
+        if (header.empty()) {
+            pos = eol + 2; // end of headers
+            break;
+        }
+        rec.block(kBlockHeaderLine,
+                  kTokenOverhead + static_cast<uint32_t>(header.size()) *
+                                       kScanInstsPerByte);
+        recordScan(rec, vaddr, pos, header.size());
+
+        const size_t colon = header.find(':');
+        if (colon != std::string_view::npos) {
+            const std::string_view name = header.substr(0, colon);
+            const std::string_view value =
+                trim(header.substr(colon + 1));
+            if (iequals(name, "Cookie")) {
+                rec.block(kBlockCookieParse,
+                          kTokenOverhead +
+                              static_cast<uint32_t>(value.size()) *
+                                  kScanInstsPerByte);
+                cookie = value;
+            } else if (iequals(name, "Content-Length")) {
+                rec.block(kBlockContentLength, kTokenOverhead);
+                uint64_t len = 0;
+                if (!parseU64(value, len)) {
+                    rec.block(kBlockParseError, kTokenOverhead);
+                    return false;
+                }
+                out.contentLength = len;
+            } else if (iequals(name, "Connection")) {
+                rec.block(kBlockConnection, kTokenOverhead);
+                if (iequals(value, "close"))
+                    out.keepAlive = false;
+                else if (iequals(value, "keep-alive"))
+                    out.keepAlive = true;
+            }
+        }
+        pos = eol + 2;
+    }
+
+    // ---- Cookie / session -------------------------------------------
+    out.cookie = std::string(cookie);
+    if (!cookie.empty()) {
+        for (std::string_view part : split(cookie, ';')) {
+            part = trim(part);
+            if (startsWith(part, "session=")) {
+                rec.block(kBlockSessionCookie, kTokenOverhead);
+                uint64_t sid = 0;
+                if (parseU64(part.substr(8), sid))
+                    out.sessionId = sid;
+            }
+        }
+    }
+
+    // ---- Parameters --------------------------------------------------
+    const size_t query_offset =
+        sp1 + 1 + (qmark == std::string_view::npos ? 0 : qmark + 1);
+    parseParams(query, vaddr, query_offset, rec, out);
+
+    if (out.method == Method::Post && out.contentLength > 0) {
+        // Compare without computing pos + contentLength (a hostile
+        // Content-Length of UINT64_MAX would overflow the addition).
+        if (out.contentLength > raw.size() - pos) {
+            rec.block(kBlockParseError, kTokenOverhead);
+            return false;
+        }
+        const std::string_view body = raw.substr(pos, out.contentLength);
+        rec.block(kBlockBody,
+                  kTokenOverhead + static_cast<uint32_t>(body.size()) *
+                                       kScanInstsPerByte);
+        recordScan(rec, vaddr, pos, body.size());
+        parseParams(body, vaddr, pos, rec, out);
+    }
+
+    rec.block(kBlockParseDone, kTokenOverhead);
+    return true;
+}
+
+} // namespace rhythm::http

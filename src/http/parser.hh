@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Instrumented HTTP/1.1 request parser.
+ *
+ * Request parsing follows a fixed grammar, which makes it an ideal SIMT
+ * kernel (Section 3.2 "Parser"): all requests walk the same parse states,
+ * diverging only on data-dependent token lengths. The parser is
+ * instrumented with TraceRecorder callbacks so the same code serves
+ *  - the host baseline (NullTracer, zero overhead),
+ *  - Table 2-style instruction counting (CountingTracer), and
+ *  - the device parser-stage kernel profile (RecordingTracer).
+ */
+
+#ifndef RHYTHM_HTTP_PARSER_HH
+#define RHYTHM_HTTP_PARSER_HH
+
+#include <string_view>
+
+#include "http/http.hh"
+#include "simt/trace.hh"
+
+namespace rhythm::http {
+
+/** Basic-block identifier base for the parser (see DESIGN.md). */
+inline constexpr uint32_t kParserBlockBase = 1000;
+
+/** Parser basic blocks (stable ids shared across all request threads). */
+enum ParserBlock : uint32_t {
+    kBlockRequestLine = kParserBlockBase + 0,
+    kBlockHeaderLine = kParserBlockBase + 1,
+    kBlockCookieParse = kParserBlockBase + 2,
+    kBlockContentLength = kParserBlockBase + 3,
+    kBlockConnection = kParserBlockBase + 4,
+    kBlockQueryParam = kParserBlockBase + 5,
+    kBlockBody = kParserBlockBase + 6,
+    kBlockSessionCookie = kParserBlockBase + 7,
+    kBlockParseDone = kParserBlockBase + 8,
+    kBlockParseError = kParserBlockBase + 9,
+};
+
+/**
+ * Parses one HTTP/1.1 request.
+ *
+ * @param raw Complete request message (request line, headers, body).
+ * @param vaddr Simulated address of the buffer holding @p raw; memory
+ *        operations are recorded against it so the device model sees the
+ *        true access pattern of the cohort's request buffer.
+ * @param rec Trace recorder (NullTracer for the host fast path).
+ * @param out Receives the parsed request.
+ * @return true on success; false on malformed input (the request is then
+ *         routed to per-request error handling, Section 4.4).
+ */
+bool parseRequest(std::string_view raw, uint64_t vaddr,
+                  simt::TraceRecorder &rec, Request &out);
+
+} // namespace rhythm::http
+
+#endif // RHYTHM_HTTP_PARSER_HH

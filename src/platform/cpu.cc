@@ -1,0 +1,85 @@
+#include "platform/cpu.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rhythm::platform {
+
+CpuResult
+evaluateCpu(const CpuPlatform &platform, double insts_per_request)
+{
+    RHYTHM_ASSERT(insts_per_request > 0.0);
+    CpuResult result;
+    result.name = platform.name;
+    result.throughput =
+        platform.instructionsPerSecond() / insts_per_request;
+    // Latency: the service time of one request on one worker (the CPU
+    // baselines process each request straight through, paper Table 3).
+    result.latencyMs = insts_per_request /
+                       (platform.effectiveIpc * platform.clockGhz * 1e9) *
+                       1e3;
+    result.idleWatts = platform.idleWatts;
+    result.wallWatts = platform.wallWatts;
+    result.dynamicWatts = platform.dynamicWatts();
+    result.reqsPerJouleWall = result.throughput / platform.wallWatts;
+    result.reqsPerJouleDynamic =
+        result.throughput / platform.dynamicWatts();
+    return result;
+}
+
+std::vector<CpuPlatform>
+standardCpuPlatforms()
+{
+    // Power columns are the paper's Table 3 measurements. Effective IPC
+    // values are fitted so the paper's mix-weighted Table 2 instruction
+    // count (~332K insts/request) reproduces the paper's measured
+    // throughput on each row.
+    std::vector<CpuPlatform> platforms;
+    platforms.push_back(
+        CpuPlatform{"Core i5 1 worker", 3.4, 1, 7.33, 1.00, 47, 67});
+    platforms.push_back(
+        CpuPlatform{"Core i5 4 workers", 3.4, 4, 7.33, 0.94, 47, 98});
+    platforms.push_back(
+        CpuPlatform{"Core i7 4 workers", 3.4, 4, 8.08, 1.00, 45, 147});
+    platforms.push_back(
+        CpuPlatform{"Core i7 8 workers", 3.4, 8, 8.08, 0.57, 45, 156});
+    platforms.push_back(
+        CpuPlatform{"ARM A9 1 worker", 1.2, 1, 2.21, 1.00, 2, 3.4});
+    platforms.push_back(
+        CpuPlatform{"ARM A9 2 workers", 1.2, 2, 2.21, 1.00, 2, 4.5});
+    return platforms;
+}
+
+CpuPlatform
+armA9OneWorker()
+{
+    return CpuPlatform{"ARM A9 core", 1.2, 1, 2.21, 1.00, 2, 3.4};
+}
+
+CpuPlatform
+corei5OneWorker()
+{
+    return CpuPlatform{"Core i5 core", 3.4, 1, 7.33, 1.00, 47, 67};
+}
+
+ScalingResult
+scaleToMatch(const std::string &core_name, double target_throughput,
+             double core_throughput, double per_core_watts,
+             double titan_dynamic_watts)
+{
+    RHYTHM_ASSERT(core_throughput > 0.0 && per_core_watts > 0.0);
+    ScalingResult result;
+    result.coreName = core_name;
+    result.coresNeeded = std::ceil(target_throughput / core_throughput);
+    result.scaledPowerWatts = result.coresNeeded * per_core_watts;
+    result.titanPowerWatts = titan_dynamic_watts;
+    result.headroomWatts = titan_dynamic_watts - result.scaledPowerWatts;
+    result.headroomPercent =
+        titan_dynamic_watts > 0.0
+            ? result.headroomWatts / titan_dynamic_watts * 100.0
+            : 0.0;
+    return result;
+}
+
+} // namespace rhythm::platform

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CPU platform models: Core i5, Core i7 and ARM Cortex A9 baselines
+ * (paper Table 1/Table 3).
+ *
+ * Power figures (idle/wall/dynamic) are the paper's Kill-A-Watt
+ * measurements, used as calibration constants. The effective IPC of each
+ * (platform, workers) row is fitted so that the paper's Table 2
+ * instruction counts reproduce the paper's measured throughput; it
+ * absorbs the gap between Pin-traced instruction counts and the lean C
+ * implementation the authors timed, plus turbo/SMT effects. What the
+ * model *predicts* is how throughput, latency and efficiency respond to
+ * our measured workload — the Table 3 shape.
+ */
+
+#ifndef RHYTHM_PLATFORM_CPU_HH
+#define RHYTHM_PLATFORM_CPU_HH
+
+#include <string>
+#include <vector>
+
+namespace rhythm::platform {
+
+/** One CPU platform operating point (a Table 3 row). */
+struct CpuPlatform
+{
+    std::string name;
+    double clockGhz = 3.4;
+    int workers = 1;
+    /** Fitted effective instructions/cycle per worker. */
+    double effectiveIpc = 4.0;
+    /** Throughput scaling efficiency across workers (1.0 = linear). */
+    double scalingEfficiency = 1.0;
+    /** Measured wall power at idle (W). */
+    double idleWatts = 0.0;
+    /** Measured wall power under load (W). */
+    double wallWatts = 0.0;
+
+    /** Measured dynamic (load − idle) power (W). */
+    double dynamicWatts() const { return wallWatts - idleWatts; }
+
+    /** Instructions retired per second across all workers. */
+    double
+    instructionsPerSecond() const
+    {
+        return effectiveIpc * clockGhz * 1e9 * workers *
+               scalingEfficiency;
+    }
+};
+
+/** Derived metrics for a CPU platform on a given workload. */
+struct CpuResult
+{
+    std::string name;
+    double throughput = 0.0;      //!< requests/second
+    double latencyMs = 0.0;       //!< single-request service time
+    double idleWatts = 0.0;
+    double wallWatts = 0.0;
+    double dynamicWatts = 0.0;
+    double reqsPerJouleWall = 0.0;
+    double reqsPerJouleDynamic = 0.0;
+};
+
+/**
+ * Evaluates a CPU platform on a workload.
+ * @param insts_per_request Mix-weighted mean dynamic instructions per
+ *        request (measured by the harness on the host server).
+ */
+CpuResult evaluateCpu(const CpuPlatform &platform,
+                      double insts_per_request);
+
+/** The six CPU operating points of Table 3, in table order. */
+std::vector<CpuPlatform> standardCpuPlatforms();
+
+/** Single-worker variants used by the Section 6.2 scaling study. */
+CpuPlatform armA9OneWorker();
+CpuPlatform corei5OneWorker();
+
+/** Section 6.2: cores needed to match a target throughput. */
+struct ScalingResult
+{
+    std::string coreName;
+    double coresNeeded = 0.0;       //!< rounded up
+    double scaledPowerWatts = 0.0;  //!< cores × per-core dynamic watts
+    double titanPowerWatts = 0.0;
+    double headroomWatts = 0.0;     //!< titan − scaled (for uncore)
+    double headroomPercent = 0.0;   //!< headroom / titan
+};
+
+/**
+ * Computes the Section 6.2 comparison: how many replicated cores match
+ * @p target_throughput, and how much power headroom remains relative to
+ * the Titan platform's dynamic power.
+ *
+ * @param core_throughput Single-core (1 worker) requests/second.
+ * @param per_core_watts Assumed dynamic power per replicated core
+ *        (paper: 1 W ARM, 10 W i5).
+ */
+ScalingResult scaleToMatch(const std::string &core_name,
+                           double target_throughput,
+                           double core_throughput, double per_core_watts,
+                           double titan_dynamic_watts);
+
+} // namespace rhythm::platform
+
+#endif // RHYTHM_PLATFORM_CPU_HH

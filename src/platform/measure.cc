@@ -1,0 +1,59 @@
+#include "platform/measure.hh"
+
+#include "backend/bankdb.hh"
+#include "host/server.hh"
+#include "specweb/workload.hh"
+
+namespace rhythm::platform {
+
+WorkloadMeasurement
+measureWorkload(uint64_t samples_per_type, uint64_t users, uint64_t seed)
+{
+    backend::BankDb db(users, seed);
+    specweb::MapSessionProvider sessions;
+    host::HostServer server(db, sessions);
+    specweb::WorkloadGenerator gen(db, seed * 31 + 5);
+    simt::NullTracer null;
+
+    WorkloadMeasurement out;
+    double mix_sum = 0.0;
+    for (size_t i = 0; i < specweb::kNumRequestTypes; ++i) {
+        const specweb::RequestTypeInfo &info = specweb::typeTable()[i];
+        TypeMeasurement &tm = out.perType[i];
+        tm.type = info.type;
+
+        uint64_t valid = 0;
+        double insts = 0.0;
+        double bytes = 0.0;
+        for (uint64_t s = 0; s < samples_per_type; ++s) {
+            const uint64_t user = gen.sampleUser();
+            const uint64_t sid =
+                info.type == specweb::RequestType::Login
+                    ? 0
+                    : sessions.create(user, null);
+            specweb::GeneratedRequest req =
+                gen.generate(info.type, user, sid);
+            simt::CountingTracer counter;
+            const std::string response = server.serve(req.raw, counter);
+            insts += static_cast<double>(counter.instructions());
+            bytes += static_cast<double>(response.size());
+            valid += specweb::validateResponse(info.type, response).ok;
+        }
+        tm.samples = samples_per_type;
+        tm.instructionsPerRequest =
+            insts / static_cast<double>(samples_per_type);
+        tm.responseBytes = bytes / static_cast<double>(samples_per_type);
+        tm.validationRate = static_cast<double>(valid) /
+                            static_cast<double>(samples_per_type);
+
+        out.mixWeightedInstructions +=
+            info.mixPercent * tm.instructionsPerRequest;
+        out.mixWeightedResponseBytes += info.mixPercent * tm.responseBytes;
+        mix_sum += info.mixPercent;
+    }
+    out.mixWeightedInstructions /= mix_sum;
+    out.mixWeightedResponseBytes /= mix_sum;
+    return out;
+}
+
+} // namespace rhythm::platform

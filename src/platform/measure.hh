@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Workload measurement: reproduces the paper's Table 2 columns by
+ * running the standalone host server under a counting tracer.
+ */
+
+#ifndef RHYTHM_PLATFORM_MEASURE_HH
+#define RHYTHM_PLATFORM_MEASURE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "specweb/types.hh"
+
+namespace rhythm::platform {
+
+/** Measured characteristics of one request type (a Table 2 row). */
+struct TypeMeasurement
+{
+    specweb::RequestType type = specweb::RequestType::Login;
+    /** Mean dynamic instructions per request (measured). */
+    double instructionsPerRequest = 0.0;
+    /** Mean response size in bytes (measured). */
+    double responseBytes = 0.0;
+    /** Requests sampled. */
+    uint64_t samples = 0;
+    /** Fraction of sampled responses that passed validation. */
+    double validationRate = 0.0;
+};
+
+/** Full-workload measurement. */
+struct WorkloadMeasurement
+{
+    std::array<TypeMeasurement, specweb::kNumRequestTypes> perType{};
+    /** Mix-weighted mean instructions per request. */
+    double mixWeightedInstructions = 0.0;
+    /** Mix-weighted mean response bytes. */
+    double mixWeightedResponseBytes = 0.0;
+};
+
+/**
+ * Measures every request type on the host server.
+ * @param samples_per_type Random requests measured per type.
+ * @param users Bank database size.
+ * @param seed Deterministic seed.
+ */
+WorkloadMeasurement measureWorkload(uint64_t samples_per_type = 100,
+                                    uint64_t users = 2000,
+                                    uint64_t seed = 7);
+
+} // namespace rhythm::platform
+
+#endif // RHYTHM_PLATFORM_MEASURE_HH

@@ -1,0 +1,238 @@
+#include "platform/titan.hh"
+
+#include <algorithm>
+
+#include "backend/protocol.hh"
+#include "rhythm/banking_service.hh"
+#include "specweb/workload.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace rhythm::platform {
+namespace {
+
+core::RhythmConfig
+baseServerConfig()
+{
+    core::RhythmConfig cfg;
+    cfg.cohortSize = 4096;
+    cfg.cohortContexts = 8;
+    cfg.cohortTimeout = 2 * des::kMillisecond;
+    cfg.transposeBuffers = true;
+    cfg.padResponses = true;
+    return cfg;
+}
+
+} // namespace
+
+TitanVariant
+titanA()
+{
+    TitanVariant v;
+    v.name = "Titan A";
+    v.server = baseServerConfig();
+    v.server.backendOnDevice = false;
+    v.server.networkOverPcie = true;
+    return v;
+}
+
+TitanVariant
+titanB()
+{
+    TitanVariant v;
+    v.name = "Titan B";
+    v.server = baseServerConfig();
+    v.server.backendOnDevice = true;
+    v.server.networkOverPcie = false;
+    return v;
+}
+
+TitanVariant
+titanC()
+{
+    TitanVariant v = titanB();
+    v.name = "Titan C";
+    v.server.offloadResponseTranspose = true;
+    return v;
+}
+
+TypeRunResult
+runIsolatedType(const TitanVariant &variant, specweb::RequestType type,
+                const IsolatedRunOptions &options)
+{
+    const uint64_t total_requests =
+        static_cast<uint64_t>(options.cohorts) *
+        variant.server.cohortSize;
+
+    core::RhythmConfig cfg = variant.server;
+    cfg.laneSample = options.laneSample;
+    // Login creates, and logout consumes, one session per request. Every
+    // user's sessions hash to a single bucket, so the bucket depth must
+    // cover sessions-per-user (with margin for hash skew), not just the
+    // average bucket load.
+    if (type == specweb::RequestType::Login ||
+        type == specweb::RequestType::Logout) {
+        const uint64_t reachable_buckets =
+            std::min<uint64_t>(options.users, cfg.cohortSize);
+        cfg.sessionNodesPerBucket = static_cast<uint32_t>(
+            3 * total_requests / std::max<uint64_t>(1, reachable_buckets) +
+            16);
+    }
+
+    des::EventQueue queue;
+    simt::Device device(queue, variant.device);
+    backend::BankDb db(options.users, options.seed);
+    core::BankingService service(db);
+    core::RhythmServer server(queue, device, service, cfg);
+    specweb::WorkloadGenerator gen(db, options.seed * 977 + 13);
+
+    // Pre-populate sessions (the paper's isolation methodology): logout
+    // consumes a fresh session per request, the rest reuse a pool.
+    std::vector<std::pair<uint64_t, uint64_t>> sessions;
+    if (type == specweb::RequestType::Logout) {
+        sessions =
+            server.sessions().populate(total_requests, options.users);
+        RHYTHM_ASSERT(sessions.size() == total_requests,
+                      "session array too small for logout run");
+    } else if (type != specweb::RequestType::Login) {
+        sessions = server.sessions().populate(
+            std::min<uint64_t>(total_requests, 8192), options.users);
+    }
+
+    uint64_t issued = 0;
+    server.start([&]() -> std::optional<std::string> {
+        if (issued >= total_requests)
+            return std::nullopt;
+        specweb::GeneratedRequest req;
+        if (type == specweb::RequestType::Login) {
+            req = gen.generate(type, gen.sampleUser(), 0);
+        } else {
+            const auto &[sid, user] =
+                sessions[issued % sessions.size()];
+            req = gen.generate(type, user, sid);
+        }
+        ++issued;
+        return std::move(req.raw);
+    });
+    queue.run();
+    RHYTHM_ASSERT(server.drained(), "pipeline failed to drain");
+
+    const core::RhythmStats &stats = server.stats();
+    const simt::Device::Stats dstats = device.stats();
+    const double elapsed = des::toSeconds(queue.now());
+
+    TypeRunResult result;
+    result.type = type;
+    result.requests = stats.responsesCompleted;
+    result.elapsedSeconds = elapsed;
+    result.throughput =
+        elapsed > 0.0 ? static_cast<double>(result.requests) / elapsed
+                      : 0.0;
+    result.avgLatencyMs = stats.latencyMs.mean();
+    result.p99LatencyMs = stats.latencyMs.percentile(99.0);
+    result.deviceUtilization = device.kernelUtilization();
+    result.memoryUtilization =
+        elapsed > 0.0
+            ? static_cast<double>(dstats.kernelMemoryBytes) /
+                  (variant.device.memBandwidthGBs *
+                   variant.device.memoryEfficiency * 1e9 * elapsed)
+            : 0.0;
+    result.copyUtilization =
+        elapsed > 0.0
+            ? std::max(dstats.h2dBusySeconds, dstats.d2hBusySeconds) /
+                  elapsed
+            : 0.0;
+    result.hostBackendUtilization =
+        (!cfg.backendOnDevice && elapsed > 0.0)
+            ? static_cast<double>(stats.backendRequests) /
+                  cfg.hostBackendReqsPerSec / elapsed
+            : 0.0;
+    result.simdEfficiency =
+        stats.processIssueSlots > 0.0
+            ? stats.processLaneInstructions /
+                  (stats.processIssueSlots *
+                   variant.server.warpModel.warpWidth)
+            : 0.0;
+    result.pcieBytesPerRequest =
+        result.requests
+            ? (dstats.bytesToDevice + dstats.bytesToHost) /
+                  result.requests
+            : 0;
+    result.responseBytesPerRequest =
+        result.requests ? static_cast<double>(stats.responseBytes) /
+                              static_cast<double>(result.requests)
+                        : 0.0;
+
+    const TitanPowerModel &pm = variant.power;
+    const double activity =
+        pm.computeWeight * result.deviceUtilization +
+        (1.0 - pm.computeWeight) * std::min(1.0, result.memoryUtilization);
+    result.dynamicWatts =
+        pm.devicePeakWatts *
+            (pm.deviceActiveFloor +
+             (1.0 - pm.deviceActiveFloor) * activity) +
+        pm.pcieWatts * std::min(1.0, result.copyUtilization) +
+        pm.hostBackendWatts * std::min(1.0, result.hostBackendUtilization);
+    if (result.dynamicWatts > 0.0) {
+        result.reqsPerJouleDynamic =
+            result.throughput / result.dynamicWatts;
+        result.reqsPerJouleWall =
+            result.throughput / (pm.idleWatts + result.dynamicWatts);
+    }
+    return result;
+}
+
+TitanWorkloadResult
+evaluateTitan(const TitanVariant &variant,
+              const IsolatedRunOptions &options)
+{
+    TitanWorkloadResult result;
+    result.name = variant.name;
+    result.idleWatts = variant.power.idleWatts;
+
+    WeightedHarmonicMean throughput_whm, wall_whm, dynamic_whm;
+    double latency_sum = 0.0;
+    double dynamic_sum = 0.0;
+    double mix_sum = 0.0;
+
+    for (size_t i = 0; i < specweb::kNumRequestTypes; ++i) {
+        const specweb::RequestTypeInfo &info = specweb::typeTable()[i];
+        TypeRunResult run = runIsolatedType(variant, info.type, options);
+        const double weight = info.mixPercent;
+        throughput_whm.add(weight, run.throughput);
+        wall_whm.add(weight, run.reqsPerJouleWall);
+        dynamic_whm.add(weight, run.reqsPerJouleDynamic);
+        latency_sum += weight * run.avgLatencyMs;
+        dynamic_sum += weight * run.dynamicWatts;
+        mix_sum += weight;
+        result.perType[i] = run;
+    }
+
+    result.throughput = throughput_whm.value();
+    result.avgLatencyMs = latency_sum / mix_sum;
+    result.dynamicWatts = dynamic_sum / mix_sum;
+    result.wallWatts = result.idleWatts + result.dynamicWatts;
+    result.reqsPerJouleWall = wall_whm.value();
+    result.reqsPerJouleDynamic = dynamic_whm.value();
+    return result;
+}
+
+double
+pcieThroughputBound(const TitanVariant &variant, specweb::RequestType type)
+{
+    if (!variant.server.networkOverPcie)
+        return 1.0 / 0.0;
+    const specweb::RequestTypeInfo &info = specweb::typeInfo(type);
+    const double backend_stages = info.backendRequests;
+    // The two DMA directions run concurrently; the bound is set by the
+    // busier one (device→host carries the response buffers).
+    const double h2d_bytes =
+        variant.server.requestSlotBytes +
+        backend_stages * backend::kResponseSlotBytes;
+    const double d2h_bytes = backend_stages * backend::kRequestSlotBytes +
+                             info.rhythmBufferKb * 1024.0;
+    const double per_request = std::max(h2d_bytes, d2h_bytes);
+    return variant.device.pcieBandwidthGBs * 1e9 / per_request;
+}
+
+} // namespace rhythm::platform

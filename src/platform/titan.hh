@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Titan platform variants and the evaluation driver (paper Sections 5.3
+ * and 6).
+ *
+ * Titan A/B/C are the paper's progressively idealized GPU server
+ * platforms. Each variant pairs a device configuration with a Rhythm
+ * server configuration and a power model. The driver runs each request
+ * type in isolation (the paper's methodology) on the simulated device
+ * and aggregates workload metrics with the Table 2 mix using weighted
+ * harmonic means.
+ */
+
+#ifndef RHYTHM_PLATFORM_TITAN_HH
+#define RHYTHM_PLATFORM_TITAN_HH
+
+#include <array>
+#include <string>
+
+#include "rhythm/server.hh"
+#include "simt/kernel.hh"
+#include "specweb/types.hh"
+
+namespace rhythm::platform {
+
+/** Power model of a Titan-based server node. */
+struct TitanPowerModel
+{
+    /** Measured system idle power (paper Table 3: 74 W). */
+    double idleWatts = 74.0;
+    /** Device dynamic power at full utilization. */
+    double devicePeakWatts = 225.0;
+    /**
+     * Fraction of peak the device draws merely by being active (clocks
+     * up, polling in-flight stages — the paper notes polling burns
+     * power on stalled pipelines, Section 4.1). The rest scales with
+     * utilization.
+     */
+    double deviceActiveFloor = 0.45;
+    /** Weight of compute vs DRAM activity in the variable part. */
+    double computeWeight = 0.75;
+    /** Host-side dynamic power while serving the backend (Titan A). */
+    double hostBackendWatts = 55.0;
+    /** PCIe/DMA dynamic power at full copy-engine utilization. */
+    double pcieWatts = 18.0;
+};
+
+/** One Titan platform variant. */
+struct TitanVariant
+{
+    std::string name;
+    core::RhythmConfig server;
+    simt::DeviceConfig device;
+    TitanPowerModel power;
+};
+
+/** Titan A: discrete GPU, remote (host) backend, PCIe-bound. */
+TitanVariant titanA();
+/** Titan B: integrated NIC + device backend (SoC emulation). */
+TitanVariant titanB();
+/** Titan C: Titan B + response-transpose offload. */
+TitanVariant titanC();
+
+/** Result of one isolated request-type run. */
+struct TypeRunResult
+{
+    specweb::RequestType type = specweb::RequestType::Login;
+    uint64_t requests = 0;
+    double elapsedSeconds = 0.0;
+    double throughput = 0.0;   //!< requests/second
+    double avgLatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    double deviceUtilization = 0.0;
+    double memoryUtilization = 0.0; //!< DRAM bandwidth utilization
+    double copyUtilization = 0.0;   //!< busiest PCIe direction
+    double hostBackendUtilization = 0.0;
+    double simdEfficiency = 0.0;
+    double dynamicWatts = 0.0;
+    double reqsPerJouleDynamic = 0.0;
+    double reqsPerJouleWall = 0.0;
+    uint64_t pcieBytesPerRequest = 0;
+    double responseBytesPerRequest = 0.0;
+};
+
+/** Parameters of an isolated run. */
+struct IsolatedRunOptions
+{
+    /** Cohorts to push through (requests = cohorts × cohortSize). */
+    uint32_t cohorts = 24;
+    /** Bank database size. */
+    uint64_t users = 5000;
+    /** Lanes executed per cohort (0 = all; see RhythmConfig). */
+    uint32_t laneSample = 128;
+    uint64_t seed = 42;
+};
+
+/**
+ * Runs one request type in isolation on a variant and reports its
+ * metrics (the per-type points behind Table 3, Figure 9 and Figure 10).
+ */
+TypeRunResult runIsolatedType(const TitanVariant &variant,
+                              specweb::RequestType type,
+                              const IsolatedRunOptions &options);
+
+/** Workload-level aggregation of per-type results (one Table 3 row). */
+struct TitanWorkloadResult
+{
+    std::string name;
+    double throughput = 0.0; //!< mix-weighted harmonic mean
+    double avgLatencyMs = 0.0;
+    double idleWatts = 0.0;
+    double wallWatts = 0.0;
+    double dynamicWatts = 0.0;
+    double reqsPerJouleWall = 0.0;
+    double reqsPerJouleDynamic = 0.0;
+    std::array<TypeRunResult, specweb::kNumRequestTypes> perType{};
+};
+
+/**
+ * Runs all 14 request types in isolation and combines them with the
+ * Table 2 request mix (weighted harmonic means, Section 5.3.1).
+ */
+TitanWorkloadResult evaluateTitan(const TitanVariant &variant,
+                                  const IsolatedRunOptions &options);
+
+/**
+ * Analytic PCIe throughput bound for one request type on a variant
+ * (Figure 9): link bandwidth divided by bytes moved per request.
+ * @return Bound in requests/second (infinity when nothing crosses PCIe).
+ */
+double pcieThroughputBound(const TitanVariant &variant,
+                           specweb::RequestType type);
+
+} // namespace rhythm::platform
+
+#endif // RHYTHM_PLATFORM_TITAN_HH

@@ -1,0 +1,55 @@
+#include "rhythm/banking_service.hh"
+
+#include "backend/protocol.hh"
+#include "specweb/quickpay.hh"
+
+namespace rhythm::core {
+
+bool
+BankingService::resolveType(const http::Request &request,
+                            uint32_t &type_id) const
+{
+    specweb::RequestType type;
+    if (!specweb::typeFromPath(request.path, type))
+        return false;
+    type_id = static_cast<uint32_t>(specweb::typeIndex(type));
+    return true;
+}
+
+void
+BankingService::runStage(uint32_t type_id, int stage,
+                         specweb::HandlerContext &ctx) const
+{
+    app_.runStage(static_cast<specweb::RequestType>(type_id), stage, ctx);
+}
+
+std::string
+BankingService::executeBackend(std::string_view request,
+                               simt::TraceRecorder &rec)
+{
+    return backend_.execute(request, rec);
+}
+
+uint32_t
+BankingService::backendRequestSlotBytes() const
+{
+    return backend::kRequestSlotBytes;
+}
+
+uint32_t
+BankingService::backendResponseSlotBytes() const
+{
+    return backend::kResponseSlotBytes;
+}
+
+std::optional<std::string>
+BankingService::serveFallback(const http::Request &request,
+                              specweb::SessionProvider &sessions,
+                              simt::TraceRecorder &rec)
+{
+    if (request.path != specweb::kQuickPayPath)
+        return std::nullopt;
+    return specweb::serveQuickPay(request, backend_, sessions, rec);
+}
+
+} // namespace rhythm::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The SPECWeb Banking workload as a Rhythm Service: adapts BankingApp,
+ * the Besim-style backend and the quick pay host fallback to the
+ * pipeline's service interface. Cohort type ids are the RequestType
+ * enum values.
+ */
+
+#ifndef RHYTHM_RHYTHM_BANKING_SERVICE_HH
+#define RHYTHM_RHYTHM_BANKING_SERVICE_HH
+
+#include "backend/service.hh"
+#include "rhythm/service.hh"
+#include "specweb/banking.hh"
+
+namespace rhythm::core {
+
+/** Banking on Rhythm. */
+class BankingService : public Service
+{
+  public:
+    /** Binds the service to a bank database (not owned). */
+    explicit BankingService(backend::BankDb &db) : backend_(db) {}
+
+    uint32_t
+    numTypes() const override
+    {
+        return static_cast<uint32_t>(specweb::kNumRequestTypes);
+    }
+
+    bool resolveType(const http::Request &request,
+                     uint32_t &type_id) const override;
+
+    std::string_view
+    typeName(uint32_t type_id) const override
+    {
+        return specweb::typeTable()[type_id].name;
+    }
+
+    int
+    numStages(uint32_t type_id) const override
+    {
+        return specweb::typeTable()[type_id].backendRequests + 1;
+    }
+
+    uint32_t
+    responseBufferBytes(uint32_t type_id) const override
+    {
+        return specweb::typeTable()[type_id].rhythmBufferKb * 1024;
+    }
+
+    void runStage(uint32_t type_id, int stage,
+                  specweb::HandlerContext &ctx) const override;
+
+    std::string executeBackend(std::string_view request,
+                               simt::TraceRecorder &rec) override;
+
+    uint32_t backendRequestSlotBytes() const override;
+    uint32_t backendResponseSlotBytes() const override;
+
+    std::optional<std::string>
+    serveFallback(const http::Request &request,
+                  specweb::SessionProvider &sessions,
+                  simt::TraceRecorder &rec) override;
+
+    /** The underlying backend service (harness accounting). */
+    backend::BackendService &backendService() { return backend_; }
+
+  private:
+    specweb::BankingApp app_;
+    backend::BackendService backend_;
+};
+
+} // namespace rhythm::core
+
+#endif // RHYTHM_RHYTHM_BANKING_SERVICE_HH

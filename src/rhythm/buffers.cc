@@ -1,0 +1,292 @@
+#include "rhythm/buffers.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhythm::core {
+namespace {
+
+/** Block ids for the buffer machinery. */
+enum BufferBlock : uint32_t {
+    kBlockStorePass = 5100,  //!< Replayed store of one append.
+    kBlockPadReduce = 5101,  //!< Warp butterfly max-reduction.
+    kBlockPatch = 5102,      //!< Content-Length back-patch store.
+};
+
+/** Instruction weight of a warp butterfly max reduction (log2(32) steps
+ *  of shuffle+max through shared memory, Section 4.6). */
+constexpr uint32_t kReduceInsts = 30;
+
+} // namespace
+
+/**
+ * Per-lane ResponseWriter view over the cohort buffer. Generation work
+ * (instructions, source reads) is charged at append time; stores are
+ * replayed with layout and padding by CohortBuffer::finalizeStores().
+ */
+class LaneWriter : public specweb::ResponseWriter
+{
+  public:
+    LaneWriter(CohortBuffer &parent, uint32_t lane)
+        : parent_(parent), lane_(lane)
+    {
+    }
+
+    /** Rebinds the recorder charged for generation work. */
+    void bind(simt::TraceRecorder &rec) { rec_ = &rec; }
+
+    void
+    appendStatic(uint32_t block_id, std::string_view text) override
+    {
+        append(block_id, text, false);
+    }
+
+    void
+    appendDynamic(uint32_t block_id, std::string_view text) override
+    {
+        append(block_id, text, true);
+    }
+
+    size_t
+    reserve(uint32_t block_id, size_t width) override
+    {
+        auto &lane = parent_.lanes_[lane_];
+        const size_t offset = lane.content.size();
+        append(block_id, std::string(width, ' '), false);
+        return offset;
+    }
+
+    void
+    patch(size_t offset, std::string_view text) override
+    {
+        auto &lane = parent_.lanes_[lane_];
+        RHYTHM_ASSERT(offset + text.size() <= lane.content.size(),
+                      "patch outside reservation");
+        rec_->block(kBlockPatch, 24);
+        lane.content.replace(offset, text.size(), text);
+    }
+
+    size_t
+    size() const override
+    {
+        return parent_.lanes_[lane_].content.size();
+    }
+
+  private:
+    void
+    append(uint32_t block_id, std::string_view text, bool dynamic)
+    {
+        RHYTHM_ASSERT(rec_, "writer used before bind()");
+        auto &lane = parent_.lanes_[lane_];
+        lane.used = true;
+        rec_->block(block_id,
+                    16 + static_cast<uint32_t>(text.size()) *
+                             parent_.config_.instsPerByte);
+        const uint32_t words =
+            static_cast<uint32_t>((text.size() + 3) / 4);
+        if (words > 0) {
+            if (dynamic) {
+                // Dynamic source (backend response region): laid out with
+                // the same cohort geometry as the response buffers.
+                const uint64_t src =
+                    parent_.elementAddr(lane_, lane.content.size()) +
+                    0x4000'0000;
+                const uint32_t stride =
+                    parent_.config_.layout == BufferLayout::Transposed
+                        ? parent_.config_.cohortSize * 4
+                        : 4;
+                rec_->load(src, words, stride, 4);
+            } else {
+                // Static template content lives in constant memory.
+                rec_->load(0x1000 + block_id * 4096, words, 4, 4,
+                           simt::MemSpace::Constant);
+            }
+        }
+        lane.content.append(text);
+        lane.appends.push_back(
+            CohortBuffer::Append{block_id,
+                                 static_cast<uint32_t>(text.size())});
+    }
+
+    CohortBuffer &parent_;
+    uint32_t lane_;
+    simt::TraceRecorder *rec_ = nullptr;
+};
+
+CohortBuffer::CohortBuffer(const CohortBufferConfig &config)
+    : config_(config), lanes_(config.cohortSize)
+{
+    RHYTHM_ASSERT(config.cohortSize > 0 && config.laneBytes > 0);
+    RHYTHM_ASSERT(config.warpWidth > 0);
+    writers_.reserve(config.cohortSize);
+    for (uint32_t l = 0; l < config.cohortSize; ++l)
+        writers_.push_back(std::make_unique<LaneWriter>(*this, l));
+}
+
+specweb::ResponseWriter &
+CohortBuffer::writer(uint32_t lane, simt::TraceRecorder &rec)
+{
+    RHYTHM_ASSERT(lane < config_.cohortSize);
+    auto *w = static_cast<LaneWriter *>(writers_[lane].get());
+    w->bind(rec);
+    return *w;
+}
+
+const std::string &
+CohortBuffer::content(uint32_t lane) const
+{
+    RHYTHM_ASSERT(lane < config_.cohortSize);
+    return lanes_[lane].content;
+}
+
+size_t
+CohortBuffer::contentSize(uint32_t lane) const
+{
+    RHYTHM_ASSERT(lane < config_.cohortSize);
+    return lanes_[lane].content.size();
+}
+
+uint64_t
+CohortBuffer::elementAddr(uint32_t lane, size_t offset) const
+{
+    if (config_.layout == BufferLayout::Transposed) {
+        // 4-byte elements interleaved across the cohort: element e of
+        // lane l lives at base + e*cohortSize*4 + l*4.
+        const uint64_t element = offset / 4;
+        return config_.deviceBase +
+               element * config_.cohortSize * 4 +
+               static_cast<uint64_t>(lane) * 4 + offset % 4;
+    }
+    return config_.deviceBase +
+           static_cast<uint64_t>(lane) * config_.laneBytes + offset;
+}
+
+void
+CohortBuffer::finalizeStores(std::vector<simt::ThreadTrace> &traces)
+{
+    RHYTHM_ASSERT(traces.size() >= lanes_.size(),
+                  "trace vector smaller than cohort");
+    const uint32_t width = static_cast<uint32_t>(config_.warpWidth);
+
+    auto emit = [&](uint32_t lane, uint32_t block_id, uint32_t insts,
+                    size_t offset, uint32_t bytes) {
+        simt::ThreadTrace &t = traces[lane];
+        t.blocks.push_back(simt::BlockExec{
+            block_id, insts, static_cast<uint32_t>(t.memOps.size()), 0});
+        if (bytes > 0) {
+            simt::MemOp op;
+            op.addr = elementAddr(lane, offset);
+            op.count = (bytes + 3) / 4;
+            op.stride = config_.layout == BufferLayout::Transposed
+                            ? config_.cohortSize * 4
+                            : 4;
+            op.width = 4;
+            op.space = simt::MemSpace::Global;
+            op.isStore = true;
+            t.memOps.push_back(op);
+            ++t.blocks.back().memCount;
+        }
+    };
+
+    for (uint32_t base = 0; base < lanes_.size(); base += width) {
+        const uint32_t warp_lanes = std::min(
+            width, static_cast<uint32_t>(lanes_.size()) - base);
+        size_t max_appends = 0;
+        for (uint32_t l = 0; l < warp_lanes; ++l) {
+            if (lanes_[base + l].used)
+                max_appends = std::max(max_appends,
+                                       lanes_[base + l].appends.size());
+        }
+        std::vector<size_t> offsets(warp_lanes, 0);
+        for (size_t j = 0; j < max_appends; ++j) {
+            // Warp-max padded length (butterfly reduction on device).
+            uint32_t max_len = 0;
+            for (uint32_t l = 0; l < warp_lanes; ++l) {
+                const Lane &lane = lanes_[base + l];
+                if (lane.used && j < lane.appends.size())
+                    max_len = std::max(max_len, lane.appends[j].length);
+            }
+            for (uint32_t l = 0; l < warp_lanes; ++l) {
+                Lane &lane = lanes_[base + l];
+                if (!lane.used || j >= lane.appends.size())
+                    continue;
+                const uint32_t own = lane.appends[j].length;
+                const uint32_t stored =
+                    config_.padToWarpMax ? max_len : own;
+                const uint32_t insts =
+                    20 + stored * 2 +
+                    (config_.padToWarpMax ? kReduceInsts : 0);
+                emit(base + l, kBlockStorePass, insts,
+                     offsets[l], stored);
+                if (config_.padToWarpMax)
+                    paddingBytes_ += stored - own;
+                offsets[l] += stored;
+            }
+        }
+        for (uint32_t l = 0; l < warp_lanes; ++l) {
+            Lane &lane = lanes_[base + l];
+            if (!lane.used)
+                continue;
+            lane.paddedSize = offsets[l];
+            if (offsets[l] > config_.laneBytes)
+                overflowed_ = true;
+        }
+    }
+}
+
+size_t
+CohortBuffer::paddedSize(uint32_t lane) const
+{
+    RHYTHM_ASSERT(lane < config_.cohortSize);
+    return lanes_[lane].paddedSize;
+}
+
+double
+CohortBuffer::bufferUtilization() const
+{
+    uint64_t content = 0;
+    uint64_t allocated = 0;
+    for (const Lane &lane : lanes_) {
+        if (!lane.used)
+            continue;
+        content += lane.content.size();
+        allocated += config_.laneBytes;
+    }
+    return allocated == 0
+               ? 0.0
+               : static_cast<double>(content) /
+                     static_cast<double>(allocated);
+}
+
+void
+transposeRegionLoads(simt::ThreadTrace &trace, uint64_t region_base,
+                     uint32_t lane, uint32_t slot_bytes, uint32_t cohort)
+{
+    const uint64_t lane_base =
+        region_base + static_cast<uint64_t>(lane) * slot_bytes;
+    for (simt::MemOp &op : trace.memOps) {
+        if (op.isStore || op.addr < lane_base ||
+            op.addr >= lane_base + slot_bytes)
+            continue;
+        const uint64_t off = op.addr - lane_base;
+        op.addr = region_base + (off / 4) * (cohort * 4ull) +
+                  static_cast<uint64_t>(lane) * 4 + off % 4;
+        op.stride = cohort * 4;
+    }
+}
+
+void
+CohortBuffer::reset()
+{
+    for (Lane &lane : lanes_) {
+        lane.content.clear();
+        lane.appends.clear();
+        lane.paddedSize = 0;
+        lane.used = false;
+    }
+    paddingBytes_ = 0;
+    overflowed_ = false;
+}
+
+} // namespace rhythm::core

@@ -1,0 +1,118 @@
+#include "rhythm/cohort.hh"
+
+#include "util/logging.hh"
+
+namespace rhythm::core {
+
+std::string_view
+cohortStateName(CohortState state)
+{
+    switch (state) {
+      case CohortState::Free:
+        return "Free";
+      case CohortState::PartiallyFull:
+        return "PartiallyFull";
+      case CohortState::Full:
+        return "Full";
+      case CohortState::Busy:
+        return "Busy";
+    }
+    return "?";
+}
+
+void
+CohortContext::allocate(uint32_t type, uint32_t capacity)
+{
+    RHYTHM_ASSERT(state_ == CohortState::Free,
+                  "allocate on non-Free cohort");
+    RHYTHM_ASSERT(capacity > 0);
+    state_ = CohortState::PartiallyFull;
+    type_ = type;
+    capacity_ = capacity;
+    firstArrival_ = 0;
+    entries_.clear();
+    entries_.reserve(capacity);
+}
+
+bool
+CohortContext::add(CohortEntry entry)
+{
+    RHYTHM_ASSERT(state_ == CohortState::PartiallyFull,
+                  "add on cohort in state ", cohortStateName(state_));
+    RHYTHM_ASSERT(entries_.size() < capacity_, "cohort overfull");
+    if (entries_.empty())
+        firstArrival_ = entry.arrival;
+    entries_.push_back(std::move(entry));
+    if (entries_.size() == capacity_) {
+        state_ = CohortState::Full;
+        return true;
+    }
+    return false;
+}
+
+void
+CohortContext::markBusy()
+{
+    RHYTHM_ASSERT(state_ == CohortState::PartiallyFull ||
+                      state_ == CohortState::Full,
+                  "markBusy on cohort in state ", cohortStateName(state_));
+    RHYTHM_ASSERT(!entries_.empty(), "empty cohort launched");
+    state_ = CohortState::Busy;
+}
+
+void
+CohortContext::release()
+{
+    RHYTHM_ASSERT(state_ == CohortState::Busy,
+                  "release on cohort in state ", cohortStateName(state_));
+    state_ = CohortState::Free;
+    entries_.clear();
+    firstArrival_ = 0;
+}
+
+CohortPool::CohortPool(uint32_t contexts, uint32_t capacity)
+    : capacity_(capacity)
+{
+    RHYTHM_ASSERT(contexts > 0 && capacity > 0);
+    pool_.reserve(contexts);
+    for (uint32_t i = 0; i < contexts; ++i)
+        pool_.emplace_back(i);
+}
+
+CohortContext *
+CohortPool::acquireFor(uint32_t type)
+{
+    for (CohortContext &ctx : pool_) {
+        if (ctx.state() == CohortState::PartiallyFull && ctx.type() == type)
+            return &ctx;
+    }
+    for (CohortContext &ctx : pool_) {
+        if (ctx.state() == CohortState::Free) {
+            ctx.allocate(type, capacity_);
+            return &ctx;
+        }
+    }
+    ++stalls_;
+    return nullptr;
+}
+
+uint32_t
+CohortPool::countInState(CohortState state) const
+{
+    uint32_t count = 0;
+    for (const CohortContext &ctx : pool_)
+        count += ctx.state() == state;
+    return count;
+}
+
+void
+CohortPool::forEachForming(const std::function<void(CohortContext &)> &fn)
+{
+    for (CohortContext &ctx : pool_) {
+        if (ctx.state() == CohortState::PartiallyFull ||
+            ctx.state() == CohortState::Full)
+            fn(ctx);
+    }
+}
+
+} // namespace rhythm::core

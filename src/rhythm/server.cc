@@ -1,0 +1,721 @@
+#include "rhythm/server.hh"
+
+#include <algorithm>
+
+#include "http/parser.hh"
+
+#include "util/logging.hh"
+
+namespace rhythm::core {
+namespace {
+
+/** Simulated device address of the raw request buffer region. */
+constexpr uint64_t kRequestRegionBase = 0x9000'0000;
+
+/** Instruction weight per thread of a transpose kernel element loop. */
+constexpr uint32_t kTransposeInstsPerThread = 96;
+
+simt::NullTracer gNull;
+
+/** Scales a kernel profile's totals by a sampling factor. */
+simt::KernelProfile
+scaleProfile(simt::KernelProfile profile, double factor)
+{
+    if (factor == 1.0)
+        return profile;
+    auto scale = [&](uint64_t &v) {
+        v = static_cast<uint64_t>(static_cast<double>(v) * factor + 0.5);
+    };
+    scale(profile.totals.issueSlots);
+    scale(profile.totals.laneInstructions);
+    scale(profile.totals.steps);
+    scale(profile.totals.laneBlockExecs);
+    scale(profile.totals.activeLaneSteps);
+    scale(profile.totals.globalTransactions);
+    scale(profile.totals.globalBytes);
+    scale(profile.totals.sharedAccesses);
+    scale(profile.totals.sharedReplaySlots);
+    scale(profile.totals.constantAccesses);
+    scale(profile.warps);
+    scale(profile.threads);
+    return profile;
+}
+
+} // namespace
+
+/** Host-side precomputation of one cohort's pipeline execution. */
+struct RhythmServer::CohortRun
+{
+    /** One simulated pipeline step on the cohort's stream. */
+    struct Cmd
+    {
+        enum class Kind { Kernel, CopyToHost, CopyToDevice, HostDelay };
+        Kind kind = Kind::Kernel;
+        simt::KernelCost cost;
+        uint64_t bytes = 0;
+        des::Time delay = 0;
+    };
+
+    std::vector<Cmd> sequence;
+    /** Simulated time the cohort entered the pipeline. */
+    des::Time launchedAt = 0;
+    /** Responses of executed lanes (parallel to entries prefix). */
+    std::vector<std::string> responses;
+    std::vector<bool> failed;
+    uint32_t executedLanes = 0;
+    double scale = 1.0;
+    uint64_t responseContentBytes = 0; //!< Scaled to the full cohort.
+    uint64_t paddingBytes = 0;
+    size_t nextCmd = 0;
+};
+
+RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
+                           Service &service, const RhythmConfig &config)
+    : queue_(queue), device_(device), service_(service), config_(config),
+      pool_(config.cohortContexts, config.cohortSize)
+{
+    RHYTHM_ASSERT(config_.cohortSize > 0);
+    sessions_ = std::make_unique<SessionArray>(
+        config_.cohortSize, config_.sessionNodesPerBucket);
+    parserStream_ = device_.createStream();
+    cohortStreams_.reserve(config_.cohortContexts);
+    for (uint32_t i = 0; i < config_.cohortContexts; ++i)
+        cohortStreams_.push_back(device_.createStream());
+}
+
+RhythmServer::~RhythmServer() = default;
+
+void
+RhythmServer::setResponseCallback(ResponseCallback cb)
+{
+    responseCb_ = std::move(cb);
+}
+
+void
+RhythmServer::start(Source source)
+{
+    source_ = std::move(source);
+    pump();
+}
+
+bool
+RhythmServer::injectRequest(std::string raw, uint64_t client_id)
+{
+    if (forming_ && forming_->entries.size() >= config_.cohortSize &&
+        parserBusy_)
+        return false; // reader stall: both buffers occupied
+    if (!forming_)
+        forming_ = std::make_unique<ReaderBatch>();
+    if (forming_->entries.empty()) {
+        forming_->firstArrival = queue_.now();
+        scheduleTimeoutScan();
+    }
+    forming_->entries.push_back(
+        RawEntry{std::move(raw), client_id, queue_.now()});
+    ++stats_.requestsAccepted;
+    ++inflightRequests_;
+    maybeLaunchBatch(false);
+    return true;
+}
+
+void
+RhythmServer::pump()
+{
+    if (!source_)
+        return;
+    for (;;) {
+        if (forming_ && forming_->entries.size() >= config_.cohortSize) {
+            maybeLaunchBatch(false);
+            if (forming_ && forming_->entries.size() >= config_.cohortSize)
+                return; // parser busy: reader stalls on the back buffer
+            continue;
+        }
+        std::optional<std::string> raw = source_();
+        if (!raw) {
+            source_ = nullptr;
+            maybeLaunchBatch(true);
+            return;
+        }
+        if (!forming_)
+            forming_ = std::make_unique<ReaderBatch>();
+        if (forming_->entries.empty())
+            forming_->firstArrival = queue_.now();
+        forming_->entries.push_back(
+            RawEntry{std::move(*raw), nextClientId_++, queue_.now()});
+        ++stats_.requestsAccepted;
+        ++inflightRequests_;
+    }
+}
+
+void
+RhythmServer::maybeLaunchBatch(bool force)
+{
+    if (parserBusy_ || !forming_ || forming_->entries.empty())
+        return;
+    if (!force && forming_->entries.size() < config_.cohortSize)
+        return;
+    std::unique_ptr<ReaderBatch> batch = std::move(forming_);
+    parserBusy_ = true;
+    parseBatch(std::move(batch));
+}
+
+void
+RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
+{
+    ++stats_.parserBatches;
+    const uint32_t n = static_cast<uint32_t>(batch->entries.size());
+    const uint32_t sample =
+        config_.laneSample == 0 ? n : std::min(n, config_.laneSample);
+
+    // Parse every request (dispatch needs the results); record traces
+    // for the sampled lanes to cost the parser kernel.
+    auto parsed = std::make_shared<std::vector<CohortEntry>>();
+    parsed->reserve(n);
+    std::vector<simt::ThreadTrace> traces(sample);
+    for (uint32_t i = 0; i < n; ++i) {
+        RawEntry &raw = batch->entries[i];
+        CohortEntry entry;
+        entry.raw = std::move(raw.raw);
+        entry.arrival = raw.arrival;
+        entry.clientId = raw.clientId;
+        const uint64_t vaddr =
+            kRequestRegionBase +
+            static_cast<uint64_t>(i) * config_.requestSlotBytes;
+        bool ok;
+        if (i < sample) {
+            simt::RecordingTracer rec(traces[i]);
+            ok = http::parseRequest(entry.raw, vaddr, rec, entry.request);
+            if (config_.transposeBuffers)
+                transposeRegionLoads(traces[i], kRequestRegionBase, i,
+                                     config_.requestSlotBytes, sample);
+        } else {
+            ok = http::parseRequest(entry.raw, vaddr, gNull, entry.request);
+        }
+        if (!ok)
+            entry.request.path.clear(); // dispatch will 400 it
+        parsed->push_back(std::move(entry));
+    }
+
+    std::vector<const simt::ThreadTrace *> ptrs;
+    ptrs.reserve(sample);
+    for (const auto &t : traces)
+        ptrs.push_back(&t);
+    const double scale = static_cast<double>(n) / sample;
+    simt::KernelProfile parser_profile = scaleProfile(
+        simt::KernelProfile::fromTraces(ptrs, config_.warpModel, "parser"),
+        scale);
+    const simt::KernelCost parser_cost =
+        computeKernelCost(parser_profile, device_.config());
+
+    // Device chain: [H2D copy] → [request transpose] → [parser kernel].
+    auto after_parse = [this, parsed]() {
+        parserBusy_ = false;
+        dispatchParsed(std::move(*parsed));
+        maybeLaunchBatch(false);
+        pump();
+    };
+    auto launch_parser = [this, parser_cost, after_parse]() {
+        device_.launchKernel(parserStream_, parser_cost, after_parse);
+    };
+    auto launch_transpose = [this, n, launch_parser]() {
+        if (!config_.transposeBuffers) {
+            launch_parser();
+            return;
+        }
+        simt::KernelProfile tp = simt::KernelProfile::streaming(
+            n, 2ull * n * config_.requestSlotBytes,
+            kTransposeInstsPerThread, config_.warpModel, "req-transpose");
+        device_.launchKernel(parserStream_,
+                             computeKernelCost(tp, device_.config()),
+                             launch_parser);
+    };
+    if (config_.networkOverPcie) {
+        device_.copyToDevice(parserStream_,
+                             static_cast<uint64_t>(n) *
+                                 config_.requestSlotBytes,
+                             launch_transpose);
+    } else {
+        launch_transpose();
+    }
+}
+
+void
+RhythmServer::setStaticContent(const specweb::StaticContent *content)
+{
+    staticContent_ = content;
+}
+
+void
+RhythmServer::dispatchParsed(std::vector<CohortEntry> parsed)
+{
+    for (CohortEntry &entry : parsed)
+        pendingDispatch_.push_back(std::move(entry));
+    drainDispatch();
+}
+
+bool
+RhythmServer::serveOnHost(CohortEntry &entry)
+{
+    // Host-fallback execution (Section 3.1): requests that do not fit
+    // the data-parallel model — quick pay's variable backend loop —
+    // run on the general purpose core. The simulated service time is
+    // the measured instruction count over the host's execution rate.
+    simt::CountingTracer counter;
+    std::optional<std::string> response =
+        service_.serveFallback(entry.request, *sessions_, counter);
+    if (!response)
+        return false;
+    ++stats_.hostFallbackRequests;
+    auto shared = std::make_shared<std::string>(std::move(*response));
+    const des::Time service_time = des::fromSeconds(
+        static_cast<double>(counter.instructions()) /
+        config_.hostFallbackInstsPerSec);
+    queue_.scheduleAfter(
+        service_time, [this, shared, client = entry.clientId,
+                       arrival = entry.arrival]() {
+            completeRequest(client, *shared, queue_.now() - arrival,
+                            false);
+        });
+    return true;
+}
+
+void
+RhythmServer::launchImageCohort()
+{
+    if (pendingImages_.empty())
+        return;
+    // Image cohorts bypass the process stage entirely (Section 5.1):
+    // the stored bytes go straight to the response path. With an
+    // integrated NIC this costs the device nothing; on a discrete card
+    // the bytes cross PCIe.
+    auto entries = std::make_shared<std::vector<CohortEntry>>(
+        std::move(pendingImages_));
+    pendingImages_.clear();
+    ++stats_.imageCohorts;
+
+    uint64_t bytes = 0;
+    auto responses = std::make_shared<std::vector<std::string>>();
+    responses->reserve(entries->size());
+    for (const CohortEntry &entry : *entries) {
+        std::string response = staticContent_->buildResponse(
+            entry.request.path);
+        bytes += response.size();
+        responses->push_back(std::move(response));
+    }
+    stats_.imageRequests += entries->size();
+    stats_.imageBytes += bytes;
+
+    auto deliver = [this, entries, responses]() {
+        for (size_t i = 0; i < entries->size(); ++i) {
+            completeRequest((*entries)[i].clientId, (*responses)[i],
+                            queue_.now() - (*entries)[i].arrival, false);
+        }
+        drainDispatch();
+        pump();
+    };
+    if (config_.networkOverPcie)
+        device_.copyToHost(parserStream_, bytes, deliver);
+    else
+        queue_.scheduleAfter(des::kMicrosecond, deliver);
+}
+
+void
+RhythmServer::drainDispatch()
+{
+    // Guard against reentrancy: completeRequest's callback may inject
+    // requests synchronously, re-entering dispatch mid-loop.
+    if (drainActive_)
+        return;
+    drainActive_ = true;
+    std::deque<CohortEntry> blocked;
+    while (!pendingDispatch_.empty()) {
+        CohortEntry &front = pendingDispatch_.front();
+        if (staticContent_ &&
+            specweb::StaticContent::isStaticPath(front.request.path) &&
+            staticContent_->lookup(front.request.path)) {
+            const bool was_empty = pendingImages_.empty();
+            pendingImages_.push_back(std::move(front));
+            pendingDispatch_.pop_front();
+            if (pendingImages_.size() >= config_.cohortSize)
+                launchImageCohort();
+            else if (was_empty)
+                scheduleTimeoutScan();
+            continue;
+        }
+        uint32_t type = 0;
+        if (front.request.path.empty() ||
+            !service_.resolveType(front.request, type)) {
+            // Not a cohort type: try the service's host fallback
+            // (requests outside the data-parallel model, Section 3.1),
+            // else 404.
+            if (!front.request.path.empty() && serveOnHost(front)) {
+                pendingDispatch_.pop_front();
+                continue;
+            }
+            completeRequest(front.clientId,
+                            "HTTP/1.1 404 Not Found\r\n"
+                            "Content-Length: 0\r\n\r\n",
+                            queue_.now() - front.arrival, true);
+            pendingDispatch_.pop_front();
+            continue;
+        }
+        CohortContext *ctx = pool_.acquireFor(type);
+        if (!ctx) {
+            // Structural hazard: no context for this type. Keep the
+            // entry (per-type FIFO order preserved) but do not let it
+            // head-of-line block other types — with more types than
+            // contexts a strict FIFO collapses into timeout-launched
+            // fragments.
+            blocked.push_back(std::move(front));
+            pendingDispatch_.pop_front();
+            continue;
+        }
+        const bool was_empty = ctx->entries().empty();
+        const bool full = ctx->add(std::move(front));
+        pendingDispatch_.pop_front();
+        if (was_empty)
+            scheduleTimeoutScan();
+        if (full)
+            launchCohort(*ctx);
+    }
+    // Blocked entries go back to the queue head: they are older than
+    // anything dispatched after them.
+    pendingDispatch_.insert(pendingDispatch_.begin(),
+                            std::make_move_iterator(blocked.begin()),
+                            std::make_move_iterator(blocked.end()));
+    drainActive_ = false;
+}
+
+void
+RhythmServer::scheduleTimeoutScan()
+{
+    if (timeoutScanScheduled_ || config_.cohortTimeout == 0)
+        return;
+    timeoutScanScheduled_ = true;
+    queue_.scheduleAfter(config_.cohortTimeout / 2, [this]() {
+        timeoutScanScheduled_ = false;
+        const des::Time now = queue_.now();
+        bool anything_forming = false;
+        if (forming_ && !forming_->entries.empty()) {
+            if (now - forming_->firstArrival >= config_.cohortTimeout) {
+                ++stats_.cohortTimeouts;
+                maybeLaunchBatch(true);
+            } else {
+                anything_forming = true;
+            }
+        }
+        std::vector<CohortContext *> expired;
+        pool_.forEachForming([&](CohortContext &ctx) {
+            if (ctx.state() == CohortState::PartiallyFull &&
+                now - ctx.firstArrival() >= config_.cohortTimeout)
+                expired.push_back(&ctx);
+            else
+                anything_forming = true;
+        });
+        for (CohortContext *ctx : expired) {
+            ++stats_.cohortTimeouts;
+            launchCohort(*ctx);
+        }
+        if (!pendingImages_.empty()) {
+            if (now - pendingImages_.front().arrival >=
+                config_.cohortTimeout) {
+                ++stats_.cohortTimeouts;
+                launchImageCohort();
+            } else {
+                anything_forming = true;
+            }
+        }
+        if (anything_forming)
+            scheduleTimeoutScan();
+    });
+}
+
+void
+RhythmServer::flush()
+{
+    maybeLaunchBatch(true);
+    std::vector<CohortContext *> forming;
+    pool_.forEachForming([&](CohortContext &ctx) {
+        if (ctx.state() == CohortState::PartiallyFull &&
+            !ctx.entries().empty())
+            forming.push_back(&ctx);
+    });
+    for (CohortContext *ctx : forming)
+        launchCohort(*ctx);
+    launchImageCohort();
+}
+
+bool
+RhythmServer::drained() const
+{
+    return inflightRequests_ == 0;
+}
+
+void
+RhythmServer::completeRequest(uint64_t client_id,
+                              const std::string &response,
+                              des::Time latency, bool failed)
+{
+    ++stats_.responsesCompleted;
+    if (failed)
+        ++stats_.errorResponses;
+    stats_.latencyMs.add(des::toMillis(latency));
+    RHYTHM_ASSERT(inflightRequests_ > 0);
+    --inflightRequests_;
+    if (responseCb_)
+        responseCb_(client_id, response, latency);
+}
+
+void
+RhythmServer::launchCohort(CohortContext &ctx)
+{
+    ctx.markBusy();
+    ++stats_.cohortsLaunched;
+    auto run = std::make_shared<CohortRun>();
+    run->launchedAt = queue_.now();
+    executeCohort(ctx, *run);
+    enqueueCohortPipeline(ctx, std::move(run));
+}
+
+void
+RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
+{
+    const uint32_t type = ctx.type();
+    const uint32_t n = static_cast<uint32_t>(ctx.entries().size());
+    const uint32_t sample =
+        config_.laneSample == 0 ? n : std::min(n, config_.laneSample);
+    run.executedLanes = sample;
+    run.scale = static_cast<double>(n) / sample;
+
+    const int stages = service_.numStages(type);
+    const uint32_t lane_bytes = service_.responseBufferBytes(type);
+
+    CohortBufferConfig buf_cfg;
+    buf_cfg.cohortSize = sample;
+    buf_cfg.laneBytes = lane_bytes;
+    buf_cfg.layout = config_.transposeBuffers ? BufferLayout::Transposed
+                                              : BufferLayout::RowMajor;
+    buf_cfg.padToWarpMax =
+        config_.padResponses && config_.transposeBuffers;
+    buf_cfg.warpWidth = config_.warpModel.warpWidth;
+    CohortBuffer buffer(buf_cfg);
+
+    std::vector<std::vector<simt::ThreadTrace>> stage_traces(
+        static_cast<size_t>(stages));
+    for (auto &v : stage_traces)
+        v.resize(sample);
+
+    run.failed.assign(sample, false);
+    uint64_t backend_insts = 0;
+    uint64_t backend_calls = 0;
+
+    for (uint32_t lane = 0; lane < sample; ++lane) {
+        const CohortEntry &entry = ctx.entries()[lane];
+        specweb::HandlerContext hctx;
+        hctx.request = &entry.request;
+        hctx.sessions = sessions_.get();
+        for (int s = 0; s < stages; ++s) {
+            simt::RecordingTracer rec(stage_traces[static_cast<size_t>(s)]
+                                                  [lane]);
+            hctx.rec = &rec;
+            specweb::ResponseWriter &writer = buffer.writer(lane, rec);
+            hctx.out = &writer;
+            service_.runStage(type, s, hctx);
+            if (hctx.failed) {
+                run.failed[lane] = true;
+                break;
+            }
+            if (s < stages - 1) {
+                simt::CountingTracer counter;
+                hctx.backendResponse =
+                    service_.executeBackend(hctx.backendRequest, counter);
+                backend_insts += counter.instructions();
+                ++backend_calls;
+                hctx.backendRequest.clear();
+            }
+        }
+        run.responses.push_back(buffer.content(lane));
+    }
+
+    // Replay the response stores with the configured layout/padding into
+    // the final stage's traces.
+    buffer.finalizeStores(stage_traces[static_cast<size_t>(stages - 1)]);
+    run.paddingBytes = static_cast<uint64_t>(
+        static_cast<double>(buffer.paddingBytes()) * run.scale);
+
+    uint64_t content_bytes = 0;
+    for (uint32_t lane = 0; lane < sample; ++lane)
+        content_bytes += buffer.contentSize(lane);
+    run.responseContentBytes = static_cast<uint64_t>(
+        static_cast<double>(content_bytes) * run.scale);
+
+    // ---- Build the simulated command sequence -----------------------
+    using Cmd = CohortRun::Cmd;
+    std::vector<const simt::ThreadTrace *> ptrs(sample);
+    const uint64_t backend_req_bytes =
+        static_cast<uint64_t>(n) * service_.backendRequestSlotBytes();
+    const uint64_t backend_resp_bytes =
+        static_cast<uint64_t>(n) * service_.backendResponseSlotBytes();
+
+    for (int s = 0; s < stages; ++s) {
+        for (uint32_t lane = 0; lane < sample; ++lane)
+            ptrs[lane] = &stage_traces[static_cast<size_t>(s)][lane];
+        simt::KernelProfile profile = scaleProfile(
+            simt::KernelProfile::fromTraces(
+                ptrs, config_.warpModel,
+                std::string(service_.typeName(type)) + "-stage" +
+                    std::to_string(s)),
+            run.scale);
+        stats_.processIssueSlots +=
+            static_cast<double>(profile.totals.issueSlots);
+        stats_.processLaneInstructions +=
+            static_cast<double>(profile.totals.laneInstructions);
+        run.sequence.push_back(
+            Cmd{Cmd::Kind::Kernel,
+                computeKernelCost(profile, device_.config()), 0, 0});
+
+        if (s < stages - 1) {
+            stats_.backendRequests += n;
+            if (config_.backendOnDevice) {
+                // Device-resident backend (Titan B/C): one streaming
+                // kernel over the request/response records.
+                const uint32_t insts_per_thread = static_cast<uint32_t>(
+                    backend_calls ? backend_insts / backend_calls : 1000);
+                simt::KernelProfile bp = simt::KernelProfile::streaming(
+                    n, backend_req_bytes + backend_resp_bytes,
+                    insts_per_thread, config_.warpModel, "backend");
+                run.sequence.push_back(
+                    Cmd{Cmd::Kind::Kernel,
+                        computeKernelCost(bp, device_.config()), 0, 0});
+            } else {
+                // Host backend (Titan A): transpose → D2H → host service
+                // → H2D → transpose.
+                if (config_.transposeBuffers) {
+                    simt::KernelProfile tp =
+                        simt::KernelProfile::streaming(
+                            n, 2 * backend_req_bytes,
+                            kTransposeInstsPerThread, config_.warpModel,
+                            "breq-transpose");
+                    run.sequence.push_back(
+                        Cmd{Cmd::Kind::Kernel,
+                            computeKernelCost(tp, device_.config()), 0,
+                            0});
+                }
+                run.sequence.push_back(Cmd{Cmd::Kind::CopyToHost, {},
+                                           backend_req_bytes, 0});
+                run.sequence.push_back(
+                    Cmd{Cmd::Kind::HostDelay, {}, 0,
+                        des::fromSeconds(n /
+                                         config_.hostBackendReqsPerSec)});
+                run.sequence.push_back(Cmd{Cmd::Kind::CopyToDevice, {},
+                                           backend_resp_bytes, 0});
+                if (config_.transposeBuffers) {
+                    simt::KernelProfile tp =
+                        simt::KernelProfile::streaming(
+                            n, 2 * backend_resp_bytes,
+                            kTransposeInstsPerThread, config_.warpModel,
+                            "bresp-transpose");
+                    run.sequence.push_back(
+                        Cmd{Cmd::Kind::Kernel,
+                            computeKernelCost(tp, device_.config()), 0,
+                            0});
+                }
+            }
+        }
+    }
+
+    // Response path: transpose back to row-major (on device unless the
+    // Titan C offload handles it), then ship over PCIe if present.
+    if (config_.transposeBuffers && !config_.offloadResponseTranspose) {
+        simt::KernelProfile tp = simt::KernelProfile::streaming(
+            n, 2ull * lane_bytes * n, kTransposeInstsPerThread,
+            config_.warpModel, "resp-transpose");
+        run.sequence.push_back(Cmd{
+            Cmd::Kind::Kernel, computeKernelCost(tp, device_.config()), 0,
+            0});
+    }
+    if (config_.networkOverPcie) {
+        // The paper ships the full power-of-two response buffer across
+        // PCIe (26.4 KB per request on average, Section 6.1.1) — the
+        // loose-fit buffer overhead visible in Figures 9 and 10.
+        run.sequence.push_back(Cmd{Cmd::Kind::CopyToHost, {},
+                                   static_cast<uint64_t>(lane_bytes) * n,
+                                   0});
+    }
+}
+
+void
+RhythmServer::enqueueCohortPipeline(CohortContext &ctx,
+                                    std::shared_ptr<CohortRun> run)
+{
+    const int stream =
+        cohortStreams_[ctx.id() % cohortStreams_.size()];
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, &ctx, run, stream, step]() {
+        if (run->nextCmd >= run->sequence.size()) {
+            cohortCompleted(ctx, run);
+            return;
+        }
+        const CohortRun::Cmd &cmd = run->sequence[run->nextCmd++];
+        switch (cmd.kind) {
+          case CohortRun::Cmd::Kind::Kernel:
+            device_.launchKernel(stream, cmd.cost, *step);
+            break;
+          case CohortRun::Cmd::Kind::CopyToHost:
+            device_.copyToHost(stream, cmd.bytes, *step);
+            break;
+          case CohortRun::Cmd::Kind::CopyToDevice:
+            device_.copyToDevice(stream, cmd.bytes, *step);
+            break;
+          case CohortRun::Cmd::Kind::HostDelay:
+            queue_.scheduleAfter(cmd.delay, *step);
+            break;
+        }
+    };
+    (*step)();
+}
+
+void
+RhythmServer::cohortCompleted(CohortContext &ctx,
+                              const std::shared_ptr<CohortRun> &run)
+{
+    const des::Time now = queue_.now();
+    const auto &entries = ctx.entries();
+    stats_.responseBytes += run->responseContentBytes;
+    stats_.paddingBytes += run->paddingBytes;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const bool executed = i < run->executedLanes;
+        const bool failed = executed && run->failed[i];
+        static const std::string kEmpty;
+        stats_.formationMs.add(
+            des::toMillis(run->launchedAt - entries[i].arrival));
+        stats_.pipelineMs.add(des::toMillis(now - run->launchedAt));
+        completeRequest(entries[i].clientId,
+                        executed ? run->responses[i] : kEmpty,
+                        now - entries[i].arrival, failed);
+    }
+    ctx.release();
+    drainDispatch();
+    pump();
+}
+
+uint64_t
+RhythmServer::memoryFootprintBytes() const
+{
+    // Session array + per-context preallocated pools: request slots,
+    // the largest response buffer, backend request/response slots and
+    // a transpose staging buffer (Section 6.3).
+    uint64_t max_buffer = 0;
+    for (uint32_t i = 0; i < service_.numTypes(); ++i)
+        max_buffer =
+            std::max<uint64_t>(max_buffer, service_.responseBufferBytes(i));
+    const uint64_t per_context =
+        static_cast<uint64_t>(config_.cohortSize) *
+        (config_.requestSlotBytes + max_buffer * 2 +
+         service_.backendRequestSlotBytes() +
+         service_.backendResponseSlotBytes());
+    return sessions_->footprintBytes() +
+           per_context * config_.cohortContexts;
+}
+
+} // namespace rhythm::core

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The Rhythm server: a single-threaded, event-driven, cohort-pipelined
+ * web server executing on the simulated SIMT device (paper Sections 3-4).
+ *
+ * Pipeline: Reader (double-buffered batches) → request-buffer transpose →
+ * Parser kernel → Dispatch (host; groups parsed requests into typed
+ * cohorts) → Process stages interleaved with Backend access → response
+ * transpose → Response. Each typed cohort rides a device stream; multiple
+ * cohorts are kept in flight to saturate the device (HyperQ).
+ *
+ * Platform variants from the paper map onto the configuration:
+ *  - Titan A: networkOverPcie=true, backendOnDevice=false — request,
+ *    response and backend records cross the PCIe link; backend runs on
+ *    host threads.
+ *  - Titan B: networkOverPcie=false, backendOnDevice=true — SoC-style
+ *    integrated NIC and device backend.
+ *  - Titan C: Titan B + offloadResponseTranspose=true — the response
+ *    transpose is performed by NIC/memory-controller hardware.
+ *
+ * Handlers execute for real (the responses are genuine, validatable
+ * HTTP), producing per-thread traces that the SIMT model turns into
+ * kernel costs. For large cohorts the server can execute a sample of
+ * lanes and scale the kernel profiles (laneSample), the standard
+ * sampling trade made by architectural simulators.
+ */
+
+#ifndef RHYTHM_RHYTHM_SERVER_HH
+#define RHYTHM_RHYTHM_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "des/event_queue.hh"
+#include "rhythm/buffers.hh"
+#include "rhythm/cohort.hh"
+#include "rhythm/service.hh"
+#include "rhythm/session_array.hh"
+#include "simt/device.hh"
+#include "specweb/static_content.hh"
+#include "util/stats.hh"
+
+namespace rhythm::core {
+
+/** Rhythm server configuration. */
+struct RhythmConfig
+{
+    /** Requests per cohort (paper sweet spot: 4096). */
+    uint32_t cohortSize = 4096;
+    /** Cohort contexts ≈ cohorts in flight (paper: 8 on the Titan). */
+    uint32_t cohortContexts = 8;
+    /** Cohort-formation timeout for partial cohorts. */
+    des::Time cohortTimeout = 2 * des::kMillisecond;
+    /** Run the backend on the device (Titan B/C) vs host (Titan A). */
+    bool backendOnDevice = false;
+    /** Requests/responses cross the PCIe link (discrete GPU, Titan A). */
+    bool networkOverPcie = true;
+    /** Transpose cohort buffers for coalesced access (Section 4.3.2). */
+    bool transposeBuffers = true;
+    /** Warp-max whitespace padding of responses. */
+    bool padResponses = true;
+    /** Offload the response transpose to NIC/DRAM logic (Titan C). */
+    bool offloadResponseTranspose = false;
+    /** Host backend service rate (vector-interface KV store, §2.2.3). */
+    double hostBackendReqsPerSec = 10e6;
+    /** PCIe slot bytes reserved per raw request (paper: 1 KiB). */
+    uint32_t requestSlotBytes = 1024;
+    /** Execute only this many lanes per cohort and scale profiles
+     *  (0 = execute every lane; use powers of the warp width). */
+    uint32_t laneSample = 0;
+    /** Session array depth (capacity = cohortSize × this). */
+    uint32_t sessionNodesPerBucket = 16;
+    /**
+     * Host instruction rate for fallback execution (quick pay and other
+     * requests that do not fit the data-parallel model, Section 3.1).
+     */
+    double hostFallbackInstsPerSec = 20e9;
+    /** Warp model for kernel profiling. */
+    simt::WarpModel warpModel;
+};
+
+/** Aggregate server statistics. */
+struct RhythmStats
+{
+    uint64_t requestsAccepted = 0;
+    uint64_t responsesCompleted = 0;
+    uint64_t errorResponses = 0;
+    uint64_t cohortsLaunched = 0;
+    uint64_t cohortTimeouts = 0;
+    uint64_t parserBatches = 0;
+    /** Requests served on the host CPU (quick pay fallback). */
+    uint64_t hostFallbackRequests = 0;
+    /** Static image requests served via image cohorts. */
+    uint64_t imageRequests = 0;
+    /** Image cohorts launched (bypass the process stage). */
+    uint64_t imageCohorts = 0;
+    uint64_t imageBytes = 0;
+    uint64_t backendRequests = 0;
+    uint64_t responseBytes = 0;
+    uint64_t paddingBytes = 0;
+    /** Request latency (arrival → response sent), milliseconds. */
+    Histogram latencyMs;
+    /** Cohort-formation wait (arrival → cohort launch), milliseconds. */
+    Histogram formationMs;
+    /** Pipeline execution (cohort launch → response), milliseconds. */
+    Histogram pipelineMs;
+    /** Aggregate SIMD efficiency of process-stage kernels. */
+    double processIssueSlots = 0;
+    double processLaneInstructions = 0;
+};
+
+/**
+ * The Rhythm server.
+ *
+ * Drive it either by push (injectRequest + EventQueue::run) or by pull
+ * (setSource + start, the paper's idealized pre-generated request
+ * stream).
+ */
+class RhythmServer
+{
+  public:
+    /** Pulls the next raw request; nullopt when the stream is drained. */
+    using Source = std::function<std::optional<std::string>()>;
+    /** Invoked per completed response (executed lanes carry content). */
+    using ResponseCallback = std::function<void(
+        uint64_t client_id, const std::string &response,
+        des::Time latency)>;
+
+    /**
+     * @param queue Event queue (simulated time).
+     * @param device The accelerator the cohorts execute on.
+     * @param service The application being served (not owned).
+     * @param config Pipeline configuration.
+     */
+    RhythmServer(des::EventQueue &queue, simt::Device &device,
+                 Service &service, const RhythmConfig &config);
+    ~RhythmServer();
+
+    RhythmServer(const RhythmServer &) = delete;
+    RhythmServer &operator=(const RhythmServer &) = delete;
+
+    /** The device session array (pre-populate for isolation runs). */
+    SessionArray &sessions() { return *sessions_; }
+
+    /**
+     * Registers the static-content store (not owned). Image requests
+     * are then grouped into image cohorts that bypass the process stage
+     * (Section 5.1); without a store they 404.
+     */
+    void setStaticContent(const specweb::StaticContent *content);
+
+    /** Registers the per-response callback. */
+    void setResponseCallback(ResponseCallback cb);
+
+    /** Installs a pull source and begins pumping requests. */
+    void start(Source source);
+
+    /**
+     * Pushes one request into the reader.
+     * @return false when the reader is full (caller should retry after
+     *         running the event loop — a structural stall).
+     */
+    bool injectRequest(std::string raw, uint64_t client_id);
+
+    /** Launches any partially formed batches/cohorts immediately. */
+    void flush();
+
+    /** True when no request is anywhere in the pipeline. */
+    bool drained() const;
+
+    /** Statistics so far. */
+    const RhythmStats &stats() const { return stats_; }
+
+    /** The configuration. */
+    const RhythmConfig &config() const { return config_; }
+
+    /**
+     * Device memory footprint of the preallocated pools (Section 6.3):
+     * session array + per-context request/response/backend buffers.
+     */
+    uint64_t memoryFootprintBytes() const;
+
+  private:
+    struct RawEntry
+    {
+        std::string raw;
+        uint64_t clientId;
+        des::Time arrival;
+    };
+
+    struct ReaderBatch
+    {
+        std::vector<RawEntry> entries;
+        des::Time firstArrival = 0;
+    };
+
+    void pump();
+    void maybeLaunchBatch(bool force);
+    void parseBatch(std::unique_ptr<ReaderBatch> batch);
+    void dispatchParsed(std::vector<CohortEntry> parsed);
+    void drainDispatch();
+    bool serveOnHost(CohortEntry &entry);
+    void launchImageCohort();
+    void launchCohort(CohortContext &ctx);
+    void scheduleTimeoutScan();
+    void completeRequest(uint64_t client_id, const std::string &response,
+                         des::Time latency, bool failed);
+
+    // Pipeline execution (host-side eager run producing stage profiles).
+    struct CohortRun;
+    void executeCohort(CohortContext &ctx, CohortRun &run);
+    void enqueueCohortPipeline(CohortContext &ctx,
+                               std::shared_ptr<CohortRun> run);
+    void cohortCompleted(CohortContext &ctx,
+                         const std::shared_ptr<CohortRun> &run);
+
+    des::EventQueue &queue_;
+    simt::Device &device_;
+    Service &service_;
+    RhythmConfig config_;
+
+    std::unique_ptr<SessionArray> sessions_;
+    CohortPool pool_;
+
+    Source source_;
+    ResponseCallback responseCb_;
+
+    std::unique_ptr<ReaderBatch> forming_;
+    bool parserBusy_ = false;
+    uint64_t inflightRequests_ = 0;
+    uint64_t nextClientId_ = 1;
+    std::deque<CohortEntry> pendingDispatch_;
+    bool drainActive_ = false;
+    std::vector<CohortEntry> pendingImages_;
+    const specweb::StaticContent *staticContent_ = nullptr;
+
+    std::vector<int> cohortStreams_; //!< Stream per cohort context.
+    int parserStream_ = -1;
+
+    bool timeoutScanScheduled_ = false;
+
+    RhythmStats stats_;
+};
+
+} // namespace rhythm::core
+
+#endif // RHYTHM_RHYTHM_SERVER_HH

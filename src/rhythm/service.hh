@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The service interface: what a web application must provide to run on
+ * the Rhythm pipeline.
+ *
+ * Rhythm itself is workload-agnostic (the paper deploys SPECWeb Banking
+ * and names Search, Email and Chat as future services, Section 8). A
+ * Service maps parsed requests to cohort types, decomposes each type
+ * into backend-separated process stages, and executes its own backend.
+ * The pipeline handles everything else: cohort formation, kernels,
+ * buffers, transposes, copies and responses.
+ */
+
+#ifndef RHYTHM_RHYTHM_SERVICE_HH
+#define RHYTHM_RHYTHM_SERVICE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/http.hh"
+#include "simt/trace.hh"
+#include "specweb/context.hh"
+
+namespace rhythm::core {
+
+/** A cohort-servable web application. */
+class Service
+{
+  public:
+    virtual ~Service() = default;
+
+    /** Number of cohort types; type ids are [0, numTypes()). */
+    virtual uint32_t numTypes() const = 0;
+
+    /**
+     * Resolves a parsed request to its cohort type.
+     * @return false when the request is not served by this service
+     *         (the pipeline responds 404).
+     */
+    virtual bool resolveType(const http::Request &request,
+                             uint32_t &type_id) const = 0;
+
+    /** Human-readable type name (kernels and stats are labelled). */
+    virtual std::string_view typeName(uint32_t type_id) const = 0;
+
+    /** Process stages for a type (backend round trips + 1). */
+    virtual int numStages(uint32_t type_id) const = 0;
+
+    /** Response buffer bytes per request of this type (power of two). */
+    virtual uint32_t responseBufferBytes(uint32_t type_id) const = 0;
+
+    /**
+     * Runs one process stage (see specweb::HandlerContext for the
+     * stage protocol).
+     */
+    virtual void runStage(uint32_t type_id, int stage,
+                          specweb::HandlerContext &ctx) const = 0;
+
+    /** Executes one wire-format backend request. */
+    virtual std::string executeBackend(std::string_view request,
+                                       simt::TraceRecorder &rec) = 0;
+
+    /** Wire slot bytes reserved per backend request. */
+    virtual uint32_t backendRequestSlotBytes() const { return 1024; }
+
+    /** Wire slot bytes reserved per backend response. */
+    virtual uint32_t backendResponseSlotBytes() const { return 4096; }
+
+    /**
+     * Serves a request that does not fit the data-parallel model on
+     * the host (Section 3.1 dispatch).
+     * @param sessions The pipeline's session store.
+     * @return The complete response, or nullopt when the path is not a
+     *         host-fallback route.
+     */
+    virtual std::optional<std::string>
+    serveFallback(const http::Request &request,
+                  specweb::SessionProvider &sessions,
+                  simt::TraceRecorder &rec)
+    {
+        (void)request;
+        (void)sessions;
+        (void)rec;
+        return std::nullopt;
+    }
+};
+
+} // namespace rhythm::core
+
+#endif // RHYTHM_RHYTHM_SERVICE_HH

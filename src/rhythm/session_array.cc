@@ -1,0 +1,141 @@
+#include "rhythm/session_array.hh"
+
+#include "util/logging.hh"
+
+namespace rhythm::core {
+namespace {
+
+enum SessionBlock : uint32_t {
+    kBlockInsert = kSessionBlockBase + 0,
+    kBlockProbe = kSessionBlockBase + 1,
+    kBlockLookup = kSessionBlockBase + 2,
+    kBlockErase = kSessionBlockBase + 3,
+};
+
+uint64_t
+hashUser(uint64_t user_id)
+{
+    uint64_t x = user_id + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SessionArray::SessionArray(uint32_t buckets, uint32_t nodes_per_bucket,
+                           uint64_t device_base, uint64_t seed)
+    : buckets_(buckets), nodesPerBucket_(nodes_per_bucket),
+      deviceBase_(device_base), rng_(seed),
+      nodes_(static_cast<size_t>(buckets) * nodes_per_bucket)
+{
+    RHYTHM_ASSERT(buckets > 0 && nodes_per_bucket > 0);
+}
+
+uint64_t
+SessionArray::nodeAddr(uint32_t bucket, uint32_t node) const
+{
+    const uint64_t index =
+        static_cast<uint64_t>(bucket) * nodesPerBucket_ + node;
+    return deviceBase_ + index * kNodeBytes;
+}
+
+bool
+SessionArray::decode(uint64_t session_id, uint32_t &bucket,
+                     uint32_t &node) const
+{
+    if (session_id == 0 || session_id > capacity())
+        return false;
+    const uint64_t index = session_id - 1;
+    bucket = static_cast<uint32_t>(index / nodesPerBucket_);
+    node = static_cast<uint32_t>(index % nodesPerBucket_);
+    return true;
+}
+
+uint64_t
+SessionArray::create(uint64_t user_id, simt::TraceRecorder &rec)
+{
+    RHYTHM_ASSERT(user_id != 0, "user id 0 is the free marker");
+    const uint32_t bucket =
+        static_cast<uint32_t>(hashUser(user_id) % buckets_);
+    const uint32_t start =
+        static_cast<uint32_t>(rng_.nextBounded(nodesPerBucket_));
+
+    rec.block(kBlockInsert, 60);
+    for (uint32_t i = 0; i < nodesPerBucket_; ++i) {
+        const uint32_t node = (start + i) % nodesPerBucket_;
+        // Atomic compare-and-swap on the node's user word (the paper
+        // uses lock-free insertion via atomics, Section 4.6).
+        rec.block(kBlockProbe, 18);
+        rec.load(nodeAddr(bucket, node), 1, 0, 8);
+        Node &slot =
+            nodes_[static_cast<size_t>(bucket) * nodesPerBucket_ + node];
+        if (slot.userId == 0) {
+            slot.userId = user_id;
+            rec.store(nodeAddr(bucket, node), 1, 0, 8);
+            ++live_;
+            if (i > 0)
+                ++collisions_;
+            return static_cast<uint64_t>(bucket) * nodesPerBucket_ + node +
+                   1;
+        }
+    }
+    return 0; // bucket full
+}
+
+uint64_t
+SessionArray::lookup(uint64_t session_id, simt::TraceRecorder &rec)
+{
+    rec.block(kBlockLookup, 42);
+    uint32_t bucket = 0, node = 0;
+    if (!decode(session_id, bucket, node))
+        return 0;
+    rec.load(nodeAddr(bucket, node), 1, 0, 8);
+    return nodes_[static_cast<size_t>(bucket) * nodesPerBucket_ + node]
+        .userId;
+}
+
+bool
+SessionArray::destroy(uint64_t session_id, simt::TraceRecorder &rec)
+{
+    rec.block(kBlockErase, 36);
+    uint32_t bucket = 0, node = 0;
+    if (!decode(session_id, bucket, node))
+        return false;
+    Node &slot =
+        nodes_[static_cast<size_t>(bucket) * nodesPerBucket_ + node];
+    if (slot.userId == 0)
+        return false;
+    slot.userId = 0;
+    rec.store(nodeAddr(bucket, node), 1, 0, 8);
+    --live_;
+    return true;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+SessionArray::populate(uint64_t count, uint64_t max_user_id)
+{
+    simt::NullTracer null;
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    out.reserve(count);
+    // Each user hashes to one bucket, so with few distinct users the
+    // reachable buckets can saturate long before the whole array does;
+    // give up after a burst of consecutive full-bucket rejections
+    // rather than rejection-sampling forever.
+    int consecutive_failures = 0;
+    while (out.size() < count && consecutive_failures < 4096) {
+        const uint64_t user = 1 + rng_.nextBounded(max_user_id);
+        const uint64_t sid = create(user, null);
+        if (sid != 0) {
+            out.emplace_back(sid, user);
+            consecutive_failures = 0;
+        } else {
+            if (live_ >= capacity())
+                break; // array genuinely full
+            ++consecutive_failures;
+        }
+    }
+    return out;
+}
+
+} // namespace rhythm::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The device-resident HTTP session array (paper Section 4.3.1).
+ *
+ * A hash table whose bucket count equals the cohort size, so that each
+ * request thread in a cohort accesses a unique bucket conflict-free.
+ * Insertion picks a bucket from a hash of the user id; the session
+ * identifier encodes (bucket, node) so lookups are O(1); collisions on
+ * insertion fall back to a linear probe within the bucket (O(n) worst
+ * case); deletion is O(1).
+ *
+ * All operations are instrumented: the session array lives in device
+ * global memory and is touched by every request, so its access pattern
+ * matters to the cohort kernels.
+ */
+
+#ifndef RHYTHM_RHYTHM_SESSION_ARRAY_HH
+#define RHYTHM_RHYTHM_SESSION_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "specweb/context.hh"
+#include "util/rng.hh"
+
+namespace rhythm::core {
+
+/** Basic-block identifier base for the session array. */
+inline constexpr uint32_t kSessionBlockBase = 5000;
+
+/**
+ * Fixed-capacity session hash array.
+ *
+ * Device layout: Node records of kNodeBytes each, bucket-major, starting
+ * at a configurable device base address (memory ops are recorded against
+ * it so warp accesses to distinct buckets coalesce exactly as the
+ * paper's design intends).
+ */
+class SessionArray : public specweb::SessionProvider
+{
+  public:
+    /** Bytes per session node (paper: 40 B per session). */
+    static constexpr uint32_t kNodeBytes = 40;
+
+    /**
+     * @param buckets Number of buckets; equals the cohort size.
+     * @param nodes_per_bucket Bucket depth; total capacity is the
+     *        product.
+     * @param device_base Simulated device address of the array.
+     * @param seed Seed for randomized probe starts.
+     */
+    SessionArray(uint32_t buckets, uint32_t nodes_per_bucket,
+                 uint64_t device_base = 0x2000'0000, uint64_t seed = 1);
+
+    uint64_t create(uint64_t user_id, simt::TraceRecorder &rec) override;
+    uint64_t lookup(uint64_t session_id, simt::TraceRecorder &rec) override;
+    bool destroy(uint64_t session_id, simt::TraceRecorder &rec) override;
+
+    /** Number of live sessions. */
+    uint64_t liveSessions() const { return live_; }
+
+    /** Total capacity (buckets × depth). */
+    uint64_t capacity() const
+    {
+        return static_cast<uint64_t>(buckets_) * nodesPerBucket_;
+    }
+
+    /** Device memory footprint in bytes. */
+    uint64_t footprintBytes() const { return capacity() * kNodeBytes; }
+
+    /** Number of insertions that needed a probe (collision metric). */
+    uint64_t collisions() const { return collisions_; }
+
+    /**
+     * Pre-populates the array with @p count random user sessions
+     * (the paper's isolation-test methodology, Section 5.3.1).
+     * @return (session id, user id) pairs for the created sessions.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> populate(uint64_t count,
+                                                        uint64_t max_user_id);
+
+  private:
+    struct Node
+    {
+        uint64_t userId = 0; //!< 0 = free.
+    };
+
+    uint64_t nodeAddr(uint32_t bucket, uint32_t node) const;
+    bool decode(uint64_t session_id, uint32_t &bucket,
+                uint32_t &node) const;
+
+    uint32_t buckets_;
+    uint32_t nodesPerBucket_;
+    uint64_t deviceBase_;
+    Rng rng_;
+    std::vector<Node> nodes_; //!< bucket-major.
+    uint64_t live_ = 0;
+    uint64_t collisions_ = 0;
+};
+
+} // namespace rhythm::core
+
+#endif // RHYTHM_RHYTHM_SESSION_ARRAY_HH

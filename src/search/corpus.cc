@@ -1,0 +1,119 @@
+#include "search/corpus.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhythm::search {
+namespace {
+
+const char *kSyllables[] = {"al", "an", "ar", "as", "at", "ba", "be",
+                            "ca", "co", "da", "de", "di", "do", "el",
+                            "en", "er", "es", "fa", "fi", "ga", "go",
+                            "ha", "he", "in", "is", "it", "ka", "la",
+                            "le", "li", "lo", "ma", "me", "mi", "mo",
+                            "na", "ne", "ni", "no", "or", "pa", "pe",
+                            "po", "ra", "re", "ri", "ro", "sa", "se",
+                            "si", "so", "ta", "te", "ti", "to", "un",
+                            "va", "ve", "vi", "wa", "we"};
+constexpr size_t kNumSyllables =
+    sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+/** Builds a pronounceable synthetic word from an index. */
+std::string
+makeWord(uint32_t index, Rng &rng)
+{
+    std::string word;
+    const int syllables = 2 + static_cast<int>(rng.nextBounded(3));
+    uint32_t x = index * 2654435761u + 1;
+    for (int s = 0; s < syllables; ++s) {
+        word += kSyllables[x % kNumSyllables];
+        x = x / static_cast<uint32_t>(kNumSyllables) + 0x9e37u + x * 31u;
+    }
+    return word;
+}
+
+} // namespace
+
+Corpus::Corpus(uint32_t num_docs, uint32_t vocabulary_size, uint64_t seed)
+{
+    RHYTHM_ASSERT(num_docs > 0 && vocabulary_size > 16);
+    Rng rng(seed);
+
+    // Vocabulary: unique synthetic words.
+    vocabulary_.reserve(vocabulary_size);
+    for (uint32_t w = 0; w < vocabulary_size; ++w) {
+        std::string word = makeWord(w, rng);
+        word += std::to_string(w % 97); // guarantee uniqueness
+        vocabulary_.push_back(std::move(word));
+    }
+
+    // Zipf(s = 1.0) CDF over word ids: word 0 is the most frequent.
+    zipfCdf_.resize(vocabulary_size);
+    double norm = 0.0;
+    for (uint32_t w = 0; w < vocabulary_size; ++w)
+        norm += 1.0 / (w + 1);
+    double acc = 0.0;
+    for (uint32_t w = 0; w < vocabulary_size; ++w) {
+        acc += 1.0 / ((w + 1) * norm);
+        zipfCdf_[w] = acc;
+    }
+    zipfCdf_.back() = 1.0;
+
+    // Documents: 80-400 body words plus a short title.
+    docs_.reserve(num_docs);
+    for (uint32_t d = 1; d <= num_docs; ++d) {
+        Document doc;
+        doc.docId = d;
+        const int title_words = 2 + static_cast<int>(rng.nextBounded(4));
+        for (int t = 0; t < title_words; ++t) {
+            if (t)
+                doc.title += ' ';
+            doc.title += vocabulary_[sampleWord(rng)];
+        }
+        const size_t body = 80 + rng.nextBounded(321);
+        doc.words.reserve(body);
+        for (size_t w = 0; w < body; ++w)
+            doc.words.push_back(sampleWord(rng));
+        docs_.push_back(std::move(doc));
+    }
+}
+
+const std::string &
+Corpus::word(uint32_t word_id) const
+{
+    RHYTHM_ASSERT(word_id < vocabulary_.size());
+    return vocabulary_[word_id];
+}
+
+const Document *
+Corpus::document(uint32_t doc_id) const
+{
+    if (doc_id == 0 || doc_id > docs_.size())
+        return nullptr;
+    return &docs_[doc_id - 1];
+}
+
+uint32_t
+Corpus::sampleWord(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it =
+        std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+    return static_cast<uint32_t>(it - zipfCdf_.begin());
+}
+
+std::string
+Corpus::renderText(const Document &doc, size_t begin, size_t count) const
+{
+    std::string out;
+    const size_t end = std::min(doc.words.size(), begin + count);
+    for (size_t i = begin; i < end; ++i) {
+        if (i != begin)
+            out += ' ';
+        out += vocabulary_[doc.words[i]];
+    }
+    return out;
+}
+
+} // namespace rhythm::search

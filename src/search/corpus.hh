@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic document corpus for the Search workload.
+ *
+ * The paper names Search as the next service to deploy on Rhythm
+ * (Section 8). This corpus is the data substrate: deterministic
+ * documents whose words follow a Zipfian distribution over a fixed
+ * vocabulary, which gives the inverted index realistic posting-list
+ * skew (a few very long lists, a long tail of short ones).
+ */
+
+#ifndef RHYTHM_SEARCH_CORPUS_HH
+#define RHYTHM_SEARCH_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace rhythm::search {
+
+/** One document. */
+struct Document
+{
+    uint32_t docId = 0;
+    std::string title;
+    /** Body as word ids into the vocabulary (compact storage). */
+    std::vector<uint32_t> words;
+};
+
+/**
+ * The vocabulary plus generated documents.
+ */
+class Corpus
+{
+  public:
+    /**
+     * @param num_docs Documents to generate (ids 1..num_docs).
+     * @param vocabulary_size Distinct words.
+     * @param seed Deterministic seed.
+     */
+    Corpus(uint32_t num_docs, uint32_t vocabulary_size = 4096,
+           uint64_t seed = 29);
+
+    /** Number of documents. */
+    uint32_t numDocs() const { return static_cast<uint32_t>(docs_.size()); }
+
+    /** Vocabulary size. */
+    uint32_t vocabularySize() const
+    {
+        return static_cast<uint32_t>(vocabulary_.size());
+    }
+
+    /** The word string for a word id. */
+    const std::string &word(uint32_t word_id) const;
+
+    /** A document by id (1-based). @return nullptr when out of range. */
+    const Document *document(uint32_t doc_id) const;
+
+    /**
+     * Samples a word id with the same Zipfian skew used to build the
+     * documents (query terms follow content popularity).
+     */
+    uint32_t sampleWord(Rng &rng) const;
+
+    /** Renders a contiguous word range of a document as text. */
+    std::string renderText(const Document &doc, size_t begin,
+                           size_t count) const;
+
+  private:
+    std::vector<std::string> vocabulary_;
+    std::vector<double> zipfCdf_;
+    std::vector<Document> docs_;
+};
+
+} // namespace rhythm::search
+
+#endif // RHYTHM_SEARCH_CORPUS_HH

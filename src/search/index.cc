@@ -1,0 +1,137 @@
+#include "search/index.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace rhythm::search {
+namespace {
+
+/** Index basic-block ids. */
+enum IndexBlock : uint32_t {
+    kBlockLookup = 7000,
+    kBlockPostingScan = 7001,
+    kBlockRank = 7002,
+    kBlockSuggestScan = 7003,
+};
+
+} // namespace
+
+InvertedIndex::InvertedIndex(const Corpus &corpus) : corpus_(corpus)
+{
+    lists_.resize(corpus.vocabularySize());
+    std::unordered_map<uint32_t, uint32_t> tf;
+    for (uint32_t d = 1; d <= corpus.numDocs(); ++d) {
+        const Document *doc = corpus.document(d);
+        tf.clear();
+        for (uint32_t w : doc->words)
+            ++tf[w];
+        for (const auto &[w, count] : tf) {
+            lists_[w].push_back(Posting{d, count});
+            ++totalPostings_;
+        }
+    }
+
+    sortedWords_.resize(corpus.vocabularySize());
+    for (uint32_t w = 0; w < corpus.vocabularySize(); ++w)
+        sortedWords_[w] = w;
+    std::sort(sortedWords_.begin(), sortedWords_.end(),
+              [&](uint32_t a, uint32_t b) {
+                  return corpus.word(a) < corpus.word(b);
+              });
+}
+
+bool
+InvertedIndex::wordId(std::string_view word, uint32_t &out) const
+{
+    // Binary search over the lexicographically sorted vocabulary.
+    auto it = std::lower_bound(
+        sortedWords_.begin(), sortedWords_.end(), word,
+        [&](uint32_t w, std::string_view needle) {
+            return corpus_.word(w) < needle;
+        });
+    if (it == sortedWords_.end() || corpus_.word(*it) != word)
+        return false;
+    out = *it;
+    return true;
+}
+
+const std::vector<Posting> &
+InvertedIndex::postings(uint32_t word_id) const
+{
+    static const std::vector<Posting> kEmpty;
+    if (word_id >= lists_.size())
+        return kEmpty;
+    return lists_[word_id];
+}
+
+std::vector<Hit>
+InvertedIndex::query(const std::vector<uint32_t> &terms, size_t k,
+                     simt::TraceRecorder &rec) const
+{
+    rec.block(kBlockLookup,
+              60 + 40 * static_cast<uint32_t>(terms.size()));
+
+    // Score accumulation over the union of posting lists.
+    std::unordered_map<uint32_t, double> scores;
+    const double num_docs = corpus_.numDocs();
+    for (uint32_t term : terms) {
+        const auto &list = postings(term);
+        if (list.empty())
+            continue;
+        const double idf =
+            std::log(1.0 + num_docs / static_cast<double>(list.size()));
+        rec.block(kBlockPostingScan,
+                  24 + 6 * static_cast<uint32_t>(list.size()));
+        // Posting lists live in (device) global memory.
+        rec.load(0x3000'0000 + static_cast<uint64_t>(term) * 4096,
+                 static_cast<uint32_t>(list.size()), 8, 8);
+        for (const Posting &p : list)
+            scores[p.docId] += (1.0 + std::log(1.0 + p.termFrequency)) *
+                               idf;
+    }
+
+    std::vector<Hit> hits;
+    hits.reserve(scores.size());
+    for (const auto &[doc, score] : scores)
+        hits.push_back(Hit{doc, score});
+    rec.block(kBlockRank, 40 + 8 * static_cast<uint32_t>(hits.size()));
+    const size_t take = std::min(k, hits.size());
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(take),
+                      hits.end(), [](const Hit &a, const Hit &b) {
+                          if (a.score != b.score)
+                              return a.score > b.score;
+                          return a.docId < b.docId;
+                      });
+    hits.resize(take);
+    return hits;
+}
+
+std::vector<uint32_t>
+InvertedIndex::suggest(std::string_view prefix, size_t k,
+                       simt::TraceRecorder &rec) const
+{
+    rec.block(kBlockSuggestScan,
+              50 + 4 * static_cast<uint32_t>(prefix.size()));
+    std::vector<uint32_t> out;
+    auto it = std::lower_bound(
+        sortedWords_.begin(), sortedWords_.end(), prefix,
+        [&](uint32_t w, std::string_view needle) {
+            return corpus_.word(w) < needle;
+        });
+    while (it != sortedWords_.end() && out.size() < k) {
+        const std::string &w = corpus_.word(*it);
+        if (w.size() < prefix.size() ||
+            std::string_view(w).substr(0, prefix.size()) != prefix)
+            break;
+        out.push_back(*it);
+        ++it;
+    }
+    rec.block(kBlockSuggestScan,
+              10 + 12 * static_cast<uint32_t>(out.size()));
+    return out;
+}
+
+} // namespace rhythm::search

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Inverted index with tf-idf ranking and prefix suggestion — the Search
+ * workload's backend data structure.
+ */
+
+#ifndef RHYTHM_SEARCH_INDEX_HH
+#define RHYTHM_SEARCH_INDEX_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "search/corpus.hh"
+#include "simt/trace.hh"
+
+namespace rhythm::search {
+
+/** One posting: a document containing a term. */
+struct Posting
+{
+    uint32_t docId = 0;
+    uint32_t termFrequency = 0;
+};
+
+/** One ranked search hit. */
+struct Hit
+{
+    uint32_t docId = 0;
+    double score = 0.0;
+};
+
+/**
+ * The inverted index over a corpus.
+ *
+ * Query evaluation is instrumented (posting-list traversal cost scales
+ * with list length) because on CPU baselines it is part of each
+ * request's instruction count, and on Titan B/C it runs as the
+ * device-resident backend kernel.
+ */
+class InvertedIndex
+{
+  public:
+    /** Builds the index over @p corpus (referenced, not owned). */
+    explicit InvertedIndex(const Corpus &corpus);
+
+    /** Resolves a word string to its id. @return false if unknown. */
+    bool wordId(std::string_view word, uint32_t &out) const;
+
+    /** Posting list of a term (empty for unknown ids). */
+    const std::vector<Posting> &postings(uint32_t word_id) const;
+
+    /**
+     * Evaluates a conjunctive-ish query: documents are scored by
+     * tf-idf summed over the terms they contain; the top @p k hits are
+     * returned in score order.
+     */
+    std::vector<Hit> query(const std::vector<uint32_t> &terms, size_t k,
+                           simt::TraceRecorder &rec) const;
+
+    /**
+     * Returns up to @p k vocabulary words starting with @p prefix
+     * (lexicographic order) — the suggest/autocomplete backend.
+     */
+    std::vector<uint32_t> suggest(std::string_view prefix, size_t k,
+                                  simt::TraceRecorder &rec) const;
+
+    /** The corpus this index covers. */
+    const Corpus &corpus() const { return corpus_; }
+
+    /** Total postings stored (index footprint metric). */
+    uint64_t totalPostings() const { return totalPostings_; }
+
+  private:
+    const Corpus &corpus_;
+    std::vector<std::vector<Posting>> lists_; //!< Index = word id.
+    std::vector<uint32_t> sortedWords_;       //!< Word ids, lexicographic.
+    uint64_t totalPostings_ = 0;
+};
+
+} // namespace rhythm::search
+
+#endif // RHYTHM_SEARCH_INDEX_HH

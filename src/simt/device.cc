@@ -1,0 +1,281 @@
+#include "simt/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rhythm::simt {
+namespace {
+
+/// Demand remaining below this (device-seconds) counts as finished.
+constexpr double kFinishEpsilon = 1e-10;
+/// Occupancy caps are clamped to at least this share.
+constexpr double kMinShare = 1e-6;
+
+} // namespace
+
+Device::Device(des::EventQueue &queue, DeviceConfig config)
+    : queue_(queue), config_(std::move(config)),
+      createTime_(queue.now()), poolLastUpdate_(queue.now())
+{
+    RHYTHM_ASSERT(config_.hardwareQueues >= 1);
+    RHYTHM_ASSERT(config_.numSms >= 1);
+    hwQueues_.resize(static_cast<size_t>(config_.hardwareQueues));
+}
+
+int
+Device::createStream()
+{
+    return nextStream_++;
+}
+
+void
+Device::copyToDevice(int stream, uint64_t bytes, Callback done)
+{
+    enqueue(stream, Command{CommandType::CopyH2D, bytes, {}, std::move(done)});
+}
+
+void
+Device::copyToHost(int stream, uint64_t bytes, Callback done)
+{
+    enqueue(stream, Command{CommandType::CopyD2H, bytes, {}, std::move(done)});
+}
+
+void
+Device::launchKernel(int stream, KernelCost cost, Callback done)
+{
+    enqueue(stream, Command{CommandType::Kernel, 0, cost, std::move(done)});
+}
+
+void
+Device::enqueue(int stream, Command cmd)
+{
+    RHYTHM_ASSERT(stream >= 0 && stream < nextStream_, "unknown stream");
+    const int qi = stream % config_.hardwareQueues;
+    auto &q = hwQueues_[static_cast<size_t>(qi)];
+    q.push_back(std::move(cmd));
+    ++pendingCommands_;
+    if (q.size() == 1)
+        startCommand(qi);
+}
+
+void
+Device::startCommand(int queue_index)
+{
+    auto &q = hwQueues_[static_cast<size_t>(queue_index)];
+    RHYTHM_ASSERT(!q.empty());
+    // The command stays at the queue head (blocking the queue, and
+    // keeping its completion callback alive) until it completes; only
+    // its parameters travel into the execution machinery.
+    const Command &cmd = q.front();
+    switch (cmd.type) {
+      case CommandType::CopyH2D:
+        startCopy(h2d_, PendingCopy{cmd.bytes, true, queue_index});
+        break;
+      case CommandType::CopyD2H:
+        startCopy(d2h_, PendingCopy{cmd.bytes, false, queue_index});
+        break;
+      case CommandType::Kernel:
+        // Model the fixed launch overhead as serial latency before the
+        // kernel is admitted to the execution pool.
+        queue_.scheduleAfter(config_.launchOverhead,
+                             [this, cost = cmd.cost, queue_index]() {
+                                 kernelAdmitted(cost, queue_index);
+                             });
+        break;
+    }
+}
+
+void
+Device::commandFinished(int queue_index)
+{
+    auto &q = hwQueues_[static_cast<size_t>(queue_index)];
+    RHYTHM_ASSERT(!q.empty());
+    Callback done = std::move(q.front().done);
+    q.pop_front();
+    RHYTHM_ASSERT(pendingCommands_ > 0);
+    --pendingCommands_;
+    if (!q.empty())
+        startCommand(queue_index);
+    if (done)
+        done();
+}
+
+void
+Device::startCopy(CopyEngine &engine, PendingCopy copy)
+{
+    if (engine.busy) {
+        engine.waiting.push_back(copy);
+        return;
+    }
+    engine.busy = true;
+    if (copy.toDevice) {
+        ++stats_.copiesToDevice;
+        stats_.bytesToDevice += copy.bytes;
+    } else {
+        ++stats_.copiesToHost;
+        stats_.bytesToHost += copy.bytes;
+    }
+    const double transfer_seconds =
+        static_cast<double>(copy.bytes) / (config_.pcieBandwidthGBs * 1e9);
+    const des::Time duration =
+        config_.pcieLatency + des::fromSeconds(transfer_seconds);
+    engine.busySeconds += des::toSeconds(duration);
+    queue_.scheduleAfter(duration, [this, &engine, qi = copy.queueIndex]() {
+        copyFinished(engine);
+        commandFinished(qi);
+    });
+}
+
+void
+Device::copyFinished(CopyEngine &engine)
+{
+    engine.busy = false;
+    if (!engine.waiting.empty()) {
+        PendingCopy next = engine.waiting.front();
+        engine.waiting.pop_front();
+        startCopy(engine, next);
+    }
+}
+
+void
+Device::kernelAdmitted(KernelCost cost, int queue_index)
+{
+    advancePool();
+    RunningKernel rk;
+    rk.remaining = std::max(cost.deviceSeconds, kFinishEpsilon);
+    rk.cap = std::clamp(cost.maxShare, kMinShare, 1.0);
+    rk.queueIndex = queue_index;
+    pool_.push_back(std::move(rk));
+    ++stats_.kernelsLaunched;
+    stats_.kernelMemoryBytes += cost.memoryBytes;
+    recomputeRates();
+    reschedulePoolEvent();
+}
+
+void
+Device::advancePool()
+{
+    const des::Time now = queue_.now();
+    const double dt = des::toSeconds(now - poolLastUpdate_);
+    poolLastUpdate_ = now;
+    if (dt <= 0.0 || pool_.empty())
+        return;
+    double total_rate = 0.0;
+    for (auto &k : pool_) {
+        k.remaining -= k.rate * dt;
+        total_rate += k.rate;
+    }
+    stats_.kernelBusySeconds += total_rate * dt;
+}
+
+void
+Device::recomputeRates()
+{
+    // Water-filling: capacity 1.0 shared equally, except that a kernel
+    // never receives more than its occupancy cap; freed capacity is
+    // redistributed among the uncapped kernels.
+    for (auto &k : pool_)
+        k.rate = 0.0;
+    double capacity = 1.0;
+    size_t unset = pool_.size();
+    std::vector<bool> fixed(pool_.size(), false);
+    while (unset > 0) {
+        const double share = capacity / static_cast<double>(unset);
+        bool changed = false;
+        for (size_t i = 0; i < pool_.size(); ++i) {
+            if (!fixed[i] && pool_[i].cap <= share) {
+                pool_[i].rate = pool_[i].cap;
+                capacity -= pool_[i].cap;
+                fixed[i] = true;
+                --unset;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            for (size_t i = 0; i < pool_.size(); ++i) {
+                if (!fixed[i])
+                    pool_[i].rate = share;
+            }
+            break;
+        }
+    }
+}
+
+void
+Device::reschedulePoolEvent()
+{
+    if (poolEventValid_) {
+        queue_.cancel(poolEvent_);
+        poolEventValid_ = false;
+    }
+    if (pool_.empty())
+        return;
+    double min_finish = 1e300;
+    for (const auto &k : pool_) {
+        if (k.rate > 0.0)
+            min_finish = std::min(min_finish, k.remaining / k.rate);
+    }
+    RHYTHM_ASSERT(min_finish < 1e300, "kernel pool stalled with zero rates");
+    // Round up a picosecond so the earliest kernel is guaranteed done.
+    const des::Time delta = des::fromSeconds(min_finish) + 1;
+    poolEvent_ = queue_.scheduleAfter(delta, [this]() { poolEventFired(); });
+    poolEventValid_ = true;
+}
+
+void
+Device::poolEventFired()
+{
+    poolEventValid_ = false;
+    advancePool();
+    std::vector<int> finished_queues;
+    for (size_t i = 0; i < pool_.size();) {
+        if (pool_[i].remaining <= kFinishEpsilon) {
+            finished_queues.push_back(pool_[i].queueIndex);
+            pool_.erase(pool_.begin() + static_cast<long>(i));
+        } else {
+            ++i;
+        }
+    }
+    recomputeRates();
+    reschedulePoolEvent();
+    // Callbacks run after the pool is consistent; they may enqueue more
+    // commands (the event loop pipelines cohorts).
+    for (int qi : finished_queues)
+        commandFinished(qi);
+}
+
+Device::Stats
+Device::stats() const
+{
+    Stats s = stats_;
+    // Fold in the in-progress interval since the last pool update.
+    const double dt = des::toSeconds(queue_.now() - poolLastUpdate_);
+    if (dt > 0.0) {
+        double total_rate = 0.0;
+        for (const auto &k : pool_)
+            total_rate += k.rate;
+        s.kernelBusySeconds += total_rate * dt;
+    }
+    s.h2dBusySeconds = h2d_.busySeconds;
+    s.d2hBusySeconds = d2h_.busySeconds;
+    return s;
+}
+
+double
+Device::kernelUtilization() const
+{
+    const double elapsed = des::toSeconds(queue_.now() - createTime_);
+    if (elapsed <= 0.0)
+        return 0.0;
+    return stats().kernelBusySeconds / elapsed;
+}
+
+bool
+Device::idle() const
+{
+    return pendingCommands_ == 0;
+}
+
+} // namespace rhythm::simt

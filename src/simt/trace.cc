@@ -1,0 +1,46 @@
+#include "simt/trace.hh"
+
+#include "util/logging.hh"
+
+namespace rhythm::simt {
+
+uint64_t
+ThreadTrace::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &b : blocks)
+        total += b.instructions;
+    return total;
+}
+
+void
+ThreadTrace::clear()
+{
+    blocks.clear();
+    memOps.clear();
+}
+
+RecordingTracer::RecordingTracer(ThreadTrace &out) : trace_(out)
+{
+    trace_.clear();
+}
+
+void
+RecordingTracer::block(uint32_t block_id, uint32_t instructions)
+{
+    trace_.blocks.push_back(BlockExec{
+        block_id, instructions, static_cast<uint32_t>(trace_.memOps.size()),
+        0});
+}
+
+void
+RecordingTracer::memory(const MemOp &op)
+{
+    RHYTHM_ASSERT(!trace_.blocks.empty(),
+                  "memory op recorded before any block");
+    RHYTHM_ASSERT(op.count > 0 && op.width > 0, "malformed memory op");
+    trace_.memOps.push_back(op);
+    ++trace_.blocks.back().memCount;
+}
+
+} // namespace rhythm::simt

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Per-thread execution traces and the instrumentation interface.
+ *
+ * Request handlers in this library are written once against TraceRecorder.
+ * Run with a NullTracer they serve the host baseline at full speed; run
+ * with a CountingTracer they yield dynamic instruction counts (the paper's
+ * Table 2 metric); run with a RecordingTracer they yield a ThreadTrace
+ * that the SIMT simulator executes in warp lockstep (Section 2.3's
+ * merged-trace methodology, made executable).
+ */
+
+#ifndef RHYTHM_SIMT_TRACE_HH
+#define RHYTHM_SIMT_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rhythm::simt {
+
+/** Address spaces with distinct coalescing/cost behaviour. */
+enum class MemSpace : uint8_t {
+    Global,   //!< Off-chip DRAM; 128 B coalescing applies.
+    Shared,   //!< On-chip scratchpad; no DRAM traffic.
+    Constant, //!< Cached, broadcast; free when all lanes read one address.
+};
+
+/**
+ * A (possibly bulk) memory operation.
+ *
+ * Represents @c count accesses of @c width bytes starting at @c addr with
+ * a per-element byte stride of @c stride. Bulk representation keeps traces
+ * compact: one record per buffer append rather than one per byte.
+ */
+struct MemOp
+{
+    uint64_t addr = 0;
+    uint32_t count = 1;
+    uint32_t stride = 0;
+    uint16_t width = 4;
+    MemSpace space = MemSpace::Global;
+    bool isStore = false;
+};
+
+/**
+ * One dynamic basic-block execution.
+ *
+ * @c blockId identifies the static code region (stable across threads that
+ * follow the same control path); @c instructions is the dynamic
+ * instruction weight of this execution (loop-trip dependent weights model
+ * data-dependent work such as string copies).
+ */
+struct BlockExec
+{
+    uint32_t blockId = 0;
+    uint32_t instructions = 0;
+    uint32_t memBegin = 0; //!< Index of first MemOp in ThreadTrace::memOps.
+    uint32_t memCount = 0; //!< Number of MemOps issued by this execution.
+};
+
+/** The complete dynamic trace of one thread (one request). */
+struct ThreadTrace
+{
+    std::vector<BlockExec> blocks;
+    std::vector<MemOp> memOps;
+
+    /** Total dynamic instructions across all block executions. */
+    uint64_t totalInstructions() const;
+
+    /** Total dynamic basic-block executions. */
+    size_t length() const { return blocks.size(); }
+
+    /** Removes all recorded state for reuse. */
+    void clear();
+};
+
+/**
+ * Instrumentation interface implemented by handlers' execution contexts.
+ *
+ * Calls are coarse (one per basic block / buffer operation), so virtual
+ * dispatch cost is negligible relative to the work being modelled.
+ */
+class TraceRecorder
+{
+  public:
+    virtual ~TraceRecorder() = default;
+
+    /**
+     * Records entry to a basic block.
+     * @param block_id Stable static identifier of the code region.
+     * @param instructions Dynamic instruction weight of this execution.
+     */
+    virtual void block(uint32_t block_id, uint32_t instructions) = 0;
+
+    /** Records a (bulk) memory access within the current block. */
+    virtual void memory(const MemOp &op) = 0;
+
+    /** Convenience: records a bulk load. */
+    void
+    load(uint64_t addr, uint32_t count, uint32_t stride, uint16_t width,
+         MemSpace space = MemSpace::Global)
+    {
+        memory(MemOp{addr, count, stride, width, space, false});
+    }
+
+    /** Convenience: records a bulk store. */
+    void
+    store(uint64_t addr, uint32_t count, uint32_t stride, uint16_t width,
+          MemSpace space = MemSpace::Global)
+    {
+        memory(MemOp{addr, count, stride, width, space, true});
+    }
+};
+
+/** Discards everything: host-baseline fast path. */
+class NullTracer : public TraceRecorder
+{
+  public:
+    void block(uint32_t, uint32_t) override {}
+    void memory(const MemOp &) override {}
+};
+
+/** Counts dynamic instructions and memory bytes only. */
+class CountingTracer : public TraceRecorder
+{
+  public:
+    void
+    block(uint32_t, uint32_t instructions) override
+    {
+        instructions_ += instructions;
+        ++blocks_;
+    }
+
+    void
+    memory(const MemOp &op) override
+    {
+        bytes_ += static_cast<uint64_t>(op.count) * op.width;
+    }
+
+    /** Total dynamic instructions observed. */
+    uint64_t instructions() const { return instructions_; }
+
+    /** Total dynamic block executions observed. */
+    uint64_t blocks() const { return blocks_; }
+
+    /** Total bytes touched by memory operations. */
+    uint64_t bytes() const { return bytes_; }
+
+    /** Resets all counters. */
+    void
+    reset()
+    {
+        instructions_ = 0;
+        blocks_ = 0;
+        bytes_ = 0;
+    }
+
+  private:
+    uint64_t instructions_ = 0;
+    uint64_t blocks_ = 0;
+    uint64_t bytes_ = 0;
+};
+
+/** Captures a full ThreadTrace for SIMT simulation. */
+class RecordingTracer : public TraceRecorder
+{
+  public:
+    /** Binds the recorder to an output trace (cleared on bind). */
+    explicit RecordingTracer(ThreadTrace &out);
+
+    void block(uint32_t block_id, uint32_t instructions) override;
+    void memory(const MemOp &op) override;
+
+  private:
+    ThreadTrace &trace_;
+};
+
+} // namespace rhythm::simt
+
+#endif // RHYTHM_SIMT_TRACE_HH

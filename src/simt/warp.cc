@@ -1,0 +1,348 @@
+#include "simt/warp.hh"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace rhythm::simt {
+
+void
+WarpStats::merge(const WarpStats &other)
+{
+    issueSlots += other.issueSlots;
+    laneInstructions += other.laneInstructions;
+    steps += other.steps;
+    laneBlockExecs += other.laneBlockExecs;
+    activeLaneSteps += other.activeLaneSteps;
+    globalTransactions += other.globalTransactions;
+    globalBytes += other.globalBytes;
+    sharedAccesses += other.sharedAccesses;
+    sharedReplaySlots += other.sharedReplaySlots;
+    constantAccesses += other.constantAccesses;
+}
+
+double
+WarpStats::simdEfficiency(int warp_width) const
+{
+    if (issueSlots == 0)
+        return 0.0;
+    return static_cast<double>(laneInstructions) /
+           (static_cast<double>(issueSlots) * warp_width);
+}
+
+uint64_t
+WarpStats::movedBytes(uint32_t segment_bytes) const
+{
+    return globalTransactions * segment_bytes;
+}
+
+double
+WarpStats::coalescingEfficiency(uint32_t segment_bytes) const
+{
+    const uint64_t moved = movedBytes(segment_bytes);
+    if (moved == 0)
+        return 0.0;
+    return static_cast<double>(globalBytes) / static_cast<double>(moved);
+}
+
+uint32_t
+coalesceTransactions(std::span<const uint64_t> addrs, uint16_t width,
+                     uint32_t segment_bytes)
+{
+    RHYTHM_ASSERT(segment_bytes > 0);
+    // Collect the segment indices touched by every lane's access (an
+    // access can straddle a segment boundary), then count distinct ones.
+    std::array<uint64_t, 128> segments;
+    size_t n = 0;
+    for (uint64_t addr : addrs) {
+        const uint64_t first = addr / segment_bytes;
+        const uint64_t last = (addr + width - 1) / segment_bytes;
+        for (uint64_t seg = first; seg <= last && n < segments.size(); ++seg)
+            segments[n++] = seg;
+    }
+    std::sort(segments.begin(), segments.begin() + n);
+    const auto *end = std::unique(segments.begin(), segments.begin() + n);
+    return static_cast<uint32_t>(end - segments.begin());
+}
+
+uint32_t
+sharedBankReplays(std::span<const uint64_t> addrs)
+{
+    // Count distinct addresses per bank; replays = worst bank - 1.
+    std::array<uint64_t, 64> sorted;
+    size_t n = 0;
+    for (uint64_t addr : addrs) {
+        if (n < sorted.size())
+            sorted[n++] = addr;
+    }
+    std::sort(sorted.begin(), sorted.begin() + n);
+    const auto *end = std::unique(sorted.begin(), sorted.begin() + n);
+
+    std::array<uint32_t, 32> bank_counts{};
+    uint32_t worst = 1;
+    for (const uint64_t *it = sorted.begin(); it != end; ++it) {
+        const uint32_t bank = static_cast<uint32_t>((*it / 4) % 32);
+        worst = std::max(worst, ++bank_counts[bank]);
+    }
+    return worst - 1;
+}
+
+namespace {
+
+/**
+ * Coalesces one aligned group memory operation: the lanes in @p group all
+ * issued the MemOp at the same program point. Element i of lane l touches
+ * address op.addr + i * op.stride; the coalescer merges lanes at each
+ * element index. No inter-element DRAM reuse is assumed (Kepler-style
+ * uncached global accesses), which is precisely what makes the row-major
+ * layout expensive and motivates the buffer transpose (Section 4.3.2).
+ */
+void
+coalesceGroupOp(std::span<const MemOp *const> ops, const WarpModel &model,
+                WarpStats &stats)
+{
+    // Non-global spaces have no DRAM traffic; account and return.
+    const MemSpace space = ops[0]->space;
+    bool uniform_space = true;
+    for (const MemOp *op : ops) {
+        if (op->space != space)
+            uniform_space = false;
+    }
+
+    if (uniform_space && space == MemSpace::Shared) {
+        uint32_t max_count = 0;
+        for (const MemOp *op : ops) {
+            stats.sharedAccesses += op->count;
+            max_count = std::max(max_count, op->count);
+        }
+        // Bank conflicts serialize the access into replays.
+        std::array<uint64_t, 64> addrs;
+        for (uint32_t i = 0; i < max_count; ++i) {
+            size_t n = 0;
+            for (const MemOp *op : ops) {
+                if (i < op->count && n < addrs.size())
+                    addrs[n++] = op->addr +
+                                 static_cast<uint64_t>(i) * op->stride;
+            }
+            stats.sharedReplaySlots += sharedBankReplays(
+                std::span<const uint64_t>(addrs.data(), n));
+        }
+        return;
+    }
+    if (uniform_space && space == MemSpace::Constant) {
+        for (const MemOp *op : ops)
+            stats.constantAccesses += op->count;
+        return;
+    }
+
+    uint32_t max_count = 0;
+    for (const MemOp *op : ops) {
+        if (op->space == MemSpace::Global) {
+            stats.globalBytes +=
+                static_cast<uint64_t>(op->count) * op->width;
+            max_count = std::max(max_count, op->count);
+        }
+    }
+    if (max_count == 0)
+        return;
+
+    // Detect the uniform pattern (same count/stride/width, arithmetic
+    // lane bases): closed-form evaluation using a sampled window, exact
+    // otherwise. The sampled window is exact whenever the per-element
+    // segment pattern is periodic, which holds for arithmetic sequences.
+    bool uniform = ops.size() > 1;
+    for (const MemOp *op : ops) {
+        if (op->space != MemSpace::Global || op->count != ops[0]->count ||
+            op->stride != ops[0]->stride || op->width != ops[0]->width)
+            uniform = false;
+    }
+
+    std::array<uint64_t, 64> addrs;
+    const uint32_t kExactLimit = 4096;
+
+    if (uniform && max_count > kExactLimit) {
+        // Sample a window of elements and extrapolate; the pattern of
+        // segment counts repeats with period lcm(segment, stride)/stride
+        // which the 128-element window covers for power-of-two strides.
+        const uint32_t window = 128;
+        uint64_t window_txns = 0;
+        for (uint32_t i = 0; i < window; ++i) {
+            size_t n = 0;
+            for (const MemOp *op : ops)
+                addrs[n++] = op->addr + static_cast<uint64_t>(i) * op->stride;
+            window_txns += coalesceTransactions(
+                std::span<const uint64_t>(addrs.data(), n), ops[0]->width,
+                model.segmentBytes);
+        }
+        stats.globalTransactions +=
+            window_txns * max_count / window +
+            ((window_txns * max_count) % window ? 1 : 0);
+        return;
+    }
+
+    for (uint32_t i = 0; i < max_count; ++i) {
+        size_t n = 0;
+        uint16_t width = 4;
+        for (const MemOp *op : ops) {
+            if (op->space == MemSpace::Global && i < op->count) {
+                addrs[n++] = op->addr + static_cast<uint64_t>(i) * op->stride;
+                width = op->width;
+            }
+        }
+        if (n == 0)
+            continue;
+        stats.globalTransactions += coalesceTransactions(
+            std::span<const uint64_t>(addrs.data(), n), width,
+            model.segmentBytes);
+    }
+}
+
+} // namespace
+
+WarpStats
+simulateWarp(std::span<const ThreadTrace *const> lanes,
+             const WarpModel &model)
+{
+    RHYTHM_ASSERT(static_cast<int>(lanes.size()) <= model.warpWidth,
+                  "more lanes than the warp width");
+
+    WarpStats stats;
+    const size_t n = lanes.size();
+    std::vector<size_t> pos(n, 0);
+    std::vector<size_t> group;
+    std::vector<const MemOp *> group_ops;
+    group.reserve(n);
+
+    for (size_t l = 0; l < n; ++l) {
+        if (lanes[l]) {
+            stats.laneBlockExecs += lanes[l]->blocks.size();
+            stats.laneInstructions += lanes[l]->totalInstructions();
+        }
+    }
+
+    // Sliding-window multiset of upcoming block ids per lane, covering
+    // trace entries [pos+1, pos+reconvergenceWindow]. Used to detect
+    // future merge points: a front block that another lane will reach
+    // soon is deferred so the lanes can reconverge there (approximating
+    // stack-based reconvergence on structured control flow).
+    const size_t window = model.reconvergenceWindow;
+    std::vector<std::unordered_map<uint32_t, uint32_t>> future(n);
+    for (size_t l = 0; l < n; ++l) {
+        if (!lanes[l])
+            continue;
+        const size_t limit = std::min(lanes[l]->blocks.size(), 1 + window);
+        for (size_t k = 1; k < limit; ++k)
+            ++future[l][lanes[l]->blocks[k].blockId];
+    }
+    auto advance_lane = [&](size_t l) {
+        const size_t p = pos[l];
+        const auto &blocks = lanes[l]->blocks;
+        if (p + 1 < blocks.size()) {
+            auto it = future[l].find(blocks[p + 1].blockId);
+            if (it != future[l].end() && --it->second == 0)
+                future[l].erase(it);
+        }
+        if (p + 1 + window < blocks.size())
+            ++future[l][blocks[p + 1 + window].blockId];
+        pos[l] = p + 1;
+    };
+    // True if any lane not currently at @p id will reach it soon.
+    auto shared_in_future = [&](uint32_t id) {
+        for (size_t m = 0; m < n; ++m) {
+            if (!lanes[m] || pos[m] >= lanes[m]->blocks.size())
+                continue;
+            if (lanes[m]->blocks[pos[m]].blockId == id)
+                continue; // lane is already at the block
+            if (future[m].contains(id))
+                return true;
+        }
+        return false;
+    };
+
+    for (;;) {
+        // Candidate = a distinct front block. Selection priority:
+        //  1. divergent-only blocks (no other lane will reach them soon)
+        //     run first, so lanes do not execute past a merge point;
+        //  2. larger lane count (amortize the fetch over more lanes);
+        //  3. lowest id (determinism).
+        uint32_t best_id = 0;
+        size_t best_count = 0;
+        bool best_shared = true;
+        bool best_valid = false;
+        for (size_t l = 0; l < n; ++l) {
+            if (!lanes[l] || pos[l] >= lanes[l]->blocks.size())
+                continue;
+            const uint32_t id = lanes[l]->blocks[pos[l]].blockId;
+            if (best_valid && id == best_id)
+                continue;
+            size_t count = 0;
+            for (size_t m = 0; m < n; ++m) {
+                if (lanes[m] && pos[m] < lanes[m]->blocks.size() &&
+                    lanes[m]->blocks[pos[m]].blockId == id)
+                    ++count;
+            }
+            const bool shared = shared_in_future(id);
+            bool better = false;
+            if (!best_valid) {
+                better = true;
+            } else if (shared != best_shared) {
+                better = !shared;
+            } else if (count != best_count) {
+                better = count > best_count;
+            } else {
+                better = id < best_id;
+            }
+            if (better) {
+                best_count = count;
+                best_id = id;
+                best_shared = shared;
+                best_valid = true;
+            }
+        }
+        if (!best_valid)
+            break;
+
+        group.clear();
+        uint32_t max_insts = 0;
+        uint32_t max_ops = 0;
+        for (size_t l = 0; l < n; ++l) {
+            if (lanes[l] && pos[l] < lanes[l]->blocks.size() &&
+                lanes[l]->blocks[pos[l]].blockId == best_id) {
+                group.push_back(l);
+                const BlockExec &be = lanes[l]->blocks[pos[l]];
+                max_insts = std::max(max_insts, be.instructions);
+                max_ops = std::max(max_ops, be.memCount);
+            }
+        }
+
+        // One fetch/issue sequence covers the whole group; lanes with
+        // shorter dynamic weights are predicated off for the tail.
+        stats.issueSlots += max_insts;
+        stats.steps += 1;
+        stats.activeLaneSteps += group.size();
+
+        // Align memory ops by index within the block across the group.
+        for (uint32_t j = 0; j < max_ops; ++j) {
+            group_ops.clear();
+            for (size_t l : group) {
+                const BlockExec &be = lanes[l]->blocks[pos[l]];
+                if (j < be.memCount)
+                    group_ops.push_back(&lanes[l]->memOps[be.memBegin + j]);
+            }
+            if (!group_ops.empty())
+                coalesceGroupOp(std::span<const MemOp *const>(
+                                    group_ops.data(), group_ops.size()),
+                                model, stats);
+        }
+
+        for (size_t l : group)
+            advance_lane(l);
+    }
+
+    return stats;
+}
+
+} // namespace rhythm::simt

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Banking application: the 14 SPECWeb2009 Banking request handlers.
+ *
+ * Each handler is decomposed into process stages separated by backend
+ * round trips, exactly as the Rhythm pipeline requires (Section 3.2): a
+ * type with n backend requests has n+1 stages. Stage i < n composes the
+ * wire-format backend request; stage i > 0 first consumes the backend
+ * response; the final stage emits the complete HTTP response (header with
+ * back-patched Content-Length plus dynamic HTML).
+ *
+ * Handlers run unchanged on the host baseline and on the simulated
+ * device; the execution substrate is selected by the HandlerContext's
+ * writer/recorder/session implementations.
+ */
+
+#ifndef RHYTHM_SPECWEB_BANKING_HH
+#define RHYTHM_SPECWEB_BANKING_HH
+
+#include "specweb/context.hh"
+#include "specweb/types.hh"
+
+namespace rhythm::specweb {
+
+/** Basic-block identifier base for application handlers. */
+inline constexpr uint32_t kAppBlockBase = 2000;
+
+/** Returns the block-id base of a request type's handler. */
+constexpr uint32_t
+appBlockBase(RequestType type)
+{
+    return kAppBlockBase + static_cast<uint32_t>(typeIndex(type)) * 32;
+}
+
+/**
+ * The Banking service logic.
+ *
+ * Stateless: all mutable state lives in the backend database and the
+ * session provider, so one instance can serve any number of concurrent
+ * cohorts.
+ */
+class BankingApp
+{
+  public:
+    /** Number of process stages for a type (backend round trips + 1). */
+    static int
+    numStages(RequestType type)
+    {
+        return typeInfo(type).backendRequests + 1;
+    }
+
+    /**
+     * Runs one process stage of a handler.
+     *
+     * @param type Request type being processed.
+     * @param stage Stage index in [0, numStages(type)).
+     * @param ctx Per-request context. For stages < numStages-1 the
+     *        handler leaves a backend request in ctx.backendRequest; for
+     *        stages > 0 it consumes ctx.backendResponse. The final stage
+     *        writes the HTTP response into ctx.out. If a stage fails
+     *        (invalid session, bad parameters, backend error) it emits an
+     *        error response immediately and sets ctx.failed — later
+     *        stages must then be skipped (per-request error state,
+     *        Section 4.4).
+     */
+    void runStage(RequestType type, int stage, HandlerContext &ctx) const;
+
+  private:
+    void login(int stage, HandlerContext &ctx) const;
+    void accountSummary(int stage, HandlerContext &ctx) const;
+    void addPayee(HandlerContext &ctx) const;
+    void billPay(int stage, HandlerContext &ctx) const;
+    void billPayStatus(int stage, HandlerContext &ctx) const;
+    void changeProfile(int stage, HandlerContext &ctx) const;
+    void checkDetail(int stage, HandlerContext &ctx) const;
+    void orderCheck(int stage, HandlerContext &ctx) const;
+    void placeCheckOrder(int stage, HandlerContext &ctx) const;
+    void postPayee(int stage, HandlerContext &ctx) const;
+    void postTransfer(int stage, HandlerContext &ctx) const;
+    void profile(int stage, HandlerContext &ctx) const;
+    void transfer(int stage, HandlerContext &ctx) const;
+    void logout(HandlerContext &ctx) const;
+};
+
+/**
+ * Emits a short error response (own header + body) and marks the
+ * context failed. Exposed for reuse by the server layers.
+ */
+void emitErrorPage(HandlerContext &ctx, std::string_view reason);
+
+} // namespace rhythm::specweb
+
+#endif // RHYTHM_SPECWEB_BANKING_HH

@@ -1,0 +1,86 @@
+#include "specweb/context.hh"
+
+#include "util/logging.hh"
+
+namespace rhythm::specweb {
+
+StringResponseWriter::StringResponseWriter(simt::TraceRecorder &rec,
+                                           uint32_t insts_per_byte)
+    : rec_(rec), instsPerByte_(insts_per_byte)
+{
+}
+
+void
+StringResponseWriter::charge(uint32_t block_id, size_t bytes, bool dynamic)
+{
+    const uint32_t insts =
+        16 + static_cast<uint32_t>(bytes) * instsPerByte_;
+    rec_.block(block_id, insts);
+    const uint32_t words = static_cast<uint32_t>((bytes + 3) / 4);
+    if (words == 0)
+        return;
+    // Source read: static content comes from constant memory, dynamic
+    // content from global memory (backend buffers / heap).
+    rec_.load(0x4000'0000 + out_.size(), words, 4, 4,
+              dynamic ? simt::MemSpace::Global : simt::MemSpace::Constant);
+    // Destination write: contiguous in the host string; device writers
+    // override this with the cohort buffer layout.
+    rec_.store(0x8000'0000 + out_.size(), words, 4, 4);
+}
+
+void
+StringResponseWriter::appendStatic(uint32_t block_id, std::string_view text)
+{
+    charge(block_id, text.size(), false);
+    out_.append(text);
+}
+
+void
+StringResponseWriter::appendDynamic(uint32_t block_id, std::string_view text)
+{
+    charge(block_id, text.size(), true);
+    out_.append(text);
+}
+
+size_t
+StringResponseWriter::reserve(uint32_t block_id, size_t width)
+{
+    const size_t offset = out_.size();
+    charge(block_id, width, false);
+    out_.append(width, ' ');
+    return offset;
+}
+
+void
+StringResponseWriter::patch(size_t offset, std::string_view text)
+{
+    RHYTHM_ASSERT(offset + text.size() <= out_.size(),
+                  "patch outside reservation");
+    out_.replace(offset, text.size(), text);
+}
+
+uint64_t
+MapSessionProvider::create(uint64_t user_id, simt::TraceRecorder &rec)
+{
+    rec.block(4900, 120); // session insert
+    const uint64_t sid = nextId_++;
+    sessions_[sid] = user_id;
+    return sid;
+}
+
+uint64_t
+MapSessionProvider::lookup(uint64_t session_id, simt::TraceRecorder &rec)
+{
+    rec.block(4901, 80); // session lookup
+    auto it = sessions_.find(session_id);
+    return it == sessions_.end() ? 0 : it->second;
+}
+
+bool
+MapSessionProvider::destroy(uint64_t session_id, simt::TraceRecorder &rec)
+{
+    rec.block(4902, 90); // session erase
+    return sessions_.erase(session_id) > 0;
+}
+
+} // namespace rhythm::specweb

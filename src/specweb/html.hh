@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared site chrome and HTML helpers for the Banking pages.
+ *
+ * All pages share a masthead, navigation bar, inline stylesheet and
+ * footer (static template content, served from constant memory on the
+ * device) plus per-page disclosure/marketing sections that give each page
+ * its SPECWeb-calibrated size.
+ */
+
+#ifndef RHYTHM_SPECWEB_HTML_HH
+#define RHYTHM_SPECWEB_HTML_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "specweb/context.hh"
+
+namespace rhythm::specweb::html {
+
+/** Chrome basic-block ids (shared across all page types). */
+enum ChromeBlock : uint32_t {
+    kBlockHttpHeader = 2900,
+    kBlockHead = 2901,
+    kBlockNav = 2902,
+    kBlockFooter = 2903,
+    kBlockFiller = 2904,
+    kBlockTable = 2905,
+};
+
+/** Bytes reserved for the back-patched Content-Length value. */
+inline constexpr size_t kContentLengthReserve = 10;
+
+/**
+ * Emits the HTTP response header with a whitespace-reserved
+ * Content-Length field (Section 4.3.2 "Whitespace Padding in HTML
+ * Headers").
+ *
+ * @param set_cookie Optional Set-Cookie header value ("" omits it).
+ * @return Offset of the Content-Length reservation, to be passed to
+ *         finishResponse().
+ */
+size_t beginResponse(ResponseWriter &out, std::string_view set_cookie = "");
+
+/**
+ * Back-patches the Content-Length reservation with the actual body size
+ * and returns the body size.
+ *
+ * @param header_end Total header size (bytes before the body), as
+ *        captured right after beginResponse() returned.
+ */
+size_t finishResponse(ResponseWriter &out, size_t content_length_offset,
+                      size_t header_end);
+
+/** Emits DOCTYPE, head (inline CSS) and opens the body. */
+void pageHead(ResponseWriter &out, std::string_view title);
+
+/** Emits the masthead and navigation bar. */
+void pageNav(ResponseWriter &out, std::string_view user_name);
+
+/** Emits the footer and closes body/html. */
+void pageFooter(ResponseWriter &out);
+
+/**
+ * Emits @p count boilerplate disclosure/marketing paragraphs (~512 bytes
+ * each). Used to reach each page's SPECWeb-reference size.
+ */
+void fillerParagraphs(ResponseWriter &out, int count);
+
+/** Opens an HTML data table with the given column headers. */
+void tableOpen(ResponseWriter &out, std::initializer_list<std::string_view>
+                                        headers);
+
+/** Closes an HTML data table. */
+void tableClose(ResponseWriter &out);
+
+/** Formats cents as a currency string, e.g. "$1,234.56" / "-$0.07". */
+std::string formatCents(int64_t cents);
+
+/** Formats a synthetic day number as "YYYY-MM-DD". */
+std::string formatDate(uint32_t day);
+
+} // namespace rhythm::specweb::html
+
+#endif // RHYTHM_SPECWEB_HTML_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Quick pay: the Banking request the paper's prototype could not run on
+ * the device ("a variable number of kernel launches based on backend
+ * data", Section 5.1) and therefore the canonical host-fallback case —
+ * Rhythm's dispatch routes requests that do not fit the data-parallel
+ * model to the general purpose CPU (Section 3.1).
+ *
+ * Quick pay executes several bill payments in a single request: the
+ * number of backend round trips depends on the submitted payee list, so
+ * no fixed stage pipeline fits it.
+ */
+
+#ifndef RHYTHM_SPECWEB_QUICKPAY_HH
+#define RHYTHM_SPECWEB_QUICKPAY_HH
+
+#include <string>
+
+#include "backend/service.hh"
+#include "http/http.hh"
+#include "specweb/context.hh"
+
+namespace rhythm::specweb {
+
+/** URL path of the quick pay page. */
+inline constexpr std::string_view kQuickPayPath = "/bank/quick_pay.php";
+
+/**
+ * Serves one quick pay request synchronously (host execution).
+ *
+ * Parameters: "payees" and "amounts" — comma-separated lists of equal
+ * length; each pair becomes one bill payment.
+ *
+ * @param request Parsed request (session cookie required).
+ * @param backend Backend service (executed as direct calls).
+ * @param sessions Session store.
+ * @param rec Trace recorder charged with all work.
+ * @return Complete HTTP response (confirmation page or error page).
+ */
+std::string serveQuickPay(const http::Request &request,
+                          backend::BackendService &backend,
+                          SessionProvider &sessions,
+                          simt::TraceRecorder &rec);
+
+} // namespace rhythm::specweb
+
+#endif // RHYTHM_SPECWEB_QUICKPAY_HH

@@ -1,0 +1,82 @@
+#include "specweb/static_content.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+namespace rhythm::specweb {
+namespace {
+
+/** Synthesizes deterministic pseudo-binary content of a given size. */
+std::string
+synthesize(Rng &rng, size_t bytes, std::string_view magic)
+{
+    std::string out;
+    out.reserve(bytes);
+    out.append(magic);
+    while (out.size() < bytes)
+        out.push_back(static_cast<char>(rng.next() & 0xff));
+    out.resize(bytes);
+    return out;
+}
+
+} // namespace
+
+StaticContent::StaticContent(uint32_t check_images, uint64_t seed)
+{
+    Rng rng(seed);
+    // Site chrome.
+    add("/images/logo.gif", synthesize(rng, 4 * 1024, "GIF89a"));
+    add("/images/masthead.png", synthesize(rng, 12 * 1024, "\x89PNG"));
+    add("/images/nav_sprite.png", synthesize(rng, 6 * 1024, "\x89PNG"));
+    add("/images/fdic_badge.gif", synthesize(rng, 2 * 1024, "GIF89a"));
+    // Check scans (front/back pairs).
+    for (uint32_t i = 1; i <= check_images; ++i) {
+        const size_t size =
+            8 * 1024 + rng.nextBounded(16 * 1024); // 8-24 KiB
+        add("/images/check_" + std::to_string(i) + "_front.gif",
+            synthesize(rng, size, "GIF89a"));
+        add("/images/check_" + std::to_string(i) + "_back.gif",
+            synthesize(rng, size, "GIF89a"));
+    }
+}
+
+void
+StaticContent::add(std::string path, std::string bytes)
+{
+    totalBytes_ += bytes.size();
+    paths_.push_back(path);
+    assets_.emplace(std::move(path), std::move(bytes));
+}
+
+const std::string *
+StaticContent::lookup(std::string_view path) const
+{
+    auto it = assets_.find(std::string(path));
+    return it == assets_.end() ? nullptr : &it->second;
+}
+
+bool
+StaticContent::isStaticPath(std::string_view path)
+{
+    if (!startsWith(path, "/images/"))
+        return false;
+    return path.ends_with(".gif") || path.ends_with(".png") ||
+           path.ends_with(".jpg");
+}
+
+std::string
+StaticContent::buildResponse(std::string_view path) const
+{
+    const std::string *bytes = lookup(path);
+    RHYTHM_ASSERT(bytes, "buildResponse for unknown asset");
+    std::string out = "HTTP/1.1 200 OK\r\nServer: Rhythm/1.0\r\n"
+                      "Content-Type: image/gif\r\n"
+                      "Cache-Control: max-age=86400\r\nContent-Length: ";
+    out.append(std::to_string(bytes->size()));
+    out.append("\r\n\r\n");
+    out.append(*bytes);
+    return out;
+}
+
+} // namespace rhythm::specweb

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Static content store: the site's images (logos, navigation art, check
+ * images) served by image cohorts.
+ *
+ * The paper (Section 5.1) supports static images by having the parser
+ * group image requests into an image cohort that bypasses the process
+ * stage entirely — the stored bytes are shipped straight to the
+ * response path. Content is synthetic but deterministic, with realistic
+ * sizes (check images ~8-24 KiB).
+ */
+
+#ifndef RHYTHM_SPECWEB_STATIC_CONTENT_HH
+#define RHYTHM_SPECWEB_STATIC_CONTENT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rhythm::specweb {
+
+/** An immutable store of the site's static assets. */
+class StaticContent
+{
+  public:
+    /**
+     * Populates the store with the standard asset set: site chrome
+     * images plus @p check_images synthetic check scans.
+     */
+    explicit StaticContent(uint32_t check_images = 64, uint64_t seed = 17);
+
+    /** Returns the asset bytes, or nullptr when the path is unknown. */
+    const std::string *lookup(std::string_view path) const;
+
+    /** True if the path names a static asset (by prefix/extension). */
+    static bool isStaticPath(std::string_view path);
+
+    /** Paths of all stored assets (for workload generation). */
+    const std::vector<std::string> &paths() const { return paths_; }
+
+    /** Total stored bytes. */
+    uint64_t totalBytes() const { return totalBytes_; }
+
+    /**
+     * Builds the complete HTTP response for an asset (header + bytes).
+     * @pre lookup(path) != nullptr.
+     */
+    std::string buildResponse(std::string_view path) const;
+
+  private:
+    void add(std::string path, std::string bytes);
+
+    std::unordered_map<std::string, std::string> assets_;
+    std::vector<std::string> paths_;
+    uint64_t totalBytes_ = 0;
+};
+
+} // namespace rhythm::specweb
+
+#endif // RHYTHM_SPECWEB_STATIC_CONTENT_HH

@@ -1,0 +1,73 @@
+#include "specweb/types.hh"
+
+#include "util/logging.hh"
+
+namespace rhythm::specweb {
+namespace {
+
+// Table 2 of the paper, verbatim. Mix percentages sum to 100 across the
+// 14 implemented types (the paper normalizes after dropping quick pay
+// and check detail images).
+constexpr RequestTypeInfo kTable[] = {
+    {RequestType::Login, "login", "/bank/login.php",
+     132401, 4.0, 8, 28.17, 2},
+    {RequestType::AccountSummary, "account summary",
+     "/bank/account_summary.php", 392243, 17.0, 32, 19.77, 1},
+    {RequestType::AddPayee, "add payee", "/bank/add_payee.php",
+     335605, 18.0, 32, 1.47, 0},
+    {RequestType::BillPay, "bill pay", "/bank/bill_pay.php",
+     334105, 15.0, 32, 18.18, 1},
+    {RequestType::BillPayStatusOutput, "bill pay status output",
+     "/bank/bill_pay_status_output.php", 485176, 24.0, 32, 2.92, 1},
+    {RequestType::ChangeProfile, "change profile",
+     "/bank/change_profile.php", 560505, 29.0, 32, 1.60, 1},
+    {RequestType::CheckDetailHtml, "check detail html",
+     "/bank/check_detail_html.php", 240615, 11.0, 16, 11.06, 1},
+    {RequestType::OrderCheck, "order check", "/bank/order_check.php",
+     433352, 21.0, 32, 1.60, 1},
+    {RequestType::PlaceCheckOrder, "place check order",
+     "/bank/place_check_order.php", 466283, 25.0, 32, 1.15, 1},
+    {RequestType::PostPayee, "post payee", "/bank/post_payee.php",
+     638598, 34.0, 64, 1.05, 1},
+    {RequestType::PostTransfer, "post transfer", "/bank/post_transfer.php",
+     334267, 16.0, 32, 1.60, 1},
+    {RequestType::Profile, "profile", "/bank/profile.php",
+     590816, 32.0, 64, 1.15, 1},
+    {RequestType::Transfer, "transfer", "/bank/transfer.php",
+     277235, 13.0, 16, 2.24, 1},
+    {RequestType::Logout, "logout", "/bank/logout.php",
+     792684, 46.0, 64, 8.06, 0},
+};
+
+static_assert(sizeof(kTable) / sizeof(kTable[0]) == kNumRequestTypes);
+
+} // namespace
+
+const RequestTypeInfo &
+typeInfo(RequestType type)
+{
+    const size_t idx = typeIndex(type);
+    RHYTHM_ASSERT(idx < kNumRequestTypes);
+    RHYTHM_ASSERT(kTable[idx].type == type, "metadata table out of order");
+    return kTable[idx];
+}
+
+const RequestTypeInfo *
+typeTable()
+{
+    return kTable;
+}
+
+bool
+typeFromPath(std::string_view path, RequestType &out)
+{
+    for (const auto &info : kTable) {
+        if (info.path == path) {
+            out = info.type;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace rhythm::specweb

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SPECWeb2009 Banking request types and their workload metadata.
+ *
+ * The metadata table reproduces the paper's Table 2: per-type request-mix
+ * fractions, the SPECWeb response sizes, the Rhythm (power-of-two) buffer
+ * sizes, the number of backend round trips, and the paper's measured
+ * dynamic x86 instruction counts (used as calibration reference by
+ * bench/table2_workload).
+ */
+
+#ifndef RHYTHM_SPECWEB_TYPES_HH
+#define RHYTHM_SPECWEB_TYPES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace rhythm::specweb {
+
+/** The 14 implemented Banking request types (paper Section 5.1). */
+enum class RequestType : uint8_t {
+    Login,
+    AccountSummary,
+    AddPayee,
+    BillPay,
+    BillPayStatusOutput,
+    ChangeProfile,
+    CheckDetailHtml,
+    OrderCheck,
+    PlaceCheckOrder,
+    PostPayee,
+    PostTransfer,
+    Profile,
+    Transfer,
+    Logout,
+};
+
+/** Number of request types. */
+inline constexpr size_t kNumRequestTypes = 14;
+
+/** Static metadata for one request type (one row of Table 2). */
+struct RequestTypeInfo
+{
+    RequestType type;
+    /** Human-readable name as printed in the paper. */
+    std::string_view name;
+    /** URL path served by this type. */
+    std::string_view path;
+    /** Paper's measured x86 instructions per request (reference). */
+    uint32_t paperInstructions;
+    /** SPECWeb response size in KB (reference). */
+    double specwebResponseKb;
+    /** Rhythm response buffer size in KB (next power of two). */
+    uint32_t rhythmBufferKb;
+    /** Request-mix fraction in percent (normalized to 100 over 14). */
+    double mixPercent;
+    /** Number of backend round trips (process stages = this + 1). */
+    int backendRequests;
+};
+
+/** Returns the metadata row for a type. */
+const RequestTypeInfo &typeInfo(RequestType type);
+
+/** Returns the metadata table (kNumRequestTypes entries, enum order). */
+const RequestTypeInfo *typeTable();
+
+/**
+ * Resolves a URL path to a request type.
+ * @return true and sets @p out when the path is a known Banking page.
+ */
+bool typeFromPath(std::string_view path, RequestType &out);
+
+/** Convenience: index of a type in enum order. */
+constexpr size_t
+typeIndex(RequestType type)
+{
+    return static_cast<size_t>(type);
+}
+
+} // namespace rhythm::specweb
+
+#endif // RHYTHM_SPECWEB_TYPES_HH

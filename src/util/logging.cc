@@ -1,0 +1,52 @@
+#include "util/logging.hh"
+
+namespace rhythm {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::emit(LogLevel level, std::string_view msg)
+{
+    if (level < threshold_)
+        return;
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Debug:
+        tag = "debug";
+        break;
+      case LogLevel::Info:
+        tag = "info";
+        break;
+      case LogLevel::Warn:
+        tag = "warn";
+        break;
+      case LogLevel::Error:
+        tag = "error";
+        break;
+    }
+    std::cerr << "[" << tag << "] " << msg << "\n";
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace rhythm

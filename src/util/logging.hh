@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the Rhythm library.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (aborts), fatal() for unrecoverable user/configuration errors (exits),
+ * warn()/inform() for diagnostics that do not stop execution.
+ */
+
+#ifndef RHYTHM_UTIL_LOGGING_HH
+#define RHYTHM_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rhythm {
+
+/** Severity levels for log messages. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global log configuration. Verbosity below the threshold is suppressed.
+ * The default threshold is Warn so that library code stays quiet in tests
+ * and benchmarks unless explicitly enabled.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Sets the minimum level that will be emitted. */
+    void setThreshold(LogLevel level) { threshold_ = level; }
+
+    /** Returns the current emission threshold. */
+    LogLevel threshold() const { return threshold_; }
+
+    /** Emits a message at the given level to stderr. */
+    void emit(LogLevel level, std::string_view msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel threshold_ = LogLevel::Warn;
+};
+
+namespace detail {
+
+/** Composes a message from streamable parts. */
+template <typename... Args>
+std::string
+composeMessage(const Args &...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** Logs an informational message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    Logger::instance().emit(LogLevel::Info, detail::composeMessage(args...));
+}
+
+/** Logs a warning message. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    Logger::instance().emit(LogLevel::Warn, detail::composeMessage(args...));
+}
+
+/** Logs a debug message. */
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    Logger::instance().emit(LogLevel::Debug, detail::composeMessage(args...));
+}
+
+/**
+ * Aborts the process: something happened that should never happen
+ * regardless of user input (an internal bug).
+ */
+#define RHYTHM_PANIC(...)                                                     \
+    ::rhythm::detail::panicImpl(__FILE__, __LINE__,                           \
+                                ::rhythm::detail::composeMessage(__VA_ARGS__))
+
+/**
+ * Exits the process with an error: the simulation cannot continue due to a
+ * user-supplied configuration or argument error.
+ */
+#define RHYTHM_FATAL(...)                                                     \
+    ::rhythm::detail::fatalImpl(__FILE__, __LINE__,                           \
+                                ::rhythm::detail::composeMessage(__VA_ARGS__))
+
+/** Checks an invariant; panics with the stringified condition on failure. */
+#define RHYTHM_ASSERT(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::rhythm::detail::panicImpl(                                      \
+                __FILE__, __LINE__,                                           \
+                ::rhythm::detail::composeMessage("assertion failed: " #cond  \
+                                                 " " __VA_ARGS__));           \
+        }                                                                     \
+    } while (0)
+
+} // namespace rhythm
+
+#endif // RHYTHM_UTIL_LOGGING_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (request mixes, arrival
+ * processes, session identifiers, synthetic database population) flows
+ * through Rng so that every experiment is reproducible from a seed.
+ */
+
+#ifndef RHYTHM_UTIL_RNG_HH
+#define RHYTHM_UTIL_RNG_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace rhythm {
+
+/**
+ * A small, fast, deterministic generator (xoshiro256**).
+ *
+ * Not cryptographic; used only for workload synthesis and sampling.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from a 64-bit seed via splitmix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Returns the next 64 random bits. */
+    uint64_t next();
+
+    /** Returns a uniform integer in [0, bound). Requires bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Returns a uniform integer in [lo, hi]. Requires lo <= hi. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Returns a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Returns true with the given probability (clamped to [0, 1]). */
+    bool nextBool(double probability);
+
+    /**
+     * Samples an exponential inter-arrival gap with the given mean.
+     * @param mean Mean of the distribution; must be positive.
+     */
+    double nextExponential(double mean);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace rhythm
+
+#endif // RHYTHM_UTIL_RNG_HH

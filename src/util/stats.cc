@@ -1,0 +1,118 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rhythm {
+
+void
+Summary::add(double value)
+{
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta *
+                           (static_cast<double>(count_) *
+                            static_cast<double>(other.count_)) /
+                           total;
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) /
+            total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::add(double value)
+{
+    samples_.push_back(value);
+    sorted_ = false;
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    RHYTHM_ASSERT(p >= 0.0 && p <= 100.0);
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void
+Histogram::clear()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
+void
+WeightedHarmonicMean::add(double weight, double value)
+{
+    RHYTHM_ASSERT(weight > 0.0 && value > 0.0);
+    weightSum_ += weight;
+    weightedReciprocals_ += weight / value;
+}
+
+double
+WeightedHarmonicMean::value() const
+{
+    if (weightedReciprocals_ == 0.0)
+        return 0.0;
+    return weightSum_ / weightedReciprocals_;
+}
+
+} // namespace rhythm

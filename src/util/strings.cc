@@ -1,0 +1,126 @@
+#include "util/strings.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace rhythm {
+
+std::vector<std::string_view>
+split(std::string_view text, char delim)
+{
+    std::vector<std::string_view> parts;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == delim) {
+            parts.push_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return parts;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+std::string
+withCommas(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+    for (size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+std::string
+humanBytes(double bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    while (bytes >= 1024.0 && idx < 4) {
+        bytes /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, suffixes[idx]);
+    return buf;
+}
+
+std::string
+humanCount(double value)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T"};
+    int idx = 0;
+    while (std::fabs(value) >= 1000.0 && idx < 4) {
+        value /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+bool
+parseU64(std::string_view text, uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return false;
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+} // namespace rhythm

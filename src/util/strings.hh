@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small string utilities shared across the library and harnesses.
+ */
+
+#ifndef RHYTHM_UTIL_STRINGS_HH
+#define RHYTHM_UTIL_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rhythm {
+
+/** Splits a string on a single-character delimiter (empty parts kept). */
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/** Removes leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** Case-sensitive prefix test. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Case-insensitive ASCII equality. */
+bool iequals(std::string_view a, std::string_view b);
+
+/** Formats an integer with thousands separators, e.g. 1,234,567. */
+std::string withCommas(uint64_t value);
+
+/** Formats a byte count with a binary-unit suffix, e.g. "26.4 KiB". */
+std::string humanBytes(double bytes);
+
+/** Formats a rate with an SI suffix, e.g. "1.53 M". */
+std::string humanCount(double value);
+
+/** Formats a double with the given precision. */
+std::string formatDouble(double value, int precision);
+
+/**
+ * Parses a non-negative decimal integer.
+ * @return true and stores into @p out on success; false on malformed input
+ *         or overflow.
+ */
+bool parseU64(std::string_view text, uint64_t &out);
+
+} // namespace rhythm
+
+#endif // RHYTHM_UTIL_STRINGS_HH

@@ -1,0 +1,89 @@
+#include "util/table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhythm {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    RHYTHM_ASSERT(!headers_.empty());
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    RHYTHM_ASSERT(cells.size() == headers_.size(),
+                  "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TableWriter::printAscii(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&]() {
+        os << "+";
+        for (size_t w : widths) {
+            for (size_t i = 0; i < w + 2; ++i)
+                os << "-";
+            os << "+";
+        }
+        os << "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c];
+            for (size_t i = cells[c].size(); i < widths[c]; ++i)
+                os << " ";
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            const bool quote =
+                cells[c].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                os << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cells[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace rhythm

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the Chat workload: room store semantics (ring, sequences,
+ * polling), backend protocol, and end-to-end serving through the
+ * Rhythm pipeline including cross-cohort mutation visibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chat/service.hh"
+#include "http/parser.hh"
+#include "rhythm/server.hh"
+
+namespace rhythm::chat {
+namespace {
+
+simt::NullTracer gNull;
+
+TEST(RoomStore, SeededHistoryIsDeterministic)
+{
+    RoomStore a(8, 20, 5), b(8, 20, 5);
+    EXPECT_EQ(a.latestSeq(3), b.latestSeq(3));
+    auto ha = a.history(3, 10);
+    auto hb = b.history(3, 10);
+    ASSERT_EQ(ha.size(), hb.size());
+    for (size_t i = 0; i < ha.size(); ++i)
+        EXPECT_EQ(ha[i]->text, hb[i]->text);
+}
+
+TEST(RoomStore, PostAssignsMonotonicSequences)
+{
+    RoomStore store(2, 0, 1);
+    EXPECT_EQ(store.latestSeq(1), 0u);
+    EXPECT_EQ(store.post(1, 10, "first"), 1u);
+    EXPECT_EQ(store.post(1, 11, "second"), 2u);
+    EXPECT_EQ(store.post(2, 10, "other room"), 1u);
+    EXPECT_EQ(store.latestSeq(1), 2u);
+    EXPECT_EQ(store.totalPosted(), 3u);
+}
+
+TEST(RoomStore, RejectsInvalid)
+{
+    RoomStore store(2, 0, 1);
+    EXPECT_EQ(store.post(0, 1, "x"), 0u);
+    EXPECT_EQ(store.post(3, 1, "x"), 0u);
+    EXPECT_EQ(store.post(1, 1, ""), 0u);
+    EXPECT_TRUE(store.history(9, 5).empty());
+    EXPECT_TRUE(store.since(9, 0).empty());
+    EXPECT_EQ(store.latestSeq(0), 0u);
+}
+
+TEST(RoomStore, RingEvictsOldest)
+{
+    RoomStore store(1, 0, 1);
+    for (uint64_t i = 0; i < RoomStore::kRingCapacity + 10; ++i)
+        store.post(1, 1, "m" + std::to_string(i));
+    auto history = store.history(1, 1000);
+    EXPECT_EQ(history.size(), RoomStore::kRingCapacity);
+    // Oldest retained message is #11; sequence numbers never reset.
+    EXPECT_EQ(history.front()->seq, 11u);
+    EXPECT_EQ(history.back()->seq, RoomStore::kRingCapacity + 10);
+}
+
+TEST(RoomStore, SinceReturnsOnlyNewer)
+{
+    RoomStore store(1, 0, 1);
+    for (int i = 0; i < 10; ++i)
+        store.post(1, 1, "m" + std::to_string(i));
+    auto fresh = store.since(1, 7);
+    ASSERT_EQ(fresh.size(), 3u);
+    EXPECT_EQ(fresh[0]->seq, 8u);
+    EXPECT_EQ(fresh[2]->seq, 10u);
+    EXPECT_TRUE(store.since(1, 10).empty());
+}
+
+TEST(ChatService, BackendProtocol)
+{
+    RoomStore store(4, 5, 2);
+    ChatService svc(store);
+    EXPECT_EQ(svc.executeBackend("ROOMS", gNull).substr(0, 3), "OK|");
+    EXPECT_EQ(svc.executeBackend("HIST|2|5", gNull).substr(0, 3), "OK|");
+    const std::string posted =
+        svc.executeBackend("POST|2|42|hello there", gNull);
+    EXPECT_EQ(posted.substr(0, 3), "OK|");
+    // The post is visible to POLL.
+    const std::string poll = svc.executeBackend(
+        "POLL|2|" + std::to_string(store.latestSeq(2) - 1), gNull);
+    EXPECT_NE(poll.find("hello there"), std::string::npos);
+    // Errors.
+    EXPECT_EQ(svc.executeBackend("HIST|99|5", gNull).substr(0, 4),
+              "ERR|");
+    EXPECT_EQ(svc.executeBackend("POST|1|1|", gNull).substr(0, 4),
+              "ERR|");
+    EXPECT_EQ(svc.executeBackend("", gNull).substr(0, 4), "ERR|");
+}
+
+TEST(ChatGenerator, MixAndValidity)
+{
+    RoomStore store(8, 10, 3);
+    ChatGenerator gen(store, 11);
+    int counts[kNumPageTypes] = {};
+    for (int i = 0; i < 1000; ++i) {
+        PageType type;
+        const std::string raw = gen.next(type);
+        ++counts[static_cast<uint32_t>(type)];
+        http::Request req;
+        ASSERT_TRUE(http::parseRequest(raw, 0, gNull, req));
+    }
+    // Poll dominates the mix.
+    EXPECT_GT(counts[3], counts[1]);
+    EXPECT_GT(counts[1], counts[0]);
+}
+
+struct ChatRig
+{
+    ChatRig()
+        : store(8, 20, 7), device(queue, simt::DeviceConfig{}),
+          service(store), server(queue, device, service, config())
+    {
+        server.setResponseCallback([this](uint64_t client,
+                                          const std::string &response,
+                                          des::Time) {
+            responses.emplace_back(client, response);
+        });
+    }
+
+    static core::RhythmConfig
+    config()
+    {
+        core::RhythmConfig cfg;
+        cfg.cohortSize = 16;
+        cfg.cohortContexts = 4;
+        cfg.cohortTimeout = des::kMillisecond;
+        cfg.backendOnDevice = true;
+        cfg.networkOverPcie = false;
+        return cfg;
+    }
+
+    des::EventQueue queue;
+    RoomStore store;
+    simt::Device device;
+    ChatService service;
+    core::RhythmServer server;
+    std::vector<std::pair<uint64_t, std::string>> responses;
+};
+
+TEST(ChatOnRhythm, AllPageTypesServeValidResponses)
+{
+    ChatRig rig;
+    ChatGenerator gen(rig.store, 13);
+    std::vector<PageType> types;
+    uint64_t id = 0;
+    for (uint32_t t = 0; t < kNumPageTypes; ++t) {
+        for (int i = 0; i < 16; ++i) {
+            const std::string raw =
+                gen.generate(static_cast<PageType>(t));
+            while (!rig.server.injectRequest(raw, id))
+                rig.queue.run();
+            ++id;
+            types.push_back(static_cast<PageType>(t));
+        }
+    }
+    rig.server.flush();
+    rig.queue.run();
+    ASSERT_EQ(rig.responses.size(), types.size());
+    for (const auto &[client, response] : rig.responses) {
+        std::string reason;
+        EXPECT_TRUE(
+            validateChatResponse(types[client], response, &reason))
+            << "client " << client << ": " << reason;
+    }
+    EXPECT_EQ(rig.server.stats().errorResponses, 0u);
+}
+
+TEST(ChatOnRhythm, PostedMessagesVisibleToLaterCohorts)
+{
+    ChatRig rig;
+    // Cohort 1: sixteen posts to room 1.
+    for (int i = 0; i < 16; ++i) {
+        const std::string raw = http::buildRequest(
+            http::Method::Post, "/chat/post",
+            {{"room", "1"},
+             {"user", std::to_string(100 + i)},
+             {"text", "cohort+message+" + std::to_string(i)}});
+        rig.server.injectRequest(raw, static_cast<uint64_t>(i));
+    }
+    rig.queue.run();
+    ASSERT_EQ(rig.responses.size(), 16u);
+    EXPECT_EQ(rig.store.totalPosted(), 8u * 20 + 16);
+
+    // Cohort 2: history readers see the new messages.
+    rig.responses.clear();
+    for (int i = 0; i < 16; ++i) {
+        const std::string raw = http::buildRequest(
+            http::Method::Get, "/chat/history", {{"room", "1"}});
+        rig.server.injectRequest(raw, 100u + static_cast<uint64_t>(i));
+    }
+    rig.queue.run();
+    ASSERT_EQ(rig.responses.size(), 16u);
+    for (const auto &[client, response] : rig.responses)
+        EXPECT_NE(response.find("cohort message 15"), std::string::npos);
+}
+
+TEST(ChatOnRhythm, PollCohortSeesNothingNewAfterQuiesce)
+{
+    ChatRig rig;
+    const uint64_t latest = rig.store.latestSeq(2);
+    for (int i = 0; i < 16; ++i) {
+        const std::string raw = http::buildRequest(
+            http::Method::Get, "/chat/poll",
+            {{"room", "2"}, {"since", std::to_string(latest)}});
+        rig.server.injectRequest(raw, static_cast<uint64_t>(i));
+    }
+    rig.queue.run();
+    ASSERT_EQ(rig.responses.size(), 16u);
+    for (const auto &[client, response] : rig.responses)
+        EXPECT_NE(response.find("no new messages"), std::string::npos);
+}
+
+} // namespace
+} // namespace rhythm::chat

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hh"
+
+namespace rhythm::des {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleAt(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    EventQueue eq;
+    Time fired_at = 0;
+    eq.scheduleAt(50, [&] {
+        eq.scheduleAfter(25, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue eq;
+    bool fired = false;
+    auto id = eq.scheduleAt(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id)); // already removed
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, HorizonStopsAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    eq.scheduleAt(100, [&] { ++fired; });
+    EXPECT_EQ(eq.run(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, HorizonWithEmptyQueueAdvancesClock)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.run(500), 0u);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, StopRequestHonoured)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(1, [&] {
+        ++fired;
+        eq.stop();
+    });
+    eq.scheduleAt(2, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, StepDispatchesOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(5, [&] { ++fired; });
+    eq.scheduleAt(6, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsScheduledDuringDispatchRun)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 10)
+            eq.scheduleAfter(1, recurse);
+    };
+    eq.scheduleAt(0, recurse);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.now(), 9u);
+}
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(kSecond, 1000u * kMillisecond);
+    EXPECT_EQ(kMillisecond, 1000u * kMicrosecond);
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(toMillis(kSecond), 1000.0);
+    EXPECT_DOUBLE_EQ(toMicros(kMicrosecond), 1.0);
+    EXPECT_EQ(fromSeconds(1.5), kSecond + 500 * kMillisecond);
+    EXPECT_EQ(fromSeconds(0.0), 0u);
+}
+
+} // namespace
+} // namespace rhythm::des

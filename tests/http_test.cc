@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit and property tests for the HTTP message types and parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "http/http.hh"
+#include "http/parser.hh"
+#include "simt/trace.hh"
+#include "util/rng.hh"
+
+namespace rhythm::http {
+namespace {
+
+simt::NullTracer gNull;
+
+Request
+mustParse(const std::string &raw)
+{
+    Request req;
+    EXPECT_TRUE(parseRequest(raw, 0, gNull, req)) << raw;
+    return req;
+}
+
+TEST(Parser, SimpleGet)
+{
+    Request req = mustParse(
+        "GET /bank/account.php HTTP/1.1\r\nHost: bank.example.com\r\n\r\n");
+    EXPECT_EQ(req.method, Method::Get);
+    EXPECT_EQ(req.path, "/bank/account.php");
+    EXPECT_TRUE(req.params.empty());
+    EXPECT_TRUE(req.keepAlive);
+    EXPECT_EQ(req.sessionId, 0u);
+}
+
+TEST(Parser, GetWithQueryString)
+{
+    Request req = mustParse(
+        "GET /bank/tx.php?acct=101&max=20 HTTP/1.1\r\nHost: h\r\n\r\n");
+    EXPECT_EQ(req.path, "/bank/tx.php");
+    ASSERT_EQ(req.params.size(), 2u);
+    EXPECT_EQ(req.param("acct"), "101");
+    EXPECT_EQ(req.param("max"), "20");
+    EXPECT_TRUE(req.hasParam("acct"));
+    EXPECT_FALSE(req.hasParam("missing"));
+    EXPECT_EQ(req.param("missing"), "");
+}
+
+TEST(Parser, PostFormBody)
+{
+    const std::string raw =
+        "POST /bank/login.php HTTP/1.1\r\nHost: h\r\n"
+        "Content-Type: application/x-www-form-urlencoded\r\n"
+        "Content-Length: 25\r\n\r\nuserid=42&password=pwd42x";
+    Request req = mustParse(raw);
+    EXPECT_EQ(req.method, Method::Post);
+    EXPECT_EQ(req.contentLength, 25u);
+    EXPECT_EQ(req.param("userid"), "42");
+    EXPECT_EQ(req.param("password"), "pwd42x");
+}
+
+TEST(Parser, SessionCookieExtracted)
+{
+    Request req = mustParse(
+        "GET /bank/summary.php HTTP/1.1\r\nHost: h\r\n"
+        "Cookie: lang=en; session=987654321\r\n\r\n");
+    EXPECT_EQ(req.sessionId, 987654321u);
+    EXPECT_EQ(req.cookie, "lang=en; session=987654321");
+}
+
+TEST(Parser, ConnectionClose)
+{
+    Request req = mustParse(
+        "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_FALSE(req.keepAlive);
+}
+
+TEST(Parser, Http10DefaultsToClose)
+{
+    Request req = mustParse("GET / HTTP/1.0\r\n\r\n");
+    EXPECT_FALSE(req.keepAlive);
+}
+
+TEST(Parser, UrlDecoding)
+{
+    Request req = mustParse(
+        "GET /p.php?name=John+Smith&sym=%26%3D HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(req.param("name"), "John Smith");
+    EXPECT_EQ(req.param("sym"), "&=");
+}
+
+TEST(Parser, RejectsMalformed)
+{
+    Request req;
+    EXPECT_FALSE(parseRequest("", 0, gNull, req));
+    EXPECT_FALSE(parseRequest("GET\r\n\r\n", 0, gNull, req));
+    EXPECT_FALSE(parseRequest("PUT / HTTP/1.1\r\n\r\n", 0, gNull, req));
+    EXPECT_FALSE(parseRequest("GET / HTTP/2.0\r\n\r\n", 0, gNull, req));
+    EXPECT_FALSE(parseRequest("GET / HTTP/1.1\r\nno-end", 0, gNull, req));
+    EXPECT_FALSE(parseRequest(
+        "POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", 0, gNull,
+        req));
+    EXPECT_FALSE(parseRequest(
+        "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 0, gNull, req));
+}
+
+TEST(Parser, RecordsTraceBlocks)
+{
+    simt::ThreadTrace trace;
+    simt::RecordingTracer rec(trace);
+    Request req;
+    ASSERT_TRUE(parseRequest(
+        "GET /bank/summary.php?a=1 HTTP/1.1\r\nHost: h\r\n"
+        "Cookie: session=5\r\n\r\n",
+        0x10000, rec, req));
+    EXPECT_GT(trace.blocks.size(), 3u);
+    EXPECT_GT(trace.totalInstructions(), 100u);
+    // All loads hit the request buffer region.
+    for (const auto &op : trace.memOps) {
+        EXPECT_GE(op.addr, 0x10000u);
+        EXPECT_FALSE(op.isStore);
+    }
+    // Final block is the success terminator.
+    EXPECT_EQ(trace.blocks.back().blockId, kBlockParseDone);
+}
+
+TEST(Parser, IdenticalRequestsYieldIdenticalBlockSequences)
+{
+    // The similarity property Rhythm exploits: two requests of the same
+    // type (different values, same shape) produce the same control path.
+    auto traceOf = [](const std::string &raw) {
+        simt::ThreadTrace t;
+        simt::RecordingTracer rec(t);
+        Request req;
+        EXPECT_TRUE(parseRequest(raw, 0, rec, req));
+        return t;
+    };
+    auto a = traceOf(
+        "GET /bank/tx.php?acct=101&max=20 HTTP/1.1\r\nHost: h\r\n"
+        "Cookie: session=11\r\n\r\n");
+    auto b = traceOf(
+        "GET /bank/tx.php?acct=992&max=50 HTTP/1.1\r\nHost: h\r\n"
+        "Cookie: session=99\r\n\r\n");
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (size_t i = 0; i < a.blocks.size(); ++i)
+        EXPECT_EQ(a.blocks[i].blockId, b.blocks[i].blockId) << i;
+}
+
+TEST(RoundTrip, BuildThenParseGet)
+{
+    const std::string raw = buildRequest(
+        Method::Get, "/bank/bill_pay.php",
+        {{"payee", "17"}, {"amount", "2500"}}, "session=31");
+    Request req = mustParse(raw);
+    EXPECT_EQ(req.method, Method::Get);
+    EXPECT_EQ(req.path, "/bank/bill_pay.php");
+    EXPECT_EQ(req.param("payee"), "17");
+    EXPECT_EQ(req.param("amount"), "2500");
+    EXPECT_EQ(req.sessionId, 31u);
+}
+
+TEST(RoundTrip, BuildThenParsePost)
+{
+    const std::string raw = buildRequest(
+        Method::Post, "/bank/login.php",
+        {{"userid", "7"}, {"password", "pwd7"}});
+    Request req = mustParse(raw);
+    EXPECT_EQ(req.method, Method::Post);
+    EXPECT_EQ(req.param("userid"), "7");
+    EXPECT_EQ(req.param("password"), "pwd7");
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RoundTripProperty, RandomParamsSurvive)
+{
+    Rng rng(GetParam());
+    std::vector<std::pair<std::string, std::string>> params;
+    const int n = static_cast<int>(rng.nextRange(0, 6));
+    for (int i = 0; i < n; ++i) {
+        params.emplace_back("k" + std::to_string(i),
+                            std::to_string(rng.nextBounded(1000000)));
+    }
+    const Method method = rng.nextBool(0.5) ? Method::Get : Method::Post;
+    const std::string cookie =
+        rng.nextBool(0.5) ? "session=" + std::to_string(rng.nextBounded(1u << 30))
+                          : "";
+    const std::string raw =
+        buildRequest(method, "/bank/x.php", params, cookie);
+    Request req;
+    ASSERT_TRUE(parseRequest(raw, 0, gNull, req));
+    EXPECT_EQ(req.method, method);
+    ASSERT_EQ(req.params.size(), params.size());
+    for (const auto &[k, v] : params)
+        EXPECT_EQ(req.param(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(Response, SerializeContainsCorrectContentLength)
+{
+    ResponseBuilder rb(Status::Ok);
+    rb.addHeader("Content-Type", "text/html");
+    rb.append("<html>hello</html>");
+    const std::string out = rb.serialize();
+    EXPECT_NE(out.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(out.find("Content-Type: text/html\r\n"), std::string::npos);
+    EXPECT_NE(out.find("Content-Length: 18\r\n"), std::string::npos);
+    EXPECT_NE(out.find("\r\n\r\n<html>hello</html>"), std::string::npos);
+}
+
+TEST(Response, StatusReasons)
+{
+    EXPECT_EQ(statusReason(Status::Ok), "OK");
+    EXPECT_EQ(statusReason(Status::NotFound), "Not Found");
+    EXPECT_EQ(statusReason(Status::Found), "Found");
+    EXPECT_EQ(statusReason(Status::BadRequest), "Bad Request");
+    EXPECT_EQ(statusReason(Status::InternalError), "Internal Server Error");
+}
+
+TEST(Response, BodyAccumulates)
+{
+    ResponseBuilder rb;
+    rb.append("a");
+    rb.append("bc");
+    EXPECT_EQ(rb.bodySize(), 3u);
+    EXPECT_EQ(rb.body(), "abc");
+}
+
+} // namespace
+} // namespace rhythm::http

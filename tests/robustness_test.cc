@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Robustness and conservation properties:
+ *  - the HTTP parser never crashes or mis-accounts on mutated input;
+ *  - the device's processor-sharing engine conserves work exactly;
+ *  - the full server survives hostile request streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/bankdb.hh"
+#include "des/event_queue.hh"
+#include "http/parser.hh"
+#include "rhythm/banking_service.hh"
+#include "rhythm/server.hh"
+#include "simt/device.hh"
+#include "specweb/workload.hh"
+#include "util/rng.hh"
+
+namespace rhythm {
+namespace {
+
+simt::NullTracer gNull;
+
+// ---------------------------------------------------------------------
+// Parser fuzzing
+// ---------------------------------------------------------------------
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ParserFuzz, MutatedRequestsNeverCrash)
+{
+    Rng rng(GetParam());
+    backend::BankDb db(50, 1);
+    specweb::WorkloadGenerator gen(db, GetParam() * 3 + 1);
+
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string raw = gen.next(1 + rng.nextBounded(100)).raw;
+        // Apply 1-8 random byte mutations (overwrite, delete, insert).
+        const int mutations = 1 + static_cast<int>(rng.nextBounded(8));
+        for (int m = 0; m < mutations && !raw.empty(); ++m) {
+            const size_t pos = rng.nextBounded(raw.size());
+            switch (rng.nextBounded(3)) {
+              case 0:
+                raw[pos] = static_cast<char>(rng.next() & 0xff);
+                break;
+              case 1:
+                raw.erase(pos, 1 + rng.nextBounded(4));
+                break;
+              default:
+                raw.insert(pos, 1,
+                           static_cast<char>(rng.next() & 0xff));
+                break;
+            }
+        }
+        http::Request req;
+        // Must not crash; on success the invariants hold.
+        if (http::parseRequest(raw, 0, gNull, req)) {
+            EXPECT_TRUE(req.method == http::Method::Get ||
+                        req.method == http::Method::Post);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(ParserFuzz, PathologicalInputs)
+{
+    http::Request req;
+    // Long header lines, binary bodies, no terminator, huge
+    // Content-Length claims, header-only torrents.
+    std::string long_line = "GET /x HTTP/1.1\r\nX-A: ";
+    long_line.append(100000, 'a');
+    long_line += "\r\n\r\n";
+    EXPECT_TRUE(http::parseRequest(long_line, 0, gNull, req));
+
+    std::string many_headers = "GET /x HTTP/1.1\r\n";
+    for (int i = 0; i < 5000; ++i)
+        many_headers += "X-H: v\r\n";
+    many_headers += "\r\n";
+    EXPECT_TRUE(http::parseRequest(many_headers, 0, gNull, req));
+
+    EXPECT_FALSE(http::parseRequest(
+        "POST /x HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n"
+        "\r\nbody",
+        0, gNull, req));
+
+    std::string binary = "GET /\x01\x02\x7f HTTP/1.1\r\n\r\n";
+    http::parseRequest(binary, 0, gNull, req); // must not crash
+
+    EXPECT_FALSE(http::parseRequest(std::string(1 << 16, 'x'), 0, gNull,
+                                    req));
+}
+
+// ---------------------------------------------------------------------
+// Device work conservation
+// ---------------------------------------------------------------------
+
+class DeviceConservation : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DeviceConservation, BusyIntegralEqualsTotalDemand)
+{
+    // Whatever the arrival pattern, caps and queue mapping, the kernel
+    // engine must do exactly the demanded device-seconds of work.
+    Rng rng(GetParam());
+    des::EventQueue queue;
+    simt::DeviceConfig cfg;
+    cfg.launchOverhead = 0;
+    cfg.hardwareQueues = 1 + static_cast<int>(rng.nextBounded(32));
+    simt::Device device(queue, cfg);
+
+    double total_demand = 0.0;
+    const int streams = 1 + static_cast<int>(rng.nextBounded(6));
+    std::vector<int> ids;
+    for (int s = 0; s < streams; ++s)
+        ids.push_back(device.createStream());
+
+    const int kernels = 20 + static_cast<int>(rng.nextBounded(30));
+    for (int k = 0; k < kernels; ++k) {
+        simt::KernelCost cost;
+        cost.deviceSeconds = 1e-5 + rng.nextDouble() * 1e-3;
+        cost.maxShare = 0.05 + rng.nextDouble() * 0.95;
+        total_demand += cost.deviceSeconds;
+        const int stream = ids[rng.nextBounded(ids.size())];
+        // Stagger some arrivals through simulated time.
+        if (rng.nextBool(0.5)) {
+            queue.scheduleAfter(
+                des::fromSeconds(rng.nextDouble() * 1e-3),
+                [&device, stream, cost]() {
+                    device.launchKernel(stream, cost, nullptr);
+                });
+        } else {
+            device.launchKernel(stream, cost, nullptr);
+        }
+    }
+    queue.run();
+    EXPECT_TRUE(device.idle());
+    EXPECT_NEAR(device.stats().kernelBusySeconds, total_demand,
+                total_demand * 1e-6 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceConservation,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// ---------------------------------------------------------------------
+// Server under hostile input
+// ---------------------------------------------------------------------
+
+TEST(ServerRobustness, HostileStreamAllRequestsAnswered)
+{
+    des::EventQueue queue;
+    simt::Device device(queue, simt::DeviceConfig{});
+    backend::BankDb db(50, 1);
+    core::BankingService service(db);
+    core::RhythmConfig cfg;
+    cfg.cohortSize = 16;
+    cfg.cohortContexts = 4;
+    cfg.cohortTimeout = des::kMillisecond;
+    cfg.backendOnDevice = true;
+    cfg.networkOverPcie = false;
+    core::RhythmServer server(queue, device, service, cfg);
+
+    uint64_t answered = 0;
+    server.setResponseCallback(
+        [&](uint64_t, const std::string &, des::Time) { ++answered; });
+
+    Rng rng(5);
+    specweb::WorkloadGenerator gen(db, 9);
+    uint64_t sent = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::string raw;
+        switch (rng.nextBounded(4)) {
+          case 0:
+            raw = "garbage\r\n\r\n";
+            break;
+          case 1:
+            raw = "GET /nowhere.php HTTP/1.1\r\n\r\n";
+            break;
+          case 2: {
+            // Valid page, bogus session.
+            raw = gen.generate(specweb::RequestType::Profile,
+                               1 + rng.nextBounded(50), 999999)
+                      .raw;
+            break;
+          }
+          default: {
+            simt::NullTracer null;
+            const uint64_t user = 1 + rng.nextBounded(50);
+            raw = gen.generate(specweb::RequestType::BillPay, user,
+                               server.sessions().create(user, null))
+                      .raw;
+            break;
+          }
+        }
+        while (!server.injectRequest(raw, sent))
+            queue.run();
+        ++sent;
+    }
+    server.flush();
+    queue.run();
+    queue.run(); // timeout-launched stragglers
+    EXPECT_EQ(answered, sent);
+    EXPECT_TRUE(server.drained());
+}
+
+} // namespace
+} // namespace rhythm

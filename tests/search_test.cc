@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests for the Search workload: corpus, inverted index, backend
+ * protocol, page handlers through the Rhythm pipeline, and the
+ * same-type similarity property that makes Search cohort-friendly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "http/parser.hh"
+#include "rhythm/server.hh"
+#include "search/service.hh"
+#include "simt/warp.hh"
+
+namespace rhythm::search {
+namespace {
+
+simt::NullTracer gNull;
+
+class SearchFixture : public ::testing::Test
+{
+  protected:
+    SearchFixture() : corpus_(500, 2048, 3), index_(corpus_) {}
+
+    Corpus corpus_;
+    InvertedIndex index_;
+};
+
+TEST_F(SearchFixture, CorpusIsDeterministic)
+{
+    Corpus other(500, 2048, 3);
+    EXPECT_EQ(other.document(42)->title, corpus_.document(42)->title);
+    EXPECT_EQ(other.document(199)->words, corpus_.document(199)->words);
+}
+
+TEST_F(SearchFixture, CorpusShape)
+{
+    EXPECT_EQ(corpus_.numDocs(), 500u);
+    EXPECT_EQ(corpus_.vocabularySize(), 2048u);
+    EXPECT_EQ(corpus_.document(0), nullptr);
+    EXPECT_EQ(corpus_.document(501), nullptr);
+    for (uint32_t d = 1; d <= 500; ++d) {
+        const Document *doc = corpus_.document(d);
+        ASSERT_NE(doc, nullptr);
+        EXPECT_GE(doc->words.size(), 80u);
+        EXPECT_LE(doc->words.size(), 400u);
+        EXPECT_FALSE(doc->title.empty());
+    }
+}
+
+TEST_F(SearchFixture, ZipfSkewIsPresent)
+{
+    // Word 0's posting list must dwarf a tail word's list.
+    const size_t head = index_.postings(0).size();
+    size_t tail_sum = 0;
+    for (uint32_t w = 2000; w < 2048; ++w)
+        tail_sum += index_.postings(w).size();
+    EXPECT_GT(head, tail_sum / 48 * 5 + 1);
+}
+
+TEST_F(SearchFixture, WordIdRoundTrip)
+{
+    for (uint32_t w = 0; w < 64; ++w) {
+        uint32_t id;
+        ASSERT_TRUE(index_.wordId(corpus_.word(w), id));
+        EXPECT_EQ(id, w);
+    }
+    uint32_t id;
+    EXPECT_FALSE(index_.wordId("notaword!!", id));
+}
+
+TEST_F(SearchFixture, QueryFindsContainingDocs)
+{
+    // Pick a mid-frequency word; every hit must actually contain it.
+    const uint32_t term = 100;
+    auto hits = index_.query({term}, 10, gNull);
+    ASSERT_FALSE(hits.empty());
+    for (const Hit &hit : hits) {
+        const Document *doc = corpus_.document(hit.docId);
+        bool contains = false;
+        for (uint32_t w : doc->words)
+            contains |= w == term;
+        EXPECT_TRUE(contains) << "doc " << hit.docId;
+        EXPECT_GT(hit.score, 0.0);
+    }
+    // Scores descending.
+    for (size_t i = 1; i < hits.size(); ++i)
+        EXPECT_GE(hits[i - 1].score, hits[i].score);
+}
+
+TEST_F(SearchFixture, MultiTermScoresAtLeastSingleTerm)
+{
+    auto one = index_.query({150}, 5, gNull);
+    auto two = index_.query({150, 151}, 5, gNull);
+    ASSERT_FALSE(one.empty());
+    ASSERT_FALSE(two.empty());
+    EXPECT_GE(two[0].score, one[0].score - 1e-12);
+}
+
+TEST_F(SearchFixture, EmptyAndUnknownQueries)
+{
+    EXPECT_TRUE(index_.query({}, 10, gNull).empty());
+    EXPECT_TRUE(index_.query({999999}, 10, gNull).empty());
+}
+
+TEST_F(SearchFixture, SuggestReturnsMatchingPrefixes)
+{
+    const std::string &word = corpus_.word(7);
+    const std::string prefix = word.substr(0, 2);
+    auto suggestions = index_.suggest(prefix, 8, gNull);
+    ASSERT_FALSE(suggestions.empty());
+    EXPECT_LE(suggestions.size(), 8u);
+    for (uint32_t w : suggestions)
+        EXPECT_EQ(corpus_.word(w).substr(0, 2), prefix);
+    EXPECT_TRUE(index_.suggest("zzzzzzz", 8, gNull).empty());
+}
+
+TEST_F(SearchFixture, BackendProtocol)
+{
+    SearchService svc(index_);
+    // QUERY
+    const std::string q = "QUERY|" + corpus_.word(50) + "|5";
+    const std::string qr = svc.executeBackend(q, gNull);
+    EXPECT_EQ(qr.substr(0, 3), "OK|");
+    // DOC
+    const std::string dr = svc.executeBackend("DOC|3", gNull);
+    EXPECT_EQ(dr.substr(0, 3), "OK|");
+    EXPECT_NE(dr.find(corpus_.document(3)->title), std::string::npos);
+    EXPECT_LE(dr.size(), 4096u); // fits the response slot
+    // SUGGEST
+    const std::string sr = svc.executeBackend(
+        "SUGGEST|" + corpus_.word(9).substr(0, 2) + "|4", gNull);
+    EXPECT_EQ(sr.substr(0, 3), "OK|");
+    // Errors
+    EXPECT_EQ(svc.executeBackend("DOC|99999", gNull).substr(0, 4),
+              "ERR|");
+    EXPECT_EQ(svc.executeBackend("NOPE|1", gNull).substr(0, 4), "ERR|");
+    EXPECT_EQ(svc.executeBackend("", gNull).substr(0, 4), "ERR|");
+}
+
+TEST_F(SearchFixture, GeneratorMixAndDeterminism)
+{
+    QueryGenerator a(corpus_, 5), b(corpus_, 5);
+    int counts[kNumPageTypes] = {0, 0, 0, 0};
+    for (int i = 0; i < 2000; ++i) {
+        GeneratedQuery qa = a.next();
+        GeneratedQuery qb = b.next();
+        EXPECT_EQ(qa.raw, qb.raw);
+        ++counts[static_cast<uint32_t>(qa.type)];
+    }
+    // Results dominate the mix.
+    EXPECT_GT(counts[1], counts[0]);
+    EXPECT_GT(counts[1], counts[2]);
+    EXPECT_GT(counts[1], counts[3]);
+}
+
+struct SearchRig
+{
+    SearchRig()
+        : corpus(400, 2048, 9), index(corpus),
+          device(queue, simt::DeviceConfig{}), service(index),
+          server(queue, device, service, config())
+    {
+        server.setResponseCallback([this](uint64_t client,
+                                          const std::string &response,
+                                          des::Time) {
+            responses.emplace_back(client, response);
+        });
+    }
+
+    static core::RhythmConfig
+    config()
+    {
+        core::RhythmConfig cfg;
+        cfg.cohortSize = 16;
+        cfg.cohortContexts = 4;
+        cfg.cohortTimeout = des::kMillisecond;
+        cfg.backendOnDevice = true;
+        cfg.networkOverPcie = false;
+        return cfg;
+    }
+
+    des::EventQueue queue;
+    Corpus corpus;
+    InvertedIndex index;
+    simt::Device device;
+    SearchService service;
+    core::RhythmServer server;
+    std::vector<std::pair<uint64_t, std::string>> responses;
+};
+
+TEST(SearchOnRhythm, AllPageTypesServeValidResponses)
+{
+    SearchRig rig;
+    QueryGenerator gen(rig.corpus, 17);
+    std::vector<PageType> types;
+    uint64_t id = 0;
+    for (uint32_t t = 0; t < kNumPageTypes; ++t) {
+        for (int i = 0; i < 16; ++i) {
+            GeneratedQuery q = gen.generate(static_cast<PageType>(t));
+            while (!rig.server.injectRequest(q.raw, id))
+                rig.queue.run(); // reader stall: drain and retry
+            ++id;
+            types.push_back(q.type);
+        }
+    }
+    rig.queue.run();
+    ASSERT_EQ(rig.responses.size(), types.size());
+    for (const auto &[client, response] : rig.responses) {
+        std::string reason;
+        EXPECT_TRUE(validateSearchResponse(types[client], response,
+                                           &reason))
+            << "client " << client << ": " << reason;
+    }
+    EXPECT_EQ(rig.server.stats().cohortsLaunched, 4u);
+    EXPECT_EQ(rig.server.stats().errorResponses, 0u);
+}
+
+TEST(SearchOnRhythm, ResponseSizesFitBuffers)
+{
+    SearchRig rig;
+    QueryGenerator gen(rig.corpus, 23);
+    std::vector<PageType> types;
+    uint64_t id = 0;
+    for (int i = 0; i < 64; ++i) {
+        GeneratedQuery q = gen.next();
+        types.push_back(q.type);
+        while (!rig.server.injectRequest(q.raw, id))
+            rig.queue.run(); // reader stall: drain and retry
+        ++id;
+    }
+    rig.server.flush();
+    rig.queue.run();
+    ASSERT_EQ(rig.responses.size(), 64u);
+    for (const auto &[client, response] : rig.responses) {
+        EXPECT_LE(response.size(),
+                  pageInfo(types[client]).bufferBytes)
+            << pageInfo(types[client]).name;
+        EXPECT_GT(response.size(),
+                  pageInfo(types[client]).bufferBytes / 8);
+    }
+}
+
+TEST(SearchOnRhythm, SameTypeQueriesShareControlFlow)
+{
+    // The property that makes Search cohort-friendly: two different
+    // queries of the same page type merge near-linearly.
+    Corpus corpus(300, 2048, 4);
+    InvertedIndex index(corpus);
+    SearchService service(index);
+    QueryGenerator gen(corpus, 8);
+
+    auto traceOf = [&](const GeneratedQuery &q) {
+        simt::ThreadTrace trace;
+        simt::RecordingTracer rec(trace);
+        http::Request req;
+        EXPECT_TRUE(http::parseRequest(q.raw, 0, rec, req));
+        uint32_t type_id = 0;
+        EXPECT_TRUE(service.resolveType(req, type_id));
+        specweb::MapSessionProvider sessions;
+        specweb::StringResponseWriter writer(rec);
+        specweb::HandlerContext ctx;
+        ctx.request = &req;
+        ctx.rec = &rec;
+        ctx.out = &writer;
+        ctx.sessions = &sessions;
+        const int stages = service.numStages(type_id);
+        for (int s = 0; s < stages && !ctx.failed; ++s) {
+            service.runStage(type_id, s, ctx);
+            if (!ctx.failed && s < stages - 1) {
+                ctx.backendResponse =
+                    service.executeBackend(ctx.backendRequest, rec);
+            }
+        }
+        return trace;
+    };
+
+    simt::ThreadTrace a = traceOf(gen.generate(PageType::Results));
+    simt::ThreadTrace b = traceOf(gen.generate(PageType::Results));
+    const std::vector<const simt::ThreadTrace *> lanes = {&a, &b};
+    simt::WarpStats ws = simt::simulateWarp(
+        std::span<const simt::ThreadTrace *const>(lanes.data(), 2));
+    const double efficiency =
+        static_cast<double>(ws.laneInstructions) /
+        (2.0 * static_cast<double>(ws.issueSlots));
+    EXPECT_GT(efficiency, 0.80);
+}
+
+TEST(SearchOnRhythm, UnknownPathIs404)
+{
+    SearchRig rig;
+    rig.server.injectRequest(
+        "GET /bank/login.php HTTP/1.1\r\nHost: h\r\n\r\n", 1);
+    rig.server.flush();
+    rig.queue.run();
+    ASSERT_EQ(rig.responses.size(), 1u);
+    EXPECT_NE(rig.responses[0].second.find("404"), std::string::npos);
+}
+
+} // namespace
+} // namespace rhythm::search

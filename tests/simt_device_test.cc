@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the simulated device: streams, hardware queues, copy
+ * engines and the processor-sharing kernel pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hh"
+#include "simt/device.hh"
+
+namespace rhythm::simt {
+namespace {
+
+DeviceConfig
+testConfig()
+{
+    DeviceConfig cfg;
+    cfg.launchOverhead = 0;
+    cfg.pcieLatency = 0;
+    cfg.pcieBandwidthGBs = 1.0; // 1 byte per ns: easy arithmetic
+    return cfg;
+}
+
+KernelCost
+kernelOf(double seconds, double cap = 1.0)
+{
+    KernelCost c;
+    c.deviceSeconds = seconds;
+    c.maxShare = cap;
+    return c;
+}
+
+TEST(Device, SingleKernelRunsForItsDemand)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    bool done = false;
+    dev.launchKernel(s, kernelOf(1e-3), [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-3, 1e-9);
+    EXPECT_TRUE(dev.idle());
+}
+
+TEST(Device, LaunchOverheadAddsSerialDelay)
+{
+    des::EventQueue eq;
+    DeviceConfig cfg = testConfig();
+    cfg.launchOverhead = 5 * des::kMicrosecond;
+    Device dev(eq, cfg);
+    int s = dev.createStream();
+    dev.launchKernel(s, kernelOf(1e-3), nullptr);
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-3 + 5e-6, 1e-9);
+}
+
+TEST(Device, StreamCommandsSerialize)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    std::vector<int> order;
+    dev.launchKernel(s, kernelOf(1e-3), [&] { order.push_back(1); });
+    dev.launchKernel(s, kernelOf(1e-3), [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_NEAR(des::toSeconds(eq.now()), 2e-3, 1e-9);
+}
+
+TEST(Device, IndependentStreamsShareThroughput)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s1 = dev.createStream();
+    int s2 = dev.createStream();
+    double t1 = 0, t2 = 0;
+    dev.launchKernel(s1, kernelOf(1e-3),
+                     [&] { t1 = des::toSeconds(eq.now()); });
+    dev.launchKernel(s2, kernelOf(1e-3),
+                     [&] { t2 = des::toSeconds(eq.now()); });
+    eq.run();
+    // Two equal kernels sharing the device: both finish at ~2 ms.
+    EXPECT_NEAR(t1, 2e-3, 1e-6);
+    EXPECT_NEAR(t2, 2e-3, 1e-6);
+}
+
+TEST(Device, OccupancyCapLimitsSmallKernels)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    // A kernel that can only use 10% of the machine takes 10× longer.
+    dev.launchKernel(s, kernelOf(1e-3, 0.1), nullptr);
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-2, 1e-6);
+}
+
+TEST(Device, CappedKernelsOverlapPerfectly)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    // Four kernels capped at 25% each: all four run concurrently and the
+    // machine is exactly saturated.
+    for (int i = 0; i < 4; ++i)
+        dev.launchKernel(dev.createStream(), kernelOf(1e-3, 0.25), nullptr);
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), 4e-3, 1e-6);
+    EXPECT_NEAR(dev.stats().kernelBusySeconds, 4e-3, 1e-6);
+}
+
+TEST(Device, SingleHardwareQueueCreatesFalseDependencies)
+{
+    des::EventQueue eq;
+    DeviceConfig cfg = testConfig();
+    cfg.hardwareQueues = 1; // GTX690-style
+    Device dev(eq, cfg);
+    int s1 = dev.createStream();
+    int s2 = dev.createStream();
+    dev.launchKernel(s1, kernelOf(1e-3, 0.25), nullptr);
+    dev.launchKernel(s2, kernelOf(1e-3, 0.25), nullptr);
+    eq.run();
+    // Serialized (4 ms each because of the cap): 8 ms total instead of
+    // the 4 ms overlap HyperQ achieves in CappedKernelsOverlapPerfectly.
+    EXPECT_NEAR(des::toSeconds(eq.now()), 8e-3, 1e-6);
+}
+
+TEST(Device, CopyTimeMatchesBandwidth)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    bool done = false;
+    dev.copyToDevice(s, 1000000, [&] { done = true; }); // 1 MB at 1 GB/s
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-3, 1e-9);
+    EXPECT_EQ(dev.stats().bytesToDevice, 1000000u);
+    EXPECT_EQ(dev.stats().copiesToDevice, 1u);
+}
+
+TEST(Device, CopyLatencyAdds)
+{
+    des::EventQueue eq;
+    DeviceConfig cfg = testConfig();
+    cfg.pcieLatency = 8 * des::kMicrosecond;
+    Device dev(eq, cfg);
+    int s = dev.createStream();
+    dev.copyToHost(s, 1000000, nullptr);
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-3 + 8e-6, 1e-9);
+}
+
+TEST(Device, SameDirectionCopiesSerializeOnEngine)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s1 = dev.createStream();
+    int s2 = dev.createStream();
+    double t2 = 0;
+    dev.copyToDevice(s1, 1000000, nullptr);
+    dev.copyToDevice(s2, 1000000, [&] { t2 = des::toSeconds(eq.now()); });
+    eq.run();
+    EXPECT_NEAR(t2, 2e-3, 1e-9);
+}
+
+TEST(Device, OppositeDirectionCopiesOverlap)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s1 = dev.createStream();
+    int s2 = dev.createStream();
+    dev.copyToDevice(s1, 1000000, nullptr);
+    dev.copyToHost(s2, 1000000, nullptr);
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-3, 1e-9);
+}
+
+TEST(Device, PipelineCopyKernelCopy)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    std::vector<int> order;
+    dev.copyToDevice(s, 1000, [&] { order.push_back(1); });
+    dev.launchKernel(s, kernelOf(1e-6), [&] { order.push_back(2); });
+    dev.copyToHost(s, 1000, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-6 + 2e-6, 1e-9);
+}
+
+TEST(Device, CallbackCanEnqueueMoreWork)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    int completions = 0;
+    std::function<void()> chain = [&] {
+        if (++completions < 5)
+            dev.launchKernel(s, kernelOf(1e-4), chain);
+    };
+    dev.launchKernel(s, kernelOf(1e-4), chain);
+    eq.run();
+    EXPECT_EQ(completions, 5);
+    EXPECT_NEAR(des::toSeconds(eq.now()), 5e-4, 1e-7);
+}
+
+TEST(Device, UtilizationReflectsIdleGaps)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    // 1 ms of work, then idle until 4 ms.
+    dev.launchKernel(s, kernelOf(1e-3), nullptr);
+    eq.run();
+    eq.scheduleAt(des::fromSeconds(4e-3), [] {});
+    eq.run();
+    EXPECT_NEAR(dev.kernelUtilization(), 0.25, 1e-3);
+}
+
+TEST(Device, ManySmallKernelsNeedConcurrencyToSaturate)
+{
+    // With 8 streams of cap-1/8 kernels inflight continuously the device
+    // saturates; utilization ≈ 1.
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    const int kStreams = 8;
+    const int kPerStream = 10;
+    for (int i = 0; i < kStreams; ++i) {
+        int s = dev.createStream();
+        for (int j = 0; j < kPerStream; ++j)
+            dev.launchKernel(s, kernelOf(1e-4, 0.125), nullptr);
+    }
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), 8e-3, 1e-5);
+    EXPECT_NEAR(dev.kernelUtilization(), 1.0, 1e-3);
+}
+
+TEST(Device, StatsCountKernels)
+{
+    des::EventQueue eq;
+    Device dev(eq, testConfig());
+    int s = dev.createStream();
+    for (int i = 0; i < 3; ++i)
+        dev.launchKernel(s, kernelOf(1e-6), nullptr);
+    eq.run();
+    EXPECT_EQ(dev.stats().kernelsLaunched, 3u);
+}
+
+} // namespace
+} // namespace rhythm::simt

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for trace recording (src/simt/trace).
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/trace.hh"
+
+namespace rhythm::simt {
+namespace {
+
+TEST(RecordingTracer, CapturesBlocksInOrder)
+{
+    ThreadTrace trace;
+    RecordingTracer rec(trace);
+    rec.block(1, 10);
+    rec.block(2, 20);
+    rec.block(1, 5);
+    ASSERT_EQ(trace.blocks.size(), 3u);
+    EXPECT_EQ(trace.blocks[0].blockId, 1u);
+    EXPECT_EQ(trace.blocks[1].blockId, 2u);
+    EXPECT_EQ(trace.blocks[2].instructions, 5u);
+    EXPECT_EQ(trace.totalInstructions(), 35u);
+    EXPECT_EQ(trace.length(), 3u);
+}
+
+TEST(RecordingTracer, AttachesMemOpsToCurrentBlock)
+{
+    ThreadTrace trace;
+    RecordingTracer rec(trace);
+    rec.block(1, 10);
+    rec.load(0x1000, 4, 4, 4);
+    rec.store(0x2000, 1, 0, 8);
+    rec.block(2, 10);
+    rec.load(0x3000, 1, 0, 4);
+
+    ASSERT_EQ(trace.memOps.size(), 3u);
+    EXPECT_EQ(trace.blocks[0].memBegin, 0u);
+    EXPECT_EQ(trace.blocks[0].memCount, 2u);
+    EXPECT_EQ(trace.blocks[1].memBegin, 2u);
+    EXPECT_EQ(trace.blocks[1].memCount, 1u);
+    EXPECT_FALSE(trace.memOps[0].isStore);
+    EXPECT_TRUE(trace.memOps[1].isStore);
+    EXPECT_EQ(trace.memOps[1].width, 8u);
+}
+
+TEST(RecordingTracer, BindClearsPreviousContent)
+{
+    ThreadTrace trace;
+    {
+        RecordingTracer rec(trace);
+        rec.block(1, 1);
+    }
+    RecordingTracer rec2(trace);
+    EXPECT_EQ(trace.blocks.size(), 0u);
+    rec2.block(9, 9);
+    EXPECT_EQ(trace.blocks.size(), 1u);
+}
+
+TEST(CountingTracer, CountsEverything)
+{
+    CountingTracer ct;
+    ct.block(1, 100);
+    ct.block(2, 200);
+    ct.load(0, 16, 4, 4);
+    ct.store(64, 2, 8, 8);
+    EXPECT_EQ(ct.instructions(), 300u);
+    EXPECT_EQ(ct.blocks(), 2u);
+    EXPECT_EQ(ct.bytes(), 16u * 4 + 2 * 8);
+    ct.reset();
+    EXPECT_EQ(ct.instructions(), 0u);
+    EXPECT_EQ(ct.bytes(), 0u);
+}
+
+TEST(NullTracer, AcceptsCallsSilently)
+{
+    NullTracer nt;
+    nt.block(1, 1);
+    nt.load(0, 1, 0, 4);
+    nt.store(0, 1, 0, 4);
+    SUCCEED();
+}
+
+TEST(ThreadTrace, ClearResets)
+{
+    ThreadTrace trace;
+    RecordingTracer rec(trace);
+    rec.block(1, 10);
+    rec.load(0, 1, 0, 4);
+    trace.clear();
+    EXPECT_EQ(trace.blocks.size(), 0u);
+    EXPECT_EQ(trace.memOps.size(), 0u);
+    EXPECT_EQ(trace.totalInstructions(), 0u);
+}
+
+TEST(RecordingTracer, ConstantAndSharedSpaces)
+{
+    ThreadTrace trace;
+    RecordingTracer rec(trace);
+    rec.block(1, 1);
+    rec.load(0x10, 1, 0, 4, MemSpace::Constant);
+    rec.store(0x20, 1, 0, 4, MemSpace::Shared);
+    EXPECT_EQ(trace.memOps[0].space, MemSpace::Constant);
+    EXPECT_EQ(trace.memOps[1].space, MemSpace::Shared);
+}
+
+} // namespace
+} // namespace rhythm::simt

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Unit and property tests for the warp lockstep simulator and coalescer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simt/kernel.hh"
+#include "simt/warp.hh"
+#include "util/rng.hh"
+
+namespace rhythm::simt {
+namespace {
+
+/// Builds a trace from (blockId, instructions) pairs.
+ThreadTrace
+makeTrace(std::initializer_list<std::pair<uint32_t, uint32_t>> blocks)
+{
+    ThreadTrace t;
+    RecordingTracer rec(t);
+    for (auto [id, insts] : blocks)
+        rec.block(id, insts);
+    return t;
+}
+
+std::vector<const ThreadTrace *>
+ptrs(const std::vector<ThreadTrace> &traces)
+{
+    std::vector<const ThreadTrace *> p;
+    for (const auto &t : traces)
+        p.push_back(&t);
+    return p;
+}
+
+TEST(Coalescer, SingleLaneSingleSegment)
+{
+    std::vector<uint64_t> addrs = {0};
+    EXPECT_EQ(coalesceTransactions(addrs, 4, 128), 1u);
+}
+
+TEST(Coalescer, FullWarpContiguousIsOneTransaction)
+{
+    std::vector<uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(l * 4);
+    EXPECT_EQ(coalesceTransactions(addrs, 4, 128), 1u);
+}
+
+TEST(Coalescer, StridedLanesAreSeparateTransactions)
+{
+    // 4 KiB apart: the row-major buffer layout before transpose.
+    std::vector<uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(static_cast<uint64_t>(l) * 4096);
+    EXPECT_EQ(coalesceTransactions(addrs, 4, 128), 32u);
+}
+
+TEST(Coalescer, StraddlingAccessCountsBothSegments)
+{
+    std::vector<uint64_t> addrs = {126};
+    EXPECT_EQ(coalesceTransactions(addrs, 4, 128), 2u);
+}
+
+TEST(Coalescer, DuplicateAddressesMerge)
+{
+    std::vector<uint64_t> addrs = {0, 0, 0, 64, 64};
+    EXPECT_EQ(coalesceTransactions(addrs, 4, 128), 1u);
+}
+
+TEST(Warp, IdenticalTracesExecuteOnce)
+{
+    std::vector<ThreadTrace> traces;
+    for (int i = 0; i < 32; ++i)
+        traces.push_back(makeTrace({{1, 100}, {2, 50}, {3, 25}}));
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.issueSlots, 175u);           // fetched once
+    EXPECT_EQ(ws.laneInstructions, 32u * 175); // all lanes did the work
+    EXPECT_EQ(ws.steps, 3u);
+    EXPECT_DOUBLE_EQ(ws.simdEfficiency(32), 1.0);
+}
+
+TEST(Warp, FullyDivergentTracesSerialize)
+{
+    std::vector<ThreadTrace> traces;
+    for (uint32_t i = 0; i < 8; ++i)
+        traces.push_back(makeTrace({{100 + i, 10}}));
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.issueSlots, 80u); // each block fetched separately
+    EXPECT_EQ(ws.laneInstructions, 80u);
+    EXPECT_EQ(ws.steps, 8u);
+    EXPECT_NEAR(ws.simdEfficiency(32), 1.0 / 32.0, 1e-12);
+}
+
+TEST(Warp, IfElseDivergenceReconverges)
+{
+    // Half the warp takes block 2, half takes block 3; all share 1 and 4.
+    std::vector<ThreadTrace> traces;
+    for (int i = 0; i < 32; ++i) {
+        if (i % 2 == 0)
+            traces.push_back(makeTrace({{1, 10}, {2, 20}, {4, 10}}));
+        else
+            traces.push_back(makeTrace({{1, 10}, {3, 20}, {4, 10}}));
+    }
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    // Blocks: 1 (once), 2 and 3 (serialized), 4 (once) = 10+20+20+10.
+    EXPECT_EQ(ws.issueSlots, 60u);
+    EXPECT_EQ(ws.steps, 4u);
+    EXPECT_EQ(ws.laneInstructions, 32u * 40);
+}
+
+TEST(Warp, DifferentTripWeightsPredicate)
+{
+    // Same block id, different dynamic weights (e.g. different string
+    // lengths): the group runs for max(weight) slots.
+    std::vector<ThreadTrace> traces;
+    traces.push_back(makeTrace({{1, 10}}));
+    traces.push_back(makeTrace({{1, 30}}));
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.issueSlots, 30u);
+    EXPECT_EQ(ws.laneInstructions, 40u);
+    EXPECT_EQ(ws.steps, 1u);
+}
+
+TEST(Warp, LoopTripCountDivergence)
+{
+    // Lane A loops 3 times over block 5, lane B twice; they re-merge.
+    std::vector<ThreadTrace> traces;
+    traces.push_back(makeTrace({{4, 1}, {5, 10}, {5, 10}, {5, 10}, {6, 1}}));
+    traces.push_back(makeTrace({{4, 1}, {5, 10}, {5, 10}, {6, 1}}));
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    // 4 together, 5 ×2 together, 5 ×1 lane A alone, 6 together.
+    EXPECT_EQ(ws.issueSlots, 1u + 30u + 1u);
+    EXPECT_EQ(ws.steps, 5u);
+}
+
+TEST(Warp, NullLanesIgnored)
+{
+    ThreadTrace t = makeTrace({{1, 10}});
+    std::vector<const ThreadTrace *> p = {&t, nullptr, &t, nullptr};
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.issueSlots, 10u);
+    EXPECT_EQ(ws.laneInstructions, 20u);
+}
+
+TEST(Warp, EmptyWarp)
+{
+    std::vector<const ThreadTrace *> p;
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.issueSlots, 0u);
+    EXPECT_EQ(ws.simdEfficiency(32), 0.0);
+}
+
+TEST(Warp, CoalescedStoresAcrossLanes)
+{
+    // 32 lanes store 4 B each at consecutive addresses (transposed
+    // layout): one transaction per element index.
+    std::vector<ThreadTrace> traces(32);
+    for (int l = 0; l < 32; ++l) {
+        RecordingTracer rec(traces[static_cast<size_t>(l)]);
+        rec.block(1, 10);
+        // 16 elements, per-element stride = 128 (cohort row), lane offset 4.
+        rec.store(static_cast<uint64_t>(l) * 4, 16, 128, 4);
+    }
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.globalTransactions, 16u);
+    EXPECT_EQ(ws.globalBytes, 32u * 16 * 4);
+    EXPECT_DOUBLE_EQ(ws.coalescingEfficiency(), 1.0);
+}
+
+TEST(Warp, UncoalescedRowMajorStores)
+{
+    // Row-major: lane l writes its own contiguous 64 B buffer 4 KiB apart.
+    std::vector<ThreadTrace> traces(32);
+    for (int l = 0; l < 32; ++l) {
+        RecordingTracer rec(traces[static_cast<size_t>(l)]);
+        rec.block(1, 10);
+        rec.store(static_cast<uint64_t>(l) * 4096, 16, 4, 4);
+    }
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    // Each element index: 32 lanes in 32 distinct segments.
+    EXPECT_EQ(ws.globalTransactions, 16u * 32);
+    EXPECT_LT(ws.coalescingEfficiency(), 0.05);
+}
+
+TEST(Warp, SharedAndConstantProduceNoDramTraffic)
+{
+    std::vector<ThreadTrace> traces(4);
+    for (int l = 0; l < 4; ++l) {
+        RecordingTracer rec(traces[static_cast<size_t>(l)]);
+        rec.block(1, 5);
+        rec.load(0x100, 8, 4, 4, MemSpace::Shared);
+        rec.load(0x200, 2, 0, 4, MemSpace::Constant);
+    }
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.globalTransactions, 0u);
+    EXPECT_EQ(ws.sharedAccesses, 4u * 8);
+    EXPECT_EQ(ws.constantAccesses, 4u * 2);
+}
+
+TEST(Warp, BulkSampledPathMatchesExactForUniformPattern)
+{
+    // Large uniform op exercises the sampled fast path; a smaller version
+    // with identical per-element geometry exercises the exact path.
+    auto build = [](uint32_t count) {
+        std::vector<ThreadTrace> traces(32);
+        for (int l = 0; l < 32; ++l) {
+            RecordingTracer rec(traces[static_cast<size_t>(l)]);
+            rec.block(1, 1);
+            rec.store(static_cast<uint64_t>(l) * 4, count, 128, 4);
+        }
+        return traces;
+    };
+    auto small = build(1024); // exact path
+    auto big = build(8192);   // sampled path
+    auto ps = ptrs(small);
+    auto pb = ptrs(big);
+    WarpStats s = simulateWarp(ps);
+    WarpStats b = simulateWarp(pb);
+    EXPECT_EQ(s.globalTransactions, 1024u);
+    EXPECT_EQ(b.globalTransactions, 8192u);
+}
+
+// Property sweep: merged issue slots are bounded below by the longest
+// lane and above by the sum of all lanes, for random trace populations.
+class WarpMergeProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(WarpMergeProperty, SlotsBoundedByMaxAndSum)
+{
+    rhythm::Rng rng(GetParam());
+    std::vector<ThreadTrace> traces;
+    uint64_t sum = 0, max_one = 0;
+    const int lanes = static_cast<int>(rng.nextRange(1, 32));
+    for (int l = 0; l < lanes; ++l) {
+        ThreadTrace t;
+        RecordingTracer rec(t);
+        uint64_t insts = 0;
+        const int blocks = static_cast<int>(rng.nextRange(1, 20));
+        for (int b = 0; b < blocks; ++b) {
+            const uint32_t id = static_cast<uint32_t>(rng.nextRange(1, 6));
+            const uint32_t w = static_cast<uint32_t>(rng.nextRange(1, 50));
+            rec.block(id, w);
+            insts += w;
+        }
+        sum += insts;
+        max_one = std::max(max_one, insts);
+        traces.push_back(std::move(t));
+    }
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    EXPECT_GE(ws.issueSlots, max_one);
+    EXPECT_LE(ws.issueSlots, sum);
+    EXPECT_EQ(ws.laneInstructions, sum);
+    // Every lane's block executions are consumed exactly once.
+    uint64_t lane_blocks = 0;
+    for (const auto &t : traces)
+        lane_blocks += t.blocks.size();
+    EXPECT_EQ(ws.laneBlockExecs, lane_blocks);
+    EXPECT_GE(ws.activeLaneSteps, lane_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, WarpMergeProperty,
+                         ::testing::Range<uint64_t>(1, 33));
+
+TEST(KernelProfile, FromTracesPacksWarps)
+{
+    std::vector<ThreadTrace> traces;
+    for (int i = 0; i < 70; ++i)
+        traces.push_back(makeTrace({{1, 10}}));
+    auto p = ptrs(traces);
+    KernelProfile kp = KernelProfile::fromTraces(p, WarpModel{}, "t");
+    EXPECT_EQ(kp.threads, 70u);
+    EXPECT_EQ(kp.warps, 3u); // 32 + 32 + 6
+    EXPECT_EQ(kp.totals.issueSlots, 30u);
+    EXPECT_EQ(kp.totals.laneInstructions, 700u);
+}
+
+TEST(KernelProfile, StreamingIsMemoryBoundAndCoalesced)
+{
+    WarpModel model;
+    KernelProfile kp =
+        KernelProfile::streaming(4096, 1 << 20, 64, model, "transpose");
+    EXPECT_EQ(kp.warps, 128u);
+    EXPECT_EQ(kp.totals.globalTransactions, (1u << 20) / 128);
+    DeviceConfig cfg;
+    KernelCost cost = computeKernelCost(kp, cfg);
+    EXPECT_TRUE(cost.memoryBound);
+    EXPECT_GT(cost.deviceSeconds, 0.0);
+}
+
+TEST(KernelCost, OccupancyCapScalesWithWarps)
+{
+    DeviceConfig cfg;
+    WarpModel model;
+    KernelProfile small = KernelProfile::streaming(256, 1 << 16, 64, model);
+    KernelProfile big = KernelProfile::streaming(4096, 1 << 20, 64, model);
+    KernelCost cs = computeKernelCost(small, cfg);
+    KernelCost cb = computeKernelCost(big, cfg);
+    EXPECT_LT(cs.maxShare, cb.maxShare);
+    EXPECT_DOUBLE_EQ(cb.maxShare, 1.0);
+    EXPECT_NEAR(cs.maxShare, 8.0 / cfg.saturatingWarps(), 1e-12);
+}
+
+TEST(KernelCost, ComputeBoundKernel)
+{
+    WarpModel model;
+    // Many instructions, almost no memory.
+    KernelProfile kp = KernelProfile::streaming(4096, 128, 100000, model);
+    DeviceConfig cfg;
+    KernelCost cost = computeKernelCost(kp, cfg);
+    EXPECT_FALSE(cost.memoryBound);
+    const double expected = static_cast<double>(kp.totals.issueSlots) *
+                            cfg.instructionExpansion /
+                            cfg.issueSlotsPerSecond();
+    EXPECT_NEAR(cost.deviceSeconds, expected, 1e-15);
+    EXPECT_EQ(cost.memoryBytes, kp.totals.movedBytes());
+}
+
+TEST(SharedBanks, ConflictFreeStrideOne)
+{
+    // 32 lanes hit 32 consecutive 4-byte words: one word per bank.
+    std::vector<uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(static_cast<uint64_t>(l) * 4);
+    EXPECT_EQ(sharedBankReplays(addrs), 0u);
+}
+
+TEST(SharedBanks, BroadcastIsFree)
+{
+    std::vector<uint64_t> addrs(32, 128);
+    EXPECT_EQ(sharedBankReplays(addrs), 0u);
+}
+
+TEST(SharedBanks, StrideThirtyTwoIsWorstCase)
+{
+    // All lanes hit bank 0 with distinct addresses: 31 replays.
+    std::vector<uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(static_cast<uint64_t>(l) * 128);
+    EXPECT_EQ(sharedBankReplays(addrs), 31u);
+}
+
+TEST(SharedBanks, TwoWayConflict)
+{
+    // Stride 2 words: lanes l and l+16 share a bank: 1 replay.
+    std::vector<uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(static_cast<uint64_t>(l) * 8);
+    EXPECT_EQ(sharedBankReplays(addrs), 1u);
+}
+
+TEST(SharedBanks, SixteenWayConflict)
+{
+    // Stride 16 words: lanes collapse onto banks 0 and 16: 15 replays.
+    std::vector<uint64_t> addrs;
+    for (int l = 0; l < 32; ++l)
+        addrs.push_back(static_cast<uint64_t>(l) * 64);
+    EXPECT_EQ(sharedBankReplays(addrs), 15u);
+}
+
+TEST(SharedBanks, ReplaysFlowIntoWarpStatsAndCost)
+{
+    // A warp whose shared accesses all collide must cost more compute
+    // time than a conflict-free one.
+    auto build = [](uint32_t stride) {
+        std::vector<ThreadTrace> traces(32);
+        for (int l = 0; l < 32; ++l) {
+            RecordingTracer rec(traces[static_cast<size_t>(l)]);
+            rec.block(1, 10);
+            rec.load(static_cast<uint64_t>(l) * stride, 8, 4, 4,
+                     MemSpace::Shared);
+        }
+        std::vector<const ThreadTrace *> p;
+        for (auto &t : traces)
+            p.push_back(&t);
+        return KernelProfile::fromTraces(p, WarpModel{}, "t");
+    };
+    KernelProfile clean = build(4);     // conflict free
+    KernelProfile dirty = build(128);   // 32-way conflicts
+    EXPECT_EQ(clean.totals.sharedReplaySlots, 0u);
+    EXPECT_EQ(dirty.totals.sharedReplaySlots, 8u * 31);
+    DeviceConfig cfg;
+    EXPECT_GT(computeKernelCost(dirty, cfg).deviceSeconds,
+              computeKernelCost(clean, cfg).deviceSeconds);
+}
+
+} // namespace
+} // namespace rhythm::simt

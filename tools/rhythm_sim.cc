@@ -1,0 +1,321 @@
+/**
+ * @file
+ * rhythm_sim: the configurable simulation driver.
+ *
+ * Runs either shipped workload (banking / search) on any platform
+ * configuration — Titan A/B/C presets or fully custom device knobs —
+ * and prints a consolidated report: throughput, latency distribution,
+ * device/PCIe utilization, SIMD efficiency, power and requests/Joule.
+ *
+ * Examples:
+ *   rhythm_sim --workload=banking --platform=titanB
+ *   rhythm_sim --workload=banking --platform=titanA --pcie-gbs=24
+ *   rhythm_sim --workload=search --cohort-size=2048 --cohorts=16
+ *   rhythm_sim --workload=banking --type=logout --no-padding
+ */
+
+#include <iostream>
+
+#include "backend/bankdb.hh"
+#include "chat/store.hh"
+#include "chat/service.hh"
+#include "platform/titan.hh"
+#include "rhythm/banking_service.hh"
+#include "rhythm/server.hh"
+#include "search/service.hh"
+#include "specweb/workload.hh"
+#include "util/flags.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace rhythm;
+
+int
+usage(const std::string &error)
+{
+    if (!error.empty())
+        std::cerr << "error: " << error << "\n\n";
+    std::cerr
+        << "usage: rhythm_sim [flags]\n"
+           "  --workload=banking|search|chat  workload to serve (banking)\n"
+           "  --platform=titanA|titanB|titanC  preset (titanB)\n"
+           "  --type=<name>               isolate one request type\n"
+           "  --cohort-size=N             requests per cohort (4096)\n"
+           "  --cohorts=N                 cohorts to push through (10)\n"
+           "  --contexts=N                cohort contexts (8)\n"
+           "  --timeout-ms=X              formation timeout (2.0)\n"
+           "  --lane-sample=N             executed lanes/cohort (128)\n"
+           "  --users=N                   bank database users (2000)\n"
+           "  --docs=N                    search corpus documents (4000)\n"
+           "  --sms=N                     streaming multiprocessors\n"
+           "  --mem-gbs=X                 device DRAM bandwidth\n"
+           "  --pcie-gbs=X                PCIe bandwidth per direction\n"
+           "  --queues=N                  hardware work queues\n"
+           "  --no-transpose              row-major cohort buffers\n"
+           "  --no-padding                disable whitespace padding\n"
+           "  --seed=N                    deterministic seed (42)\n";
+    return error.empty() ? 0 : 2;
+}
+
+void
+report(const core::RhythmServer &server, const simt::Device &device,
+       const des::EventQueue &queue, const platform::TitanPowerModel &pm)
+{
+    const core::RhythmStats &stats = server.stats();
+    const simt::Device::Stats dstats = device.stats();
+    const double elapsed = des::toSeconds(queue.now());
+    const double throughput =
+        elapsed > 0 ? static_cast<double>(stats.responsesCompleted) /
+                          elapsed
+                    : 0.0;
+    const double util = device.kernelUtilization();
+    const double copy_util =
+        elapsed > 0
+            ? std::max(dstats.h2dBusySeconds, dstats.d2hBusySeconds) /
+                  elapsed
+            : 0.0;
+    const double mem_util =
+        elapsed > 0 ? static_cast<double>(dstats.kernelMemoryBytes) /
+                          (device.config().memBandwidthGBs *
+                           device.config().memoryEfficiency * 1e9 *
+                           elapsed)
+                    : 0.0;
+    const double activity =
+        pm.computeWeight * util +
+        (1.0 - pm.computeWeight) * std::min(1.0, mem_util);
+    const double dynamic_watts =
+        pm.devicePeakWatts *
+            (pm.deviceActiveFloor + (1 - pm.deviceActiveFloor) * activity) +
+        pm.pcieWatts * std::min(1.0, copy_util);
+    const double simd_eff =
+        stats.processIssueSlots > 0
+            ? stats.processLaneInstructions /
+                  (stats.processIssueSlots * 32.0)
+            : 0.0;
+
+    TableWriter t({"metric", "value"});
+    t.addRow({"requests completed",
+              withCommas(stats.responsesCompleted)});
+    t.addRow({"error responses", withCommas(stats.errorResponses)});
+    t.addRow({"simulated time", formatDouble(elapsed * 1e3, 2) + " ms"});
+    t.addRow({"throughput", humanCount(throughput) + "reqs/s"});
+    t.addRow({"latency mean / p50 / p99",
+              formatDouble(stats.latencyMs.mean(), 2) + " / " +
+                  formatDouble(stats.latencyMs.median(), 2) + " / " +
+                  formatDouble(stats.latencyMs.percentile(99), 2) +
+                  " ms"});
+    t.addRow({"latency breakdown (mean)",
+              formatDouble(stats.formationMs.mean(), 2) +
+                  " ms formation + " +
+                  formatDouble(stats.pipelineMs.mean(), 2) +
+                  " ms pipeline"});
+    t.addRow({"cohorts launched", withCommas(stats.cohortsLaunched)});
+    t.addRow({"cohort timeouts", withCommas(stats.cohortTimeouts)});
+    t.addRow({"device utilization", formatDouble(util, 3)});
+    t.addRow({"DRAM bandwidth utilization",
+              formatDouble(std::min(1.0, mem_util), 3)});
+    t.addRow({"PCIe engine utilization", formatDouble(copy_util, 3)});
+    t.addRow({"process SIMD efficiency", formatDouble(simd_eff, 3)});
+    t.addRow({"PCIe bytes",
+              humanBytes(static_cast<double>(dstats.bytesToDevice +
+                                             dstats.bytesToHost))});
+    t.addRow({"response padding",
+              humanBytes(static_cast<double>(stats.paddingBytes))});
+    t.addRow({"host fallback requests",
+              withCommas(stats.hostFallbackRequests)});
+    t.addRow({"est. dynamic power",
+              formatDouble(dynamic_watts, 1) + " W"});
+    t.addRow({"est. reqs/Joule (wall)",
+              formatDouble(throughput / (pm.idleWatts + dynamic_watts),
+                           0)});
+    t.addRow({"device memory pools",
+              humanBytes(static_cast<double>(
+                  server.memoryFootprintBytes()))});
+    t.printAscii(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    if (!flags.parse(argc, argv))
+        return usage(flags.error());
+    if (flags.has("help"))
+        return usage("");
+    if (!flags.allowOnly({"workload", "platform", "type", "cohort-size",
+                          "cohorts", "contexts", "timeout-ms",
+                          "lane-sample", "users", "docs", "sms",
+                          "mem-gbs", "pcie-gbs", "queues", "transpose",
+                          "padding", "seed", "help"}))
+        return usage(flags.error());
+
+    // ---- Platform ----------------------------------------------------
+    const std::string preset = flags.getString("platform", "titanB");
+    platform::TitanVariant variant;
+    if (preset == "titanA")
+        variant = platform::titanA();
+    else if (preset == "titanB")
+        variant = platform::titanB();
+    else if (preset == "titanC")
+        variant = platform::titanC();
+    else
+        return usage("unknown platform: " + preset);
+
+    variant.device.numSms = static_cast<int>(
+        flags.getU64("sms", static_cast<uint64_t>(variant.device.numSms)));
+    variant.device.memBandwidthGBs =
+        flags.getDouble("mem-gbs", variant.device.memBandwidthGBs);
+    variant.device.pcieBandwidthGBs =
+        flags.getDouble("pcie-gbs", variant.device.pcieBandwidthGBs);
+    variant.device.hardwareQueues = static_cast<int>(flags.getU64(
+        "queues", static_cast<uint64_t>(variant.device.hardwareQueues)));
+
+    core::RhythmConfig cfg = variant.server;
+    cfg.cohortSize =
+        static_cast<uint32_t>(flags.getU64("cohort-size", 4096));
+    // Default to 16 contexts: a mixed workload needs roughly one per
+    // request type in flight (isolation runs are fine with fewer).
+    cfg.cohortContexts =
+        static_cast<uint32_t>(flags.getU64("contexts", 16));
+    cfg.cohortTimeout =
+        des::fromSeconds(flags.getDouble("timeout-ms", 2.0) / 1e3);
+    cfg.laneSample =
+        static_cast<uint32_t>(flags.getU64("lane-sample", 128));
+    cfg.transposeBuffers = flags.getBool("transpose", true);
+    cfg.padResponses = flags.getBool("padding", true);
+
+    const uint64_t seed = flags.getU64("seed", 42);
+    const uint32_t cohorts =
+        static_cast<uint32_t>(flags.getU64("cohorts", 10));
+    const uint64_t total =
+        static_cast<uint64_t>(cohorts) * cfg.cohortSize;
+
+    std::cout << "rhythm_sim: " << flags.getString("workload", "banking")
+              << " on " << preset << " (" << variant.device.numSms
+              << " SMs, " << variant.device.memBandwidthGBs << " GB/s, "
+              << cohorts << " cohorts x " << cfg.cohortSize << ")\n";
+
+    // ---- Workloads -----------------------------------------------------
+    const std::string workload = flags.getString("workload", "banking");
+    if (workload == "banking") {
+        const uint64_t users = flags.getU64("users", 2000);
+        backend::BankDb db(users, seed);
+        specweb::WorkloadGenerator gen(db, seed * 31 + 7);
+
+        std::optional<specweb::RequestType> only;
+        const std::string type_name = flags.getString("type", "");
+        if (!type_name.empty()) {
+            for (size_t i = 0; i < specweb::kNumRequestTypes; ++i) {
+                if (specweb::typeTable()[i].name == type_name)
+                    only = specweb::typeTable()[i].type;
+            }
+            if (!only)
+                return usage("unknown banking type: " + type_name);
+            if (*only == specweb::RequestType::Login ||
+                *only == specweb::RequestType::Logout)
+                cfg.sessionNodesPerBucket = static_cast<uint32_t>(
+                    3 * total / std::min<uint64_t>(users, cfg.cohortSize) +
+                    16);
+        }
+
+        des::EventQueue queue;
+        simt::Device device(queue, variant.device);
+        core::BankingService service(db);
+        core::RhythmServer server(queue, device, service, cfg);
+        specweb::StaticContent content(32, seed);
+        server.setStaticContent(&content);
+
+        // Logout consumes one session per request; other types reuse a
+        // pool.
+        auto sessions = server.sessions().populate(
+            only && *only == specweb::RequestType::Logout
+                ? total
+                : std::min<uint64_t>(total, 8192),
+            users);
+        uint64_t issued = 0;
+        server.start([&]() -> std::optional<std::string> {
+            if (issued >= total)
+                return std::nullopt;
+            specweb::GeneratedRequest req;
+            specweb::RequestType type;
+            if (only) {
+                type = *only;
+            } else {
+                // Mixed mode models the browsing steady state: logins
+                // and logouts churn the reusable session pool, so run
+                // them isolated via --type instead.
+                do {
+                    type = gen.sampleType();
+                } while (type == specweb::RequestType::Login ||
+                         type == specweb::RequestType::Logout);
+            }
+            if (type == specweb::RequestType::Login) {
+                req = gen.generate(type, gen.sampleUser(), 0);
+            } else {
+                const auto &[sid, user] =
+                    sessions[issued % sessions.size()];
+                req = gen.generate(type, user, sid);
+            }
+            ++issued;
+            return std::move(req.raw);
+        });
+        queue.run();
+        report(server, device, queue, variant.power);
+        return 0;
+    }
+
+    if (workload == "chat") {
+        chat::RoomStore store(256, 40, seed);
+        chat::ChatGenerator gen(store, seed * 13 + 5);
+
+        des::EventQueue queue;
+        simt::Device device(queue, variant.device);
+        chat::ChatService service(store);
+        core::RhythmServer server(queue, device, service, cfg);
+
+        uint64_t issued = 0;
+        server.start([&]() -> std::optional<std::string> {
+            if (issued >= total)
+                return std::nullopt;
+            ++issued;
+            chat::PageType type;
+            return gen.next(type);
+        });
+        queue.run();
+        report(server, device, queue, variant.power);
+        std::cout << "messages posted during run: "
+                  << withCommas(store.totalPosted() - 256ull * 40)
+                  << "\n";
+        return 0;
+    }
+
+    if (workload == "search") {
+        const uint32_t docs =
+            static_cast<uint32_t>(flags.getU64("docs", 4000));
+        search::Corpus corpus(docs, 4096, seed);
+        search::InvertedIndex index(corpus);
+        search::QueryGenerator gen(corpus, seed * 17 + 3);
+
+        des::EventQueue queue;
+        simt::Device device(queue, variant.device);
+        search::SearchService service(index);
+        core::RhythmServer server(queue, device, service, cfg);
+
+        uint64_t issued = 0;
+        server.start([&]() -> std::optional<std::string> {
+            if (issued >= total)
+                return std::nullopt;
+            ++issued;
+            return gen.next().raw;
+        });
+        queue.run();
+        report(server, device, queue, variant.power);
+        return 0;
+    }
+
+    return usage("unknown workload: " + workload);
+}
