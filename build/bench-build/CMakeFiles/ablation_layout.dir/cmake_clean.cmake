@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_layout"
+  "../bench/ablation_layout.pdb"
+  "CMakeFiles/ablation_layout.dir/ablation_layout.cc.o"
+  "CMakeFiles/ablation_layout.dir/ablation_layout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

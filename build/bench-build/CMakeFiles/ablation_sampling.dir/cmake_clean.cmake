@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sampling"
+  "../bench/ablation_sampling.pdb"
+  "CMakeFiles/ablation_sampling.dir/ablation_sampling.cc.o"
+  "CMakeFiles/ablation_sampling.dir/ablation_sampling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_chat_workload"
+  "../bench/ext_chat_workload.pdb"
+  "CMakeFiles/ext_chat_workload.dir/ext_chat_workload.cc.o"
+  "CMakeFiles/ext_chat_workload.dir/ext_chat_workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

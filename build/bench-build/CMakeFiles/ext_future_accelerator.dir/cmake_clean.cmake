@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_future_accelerator"
+  "../bench/ext_future_accelerator.pdb"
+  "CMakeFiles/ext_future_accelerator.dir/ext_future_accelerator.cc.o"
+  "CMakeFiles/ext_future_accelerator.dir/ext_future_accelerator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_future_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

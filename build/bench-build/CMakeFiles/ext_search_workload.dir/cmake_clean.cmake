@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_search_workload"
+  "../bench/ext_search_workload.pdb"
+  "CMakeFiles/ext_search_workload.dir/ext_search_workload.cc.o"
+  "CMakeFiles/ext_search_workload.dir/ext_search_workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_search_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_timeout_tradeoff"
+  "../bench/ext_timeout_tradeoff.pdb"
+  "CMakeFiles/ext_timeout_tradeoff.dir/ext_timeout_tradeoff.cc.o"
+  "CMakeFiles/ext_timeout_tradeoff.dir/ext_timeout_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_timeout_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

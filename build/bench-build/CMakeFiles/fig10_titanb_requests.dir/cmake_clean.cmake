@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_titanb_requests"
+  "../bench/fig10_titanb_requests.pdb"
+  "CMakeFiles/fig10_titanb_requests.dir/fig10_titanb_requests.cc.o"
+  "CMakeFiles/fig10_titanb_requests.dir/fig10_titanb_requests.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_titanb_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_similarity"
+  "../bench/fig2_similarity.pdb"
+  "CMakeFiles/fig2_similarity.dir/fig2_similarity.cc.o"
+  "CMakeFiles/fig2_similarity.dir/fig2_similarity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

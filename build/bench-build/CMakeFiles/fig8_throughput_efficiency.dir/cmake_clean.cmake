@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_throughput_efficiency"
+  "../bench/fig8_throughput_efficiency.pdb"
+  "CMakeFiles/fig8_throughput_efficiency.dir/fig8_throughput_efficiency.cc.o"
+  "CMakeFiles/fig8_throughput_efficiency.dir/fig8_throughput_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_throughput_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_pcie_bound"
+  "../bench/fig9_pcie_bound.pdb"
+  "CMakeFiles/fig9_pcie_bound.dir/fig9_pcie_bound.cc.o"
+  "CMakeFiles/fig9_pcie_bound.dir/fig9_pcie_bound.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pcie_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_simulator"
+  "../bench/micro_simulator.pdb"
+  "CMakeFiles/micro_simulator.dir/micro_simulator.cc.o"
+  "CMakeFiles/micro_simulator.dir/micro_simulator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec62_scaling"
+  "../bench/sec62_scaling.pdb"
+  "CMakeFiles/sec62_scaling.dir/sec62_scaling.cc.o"
+  "CMakeFiles/sec62_scaling.dir/sec62_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec63_resources"
+  "../bench/sec63_resources.pdb"
+  "CMakeFiles/sec63_resources.dir/sec63_resources.cc.o"
+  "CMakeFiles/sec63_resources.dir/sec63_resources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

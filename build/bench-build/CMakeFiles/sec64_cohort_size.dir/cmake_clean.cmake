@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec64_cohort_size"
+  "../bench/sec64_cohort_size.pdb"
+  "CMakeFiles/sec64_cohort_size.dir/sec64_cohort_size.cc.o"
+  "CMakeFiles/sec64_cohort_size.dir/sec64_cohort_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_cohort_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

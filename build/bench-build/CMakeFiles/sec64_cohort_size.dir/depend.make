@@ -1,0 +1,2 @@
+# Empty dependencies file for sec64_cohort_size.
+# This may be replaced when dependencies are built.

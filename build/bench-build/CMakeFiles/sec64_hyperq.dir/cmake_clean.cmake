@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec64_hyperq"
+  "../bench/sec64_hyperq.pdb"
+  "CMakeFiles/sec64_hyperq.dir/sec64_hyperq.cc.o"
+  "CMakeFiles/sec64_hyperq.dir/sec64_hyperq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_hyperq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec64_parser_divergence"
+  "../bench/sec64_parser_divergence.pdb"
+  "CMakeFiles/sec64_parser_divergence.dir/sec64_parser_divergence.cc.o"
+  "CMakeFiles/sec64_parser_divergence.dir/sec64_parser_divergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_parser_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

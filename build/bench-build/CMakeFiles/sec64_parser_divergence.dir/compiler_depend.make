@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec64_parser_divergence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_workload"
+  "../bench/table2_workload.pdb"
+  "CMakeFiles/table2_workload.dir/table2_workload.cc.o"
+  "CMakeFiles/table2_workload.dir/table2_workload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

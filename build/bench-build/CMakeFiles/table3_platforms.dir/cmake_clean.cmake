@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_platforms"
+  "../bench/table3_platforms.pdb"
+  "CMakeFiles/table3_platforms.dir/table3_platforms.cc.o"
+  "CMakeFiles/table3_platforms.dir/table3_platforms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

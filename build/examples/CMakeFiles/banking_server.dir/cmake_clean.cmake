@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_server.dir/banking_server.cc.o"
+  "CMakeFiles/banking_server.dir/banking_server.cc.o.d"
+  "banking_server"
+  "banking_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

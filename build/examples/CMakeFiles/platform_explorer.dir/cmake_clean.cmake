@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_explorer.dir/platform_explorer.cc.o"
+  "CMakeFiles/platform_explorer.dir/platform_explorer.cc.o.d"
+  "platform_explorer"
+  "platform_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_server.dir/search_server.cc.o"
+  "CMakeFiles/search_server.dir/search_server.cc.o.d"
+  "search_server"
+  "search_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_study.dir/similarity_study.cc.o"
+  "CMakeFiles/similarity_study.dir/similarity_study.cc.o.d"
+  "similarity_study"
+  "similarity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

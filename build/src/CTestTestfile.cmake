@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("des")
+subdirs("simt")
+subdirs("http")
+subdirs("backend")
+subdirs("specweb")
+subdirs("rhythm")
+subdirs("host")
+subdirs("platform")
+subdirs("analysis")
+subdirs("search")
+subdirs("chat")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_analysis.dir/similarity.cc.o"
+  "CMakeFiles/rhythm_analysis.dir/similarity.cc.o.d"
+  "librhythm_analysis.a"
+  "librhythm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_backend.dir/bankdb.cc.o"
+  "CMakeFiles/rhythm_backend.dir/bankdb.cc.o.d"
+  "CMakeFiles/rhythm_backend.dir/protocol.cc.o"
+  "CMakeFiles/rhythm_backend.dir/protocol.cc.o.d"
+  "CMakeFiles/rhythm_backend.dir/service.cc.o"
+  "CMakeFiles/rhythm_backend.dir/service.cc.o.d"
+  "librhythm_backend.a"
+  "librhythm_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_chat.dir/service.cc.o"
+  "CMakeFiles/rhythm_chat.dir/service.cc.o.d"
+  "CMakeFiles/rhythm_chat.dir/store.cc.o"
+  "CMakeFiles/rhythm_chat.dir/store.cc.o.d"
+  "librhythm_chat.a"
+  "librhythm_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_des.dir/event_queue.cc.o"
+  "CMakeFiles/rhythm_des.dir/event_queue.cc.o.d"
+  "librhythm_des.a"
+  "librhythm_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

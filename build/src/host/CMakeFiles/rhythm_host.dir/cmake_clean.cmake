@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_host.dir/server.cc.o"
+  "CMakeFiles/rhythm_host.dir/server.cc.o.d"
+  "librhythm_host.a"
+  "librhythm_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_http.dir/http.cc.o"
+  "CMakeFiles/rhythm_http.dir/http.cc.o.d"
+  "CMakeFiles/rhythm_http.dir/parser.cc.o"
+  "CMakeFiles/rhythm_http.dir/parser.cc.o.d"
+  "librhythm_http.a"
+  "librhythm_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

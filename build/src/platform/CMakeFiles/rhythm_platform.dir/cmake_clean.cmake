@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_platform.dir/cpu.cc.o"
+  "CMakeFiles/rhythm_platform.dir/cpu.cc.o.d"
+  "CMakeFiles/rhythm_platform.dir/measure.cc.o"
+  "CMakeFiles/rhythm_platform.dir/measure.cc.o.d"
+  "CMakeFiles/rhythm_platform.dir/titan.cc.o"
+  "CMakeFiles/rhythm_platform.dir/titan.cc.o.d"
+  "librhythm_platform.a"
+  "librhythm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librhythm_platform.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_core.dir/banking_service.cc.o"
+  "CMakeFiles/rhythm_core.dir/banking_service.cc.o.d"
+  "CMakeFiles/rhythm_core.dir/buffers.cc.o"
+  "CMakeFiles/rhythm_core.dir/buffers.cc.o.d"
+  "CMakeFiles/rhythm_core.dir/cohort.cc.o"
+  "CMakeFiles/rhythm_core.dir/cohort.cc.o.d"
+  "CMakeFiles/rhythm_core.dir/server.cc.o"
+  "CMakeFiles/rhythm_core.dir/server.cc.o.d"
+  "CMakeFiles/rhythm_core.dir/session_array.cc.o"
+  "CMakeFiles/rhythm_core.dir/session_array.cc.o.d"
+  "librhythm_core.a"
+  "librhythm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

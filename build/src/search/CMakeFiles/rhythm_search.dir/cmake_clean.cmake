@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_search.dir/corpus.cc.o"
+  "CMakeFiles/rhythm_search.dir/corpus.cc.o.d"
+  "CMakeFiles/rhythm_search.dir/index.cc.o"
+  "CMakeFiles/rhythm_search.dir/index.cc.o.d"
+  "CMakeFiles/rhythm_search.dir/service.cc.o"
+  "CMakeFiles/rhythm_search.dir/service.cc.o.d"
+  "librhythm_search.a"
+  "librhythm_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

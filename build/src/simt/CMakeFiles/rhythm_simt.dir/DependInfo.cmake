@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device.cc" "src/simt/CMakeFiles/rhythm_simt.dir/device.cc.o" "gcc" "src/simt/CMakeFiles/rhythm_simt.dir/device.cc.o.d"
+  "/root/repo/src/simt/kernel.cc" "src/simt/CMakeFiles/rhythm_simt.dir/kernel.cc.o" "gcc" "src/simt/CMakeFiles/rhythm_simt.dir/kernel.cc.o.d"
+  "/root/repo/src/simt/trace.cc" "src/simt/CMakeFiles/rhythm_simt.dir/trace.cc.o" "gcc" "src/simt/CMakeFiles/rhythm_simt.dir/trace.cc.o.d"
+  "/root/repo/src/simt/warp.cc" "src/simt/CMakeFiles/rhythm_simt.dir/warp.cc.o" "gcc" "src/simt/CMakeFiles/rhythm_simt.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rhythm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/rhythm_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

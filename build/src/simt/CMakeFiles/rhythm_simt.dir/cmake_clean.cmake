@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_simt.dir/device.cc.o"
+  "CMakeFiles/rhythm_simt.dir/device.cc.o.d"
+  "CMakeFiles/rhythm_simt.dir/kernel.cc.o"
+  "CMakeFiles/rhythm_simt.dir/kernel.cc.o.d"
+  "CMakeFiles/rhythm_simt.dir/trace.cc.o"
+  "CMakeFiles/rhythm_simt.dir/trace.cc.o.d"
+  "CMakeFiles/rhythm_simt.dir/warp.cc.o"
+  "CMakeFiles/rhythm_simt.dir/warp.cc.o.d"
+  "librhythm_simt.a"
+  "librhythm_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

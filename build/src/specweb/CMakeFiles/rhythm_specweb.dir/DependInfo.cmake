@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specweb/banking.cc" "src/specweb/CMakeFiles/rhythm_specweb.dir/banking.cc.o" "gcc" "src/specweb/CMakeFiles/rhythm_specweb.dir/banking.cc.o.d"
+  "/root/repo/src/specweb/context.cc" "src/specweb/CMakeFiles/rhythm_specweb.dir/context.cc.o" "gcc" "src/specweb/CMakeFiles/rhythm_specweb.dir/context.cc.o.d"
+  "/root/repo/src/specweb/html.cc" "src/specweb/CMakeFiles/rhythm_specweb.dir/html.cc.o" "gcc" "src/specweb/CMakeFiles/rhythm_specweb.dir/html.cc.o.d"
+  "/root/repo/src/specweb/quickpay.cc" "src/specweb/CMakeFiles/rhythm_specweb.dir/quickpay.cc.o" "gcc" "src/specweb/CMakeFiles/rhythm_specweb.dir/quickpay.cc.o.d"
+  "/root/repo/src/specweb/static_content.cc" "src/specweb/CMakeFiles/rhythm_specweb.dir/static_content.cc.o" "gcc" "src/specweb/CMakeFiles/rhythm_specweb.dir/static_content.cc.o.d"
+  "/root/repo/src/specweb/types.cc" "src/specweb/CMakeFiles/rhythm_specweb.dir/types.cc.o" "gcc" "src/specweb/CMakeFiles/rhythm_specweb.dir/types.cc.o.d"
+  "/root/repo/src/specweb/workload.cc" "src/specweb/CMakeFiles/rhythm_specweb.dir/workload.cc.o" "gcc" "src/specweb/CMakeFiles/rhythm_specweb.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rhythm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/rhythm_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rhythm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/rhythm_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/rhythm_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_specweb.dir/banking.cc.o"
+  "CMakeFiles/rhythm_specweb.dir/banking.cc.o.d"
+  "CMakeFiles/rhythm_specweb.dir/context.cc.o"
+  "CMakeFiles/rhythm_specweb.dir/context.cc.o.d"
+  "CMakeFiles/rhythm_specweb.dir/html.cc.o"
+  "CMakeFiles/rhythm_specweb.dir/html.cc.o.d"
+  "CMakeFiles/rhythm_specweb.dir/quickpay.cc.o"
+  "CMakeFiles/rhythm_specweb.dir/quickpay.cc.o.d"
+  "CMakeFiles/rhythm_specweb.dir/static_content.cc.o"
+  "CMakeFiles/rhythm_specweb.dir/static_content.cc.o.d"
+  "CMakeFiles/rhythm_specweb.dir/types.cc.o"
+  "CMakeFiles/rhythm_specweb.dir/types.cc.o.d"
+  "CMakeFiles/rhythm_specweb.dir/workload.cc.o"
+  "CMakeFiles/rhythm_specweb.dir/workload.cc.o.d"
+  "librhythm_specweb.a"
+  "librhythm_specweb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_specweb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_util.dir/flags.cc.o"
+  "CMakeFiles/rhythm_util.dir/flags.cc.o.d"
+  "CMakeFiles/rhythm_util.dir/logging.cc.o"
+  "CMakeFiles/rhythm_util.dir/logging.cc.o.d"
+  "CMakeFiles/rhythm_util.dir/rng.cc.o"
+  "CMakeFiles/rhythm_util.dir/rng.cc.o.d"
+  "CMakeFiles/rhythm_util.dir/stats.cc.o"
+  "CMakeFiles/rhythm_util.dir/stats.cc.o.d"
+  "CMakeFiles/rhythm_util.dir/strings.cc.o"
+  "CMakeFiles/rhythm_util.dir/strings.cc.o.d"
+  "CMakeFiles/rhythm_util.dir/table.cc.o"
+  "CMakeFiles/rhythm_util.dir/table.cc.o.d"
+  "librhythm_util.a"
+  "librhythm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backpressure_test.dir/backpressure_test.cc.o"
+  "CMakeFiles/backpressure_test.dir/backpressure_test.cc.o.d"
+  "backpressure_test"
+  "backpressure_test.pdb"
+  "backpressure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backpressure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_test.dir/chat_test.cc.o"
+  "CMakeFiles/chat_test.dir/chat_test.cc.o.d"
+  "chat_test"
+  "chat_test.pdb"
+  "chat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_test.dir/des_test.cc.o"
+  "CMakeFiles/des_test.dir/des_test.cc.o.d"
+  "des_test"
+  "des_test.pdb"
+  "des_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

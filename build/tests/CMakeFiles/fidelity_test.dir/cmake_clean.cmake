@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidelity_test.dir/fidelity_test.cc.o"
+  "CMakeFiles/fidelity_test.dir/fidelity_test.cc.o.d"
+  "fidelity_test"
+  "fidelity_test.pdb"
+  "fidelity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

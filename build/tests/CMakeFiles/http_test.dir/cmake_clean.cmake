@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_test.dir/http_test.cc.o"
+  "CMakeFiles/http_test.dir/http_test.cc.o.d"
+  "http_test"
+  "http_test.pdb"
+  "http_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

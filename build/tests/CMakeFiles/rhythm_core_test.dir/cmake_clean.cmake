@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_core_test.dir/rhythm_core_test.cc.o"
+  "CMakeFiles/rhythm_core_test.dir/rhythm_core_test.cc.o.d"
+  "rhythm_core_test"
+  "rhythm_core_test.pdb"
+  "rhythm_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_server_test.dir/rhythm_server_test.cc.o"
+  "CMakeFiles/rhythm_server_test.dir/rhythm_server_test.cc.o.d"
+  "rhythm_server_test"
+  "rhythm_server_test.pdb"
+  "rhythm_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

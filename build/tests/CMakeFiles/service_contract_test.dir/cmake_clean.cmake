@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_contract_test.dir/service_contract_test.cc.o"
+  "CMakeFiles/service_contract_test.dir/service_contract_test.cc.o.d"
+  "service_contract_test"
+  "service_contract_test.pdb"
+  "service_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_device_test.dir/simt_device_test.cc.o"
+  "CMakeFiles/simt_device_test.dir/simt_device_test.cc.o.d"
+  "simt_device_test"
+  "simt_device_test.pdb"
+  "simt_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_trace_test.dir/simt_trace_test.cc.o"
+  "CMakeFiles/simt_trace_test.dir/simt_trace_test.cc.o.d"
+  "simt_trace_test"
+  "simt_trace_test.pdb"
+  "simt_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_warp_test.dir/simt_warp_test.cc.o"
+  "CMakeFiles/simt_warp_test.dir/simt_warp_test.cc.o.d"
+  "simt_warp_test"
+  "simt_warp_test.pdb"
+  "simt_warp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_warp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specweb_test.dir/specweb_test.cc.o"
+  "CMakeFiles/specweb_test.dir/specweb_test.cc.o.d"
+  "specweb_test"
+  "specweb_test.pdb"
+  "specweb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specweb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

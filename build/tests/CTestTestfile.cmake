@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_warp_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_device_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/specweb_test[1]_include.cmake")
+include("/root/repo/build/tests/rhythm_core_test[1]_include.cmake")
+include("/root/repo/build/tests/rhythm_server_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/backpressure_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/chat_test[1]_include.cmake")
+include("/root/repo/build/tests/service_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/fidelity_test[1]_include.cmake")

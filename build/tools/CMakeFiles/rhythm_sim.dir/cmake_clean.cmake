@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_sim.dir/rhythm_sim.cc.o"
+  "CMakeFiles/rhythm_sim.dir/rhythm_sim.cc.o.d"
+  "rhythm_sim"
+  "rhythm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
