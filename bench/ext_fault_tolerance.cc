@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Extension experiment: fault tolerance and graceful degradation.
+ *
+ * The paper's evaluation assumes a healthy backend and a healthy PCIe
+ * link. This experiment injects deterministic backend failures at a
+ * swept rate and measures how cohort-level retries recover goodput:
+ * with no retry budget every failed backend call turns into a 503 on
+ * one lane, while a modest budget absorbs transient failures at a small
+ * latency cost. The run also exercises the degradation machinery under
+ * three fault seeds to demonstrate that recovery is reproducible and
+ * that a 1% backend failure rate costs less than 5% goodput.
+ */
+
+#include <iostream>
+
+#include "backend/bankdb.hh"
+#include "bench/common.hh"
+#include "fault/plan.hh"
+#include "rhythm/banking_service.hh"
+#include "rhythm/server.hh"
+#include "specweb/workload.hh"
+
+namespace {
+
+using namespace rhythm;
+
+struct RunResult
+{
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+    uint64_t retries = 0;
+    uint64_t failedLanes = 0;
+    uint64_t faults = 0;
+    double goodputKrps = 0.0;
+    double p99Ms = 0.0;
+    bool drained = false;
+    bool conserved = false;
+};
+
+RunResult
+runOnce(double fail_prob, uint32_t retry_budget, uint64_t fault_seed)
+{
+    des::EventQueue queue;
+    simt::Device device(queue, simt::DeviceConfig{});
+    backend::BankDb db(2000, 5);
+    core::BankingService service(db);
+
+    core::RhythmConfig cfg;
+    cfg.cohortSize = 1024;
+    cfg.cohortContexts = 8;
+    cfg.backendOnDevice = true; // Titan B
+    cfg.networkOverPcie = false;
+    cfg.laneSample = 64;
+    cfg.backendRetryBudget = retry_budget;
+    core::RhythmServer server(queue, device, service, cfg);
+
+    fault::FaultConfig fcfg;
+    fcfg.seed = fault_seed;
+    fcfg.at(fault::Site::BackendFail).probability = fail_prob;
+    fault::FaultPlan plan(fcfg);
+    if (fail_prob > 0.0)
+        server.setFaultPlan(&plan);
+
+    specweb::WorkloadGenerator gen(db, 31);
+    auto sessions = server.sessions().populate(8192, 2000);
+    const uint64_t total = 20ull * cfg.cohortSize;
+    uint64_t issued = 0;
+    server.start([&]() -> std::optional<std::string> {
+        if (issued >= total)
+            return std::nullopt;
+        const auto &[sid, user] = sessions[issued % sessions.size()];
+        specweb::GeneratedRequest req = gen.generate(
+            specweb::RequestType::AccountSummary, user, sid);
+        ++issued;
+        return std::move(req.raw);
+    });
+
+    // Watchdog: a hung simulation either stops draining or spins on
+    // same-time events; stepping with a dispatch cap catches both
+    // without wall-clock timers (which would break determinism).
+    const uint64_t max_events = 50'000'000;
+    while (queue.pending() && queue.dispatched() < max_events)
+        queue.step();
+
+    const core::RhythmStats &stats = server.stats();
+    RunResult r;
+    r.completed = stats.responsesCompleted;
+    r.errors = stats.errorResponses;
+    r.retries = stats.backendRetries;
+    r.failedLanes = stats.backendFailedLanes;
+    r.faults = stats.faultsInjected;
+    r.goodputKrps = static_cast<double>(stats.responsesCompleted) /
+                    des::toSeconds(queue.now()) / 1e3;
+    r.p99Ms = stats.latencyMs.percentile(99.0);
+    r.drained = !queue.pending();
+    r.conserved = stats.requestsAccepted ==
+                  stats.responsesCompleted + stats.errorResponses +
+                      stats.requestsShed;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Extension: fault tolerance vs retry budget",
+                  "robustness extension (not a paper figure)");
+
+    const RunResult baseline = runOnce(0.0, 0, 1);
+    std::cout << "\nFault-free baseline: "
+              << bench::fmt(baseline.goodputKrps, 0) << " KReqs/s, p99 "
+              << bench::fmt(baseline.p99Ms, 2) << " ms\n\n";
+
+    TableWriter table({"backend fail rate", "retry budget", "KReqs/s",
+                       "goodput vs clean", "p99 ms", "retries",
+                       "503 lanes"});
+    for (double rate : {0.001, 0.01, 0.05}) {
+        for (uint32_t budget : {0u, 4u, 16u}) {
+            const RunResult r = runOnce(rate, budget, 1);
+            table.addRow(
+                {bench::fmt(rate * 100, 1) + "%", withCommas(budget),
+                 bench::fmt(r.goodputKrps, 0),
+                 bench::fmt(100.0 * r.goodputKrps / baseline.goodputKrps,
+                            1) +
+                     "%",
+                 bench::fmt(r.p99Ms, 2), withCommas(r.retries),
+                 withCommas(r.failedLanes)});
+        }
+    }
+    table.printAscii(std::cout);
+
+    // Acceptance: 1% backend failure with a 16-retry budget keeps
+    // goodput within 5% of the fault-free baseline, for three distinct
+    // fault seeds, with the event queue fully drained (no hangs) and
+    // the request conservation invariant intact.
+    std::cout << "\nAcceptance (1% failure, budget 16, 3 seeds):\n";
+    bool pass = true;
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        const RunResult r = runOnce(0.01, 16, seed);
+        const double ratio = r.goodputKrps / baseline.goodputKrps;
+        const bool ok =
+            ratio >= 0.95 && r.drained && r.conserved;
+        pass = pass && ok;
+        std::cout << "  seed " << seed << ": goodput "
+                  << bench::fmt(100.0 * ratio, 1) << "% of clean, "
+                  << withCommas(r.faults) << " faults, "
+                  << withCommas(r.retries) << " retries, drained="
+                  << (r.drained ? "yes" : "no") << ", conserved="
+                  << (r.conserved ? "yes" : "no") << " -> "
+                  << (ok ? "ok" : "FAIL") << "\n";
+    }
+
+    // Determinism: the same seed and plan must reproduce identical
+    // counters run-to-run.
+    const RunResult a = runOnce(0.01, 16, 1);
+    const RunResult b = runOnce(0.01, 16, 1);
+    const bool deterministic =
+        a.completed == b.completed && a.errors == b.errors &&
+        a.retries == b.retries && a.failedLanes == b.failedLanes &&
+        a.faults == b.faults;
+    pass = pass && deterministic;
+    std::cout << "  repeat run identical: "
+              << (deterministic ? "yes" : "NO") << "\n";
+
+    std::cout << "\nVerdict: " << (pass ? "PASS" : "FAIL")
+              << " (goodput >= 95% of fault-free at 1% backend failure, "
+                 "no hangs, deterministic)\n";
+    return pass ? 0 : 1;
+}

@@ -12,6 +12,7 @@
  */
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <map>
 
@@ -68,7 +69,7 @@ main(int argc, char **argv)
     uint64_t next_request_id = 1;
 
     // Issues the next request in a client's lifecycle.
-    auto issue = [&](uint64_t client_id) {
+    std::function<void(uint64_t)> issue = [&](uint64_t client_id) {
         Client &c = clients[client_id];
         specweb::RequestType type;
         switch (c.phase) {
@@ -90,9 +91,18 @@ main(int argc, char **argv)
         specweb::GeneratedRequest req =
             gen.generate(type, c.user, c.sessionId);
         const uint64_t rid = next_request_id++;
-        outstanding[rid] = type;
         // Encode the owning client in the high bits of the request id.
-        server.injectRequest(req.raw, client_id << 32 | rid);
+        if (!server.injectRequest(req.raw, client_id << 32 | rid)) {
+            // Reader full: a closed-loop client must not lose its
+            // in-flight page or its lifecycle wedges, so back off and
+            // reissue.
+            queue.scheduleAfter(des::kMillisecond,
+                                [&issue, client_id] {
+                                    issue(client_id);
+                                });
+            return;
+        }
+        outstanding[rid] = type;
     };
 
     server.setResponseCallback([&](uint64_t tag,

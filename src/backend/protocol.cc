@@ -111,6 +111,13 @@ isOk(std::string_view text)
     return startsWith(text, "OK|");
 }
 
+bool
+isUnavailable(std::string_view text)
+{
+    return startsWith(text, "ERR|") &&
+           text.substr(4) == kUnavailableReason;
+}
+
 std::string_view
 payload(std::string_view text)
 {

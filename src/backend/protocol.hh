@@ -77,6 +77,14 @@ std::string error(std::string_view reason);
 /** True if the response indicates success. */
 bool isOk(std::string_view text);
 
+/** Reason carried by transient-unavailability errors (fault injection,
+ *  brownouts). Callers may retry exactly these; other ERR responses are
+ *  semantic failures that retrying cannot fix. */
+inline constexpr std::string_view kUnavailableReason = "unavailable";
+
+/** True for the transient "ERR|unavailable" response (retryable). */
+bool isUnavailable(std::string_view text);
+
 /** Returns the payload of an OK response ("" otherwise). */
 std::string_view payload(std::string_view text);
 

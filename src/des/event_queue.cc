@@ -56,6 +56,7 @@ EventQueue::step()
     now_ = it->first.first;
     Callback cb = std::move(it->second);
     events_.erase(it);
+    ++dispatched_;
     cb();
     return true;
 }

@@ -64,6 +64,13 @@ class EventQueue
     size_t pending() const { return events_.size(); }
 
     /**
+     * Events dispatched over the queue's lifetime. Useful as a cheap
+     * progress watchdog: a simulation that stops making progress stops
+     * advancing this counter even when pending() stays non-zero.
+     */
+    uint64_t dispatched() const { return dispatched_; }
+
+    /**
      * Runs until the queue drains or the optional horizon is reached.
      * @param horizon Stop once the next event is strictly beyond this
      *        time (the clock is advanced to the horizon). 0 = no horizon.
@@ -82,6 +89,7 @@ class EventQueue
 
     Time now_ = 0;
     uint64_t nextSequence_ = 0;
+    uint64_t dispatched_ = 0;
     bool stopRequested_ = false;
     std::map<Key, Callback> events_;
 };

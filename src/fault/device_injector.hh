@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Adapter installing FaultPlan-driven injection on a simulated device:
+ * stream stalls before command starts, and PCIe corruption (link-layer
+ * replay) / bandwidth degradation on transfers. The hooks consult the
+ * plan in deterministic DES order, so device-level faults reproduce
+ * exactly from the plan seed.
+ */
+
+#ifndef RHYTHM_FAULT_DEVICE_INJECTOR_HH
+#define RHYTHM_FAULT_DEVICE_INJECTOR_HH
+
+#include "des/event_queue.hh"
+#include "fault/plan.hh"
+#include "simt/device.hh"
+
+namespace rhythm::fault {
+
+/**
+ * Installs stall/PCIe fault hooks consulting @p plan on @p device.
+ * Both references must outlive the device's use. Passing a plan whose
+ * schedules are all quiet is valid and costs one probability draw per
+ * command/copy.
+ */
+void installDeviceFaults(simt::Device &device, FaultPlan &plan,
+                         des::EventQueue &queue);
+
+} // namespace rhythm::fault
+
+#endif // RHYTHM_FAULT_DEVICE_INJECTOR_HH

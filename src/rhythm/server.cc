@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/protocol.hh"
 #include "http/parser.hh"
 
 #include "util/logging.hh"
@@ -11,6 +12,20 @@ namespace {
 
 /** Simulated device address of the raw request buffer region. */
 constexpr uint64_t kRequestRegionBase = 0x9000'0000;
+
+/** 503 for requests rejected by the load shedder. */
+constexpr const char *kShedResponse =
+    "HTTP/1.1 503 Service Unavailable\r\n"
+    "Retry-After: 1\r\n"
+    "Content-Length: 0\r\n\r\n";
+
+/** 503 for lanes whose backend calls exhausted the retry budget. */
+constexpr const char *kBackendUnavailableResponse =
+    "HTTP/1.1 503 Service Unavailable\r\n"
+    "Content-Length: 0\r\n\r\n";
+
+/** Latency samples required before the p99 shedder may trip. */
+constexpr uint64_t kMinSloSamples = 64;
 
 /** Instruction weight per thread of a transpose kernel element loop. */
 constexpr uint32_t kTransposeInstsPerThread = 96;
@@ -72,7 +87,8 @@ struct RhythmServer::CohortRun
 RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
                            Service &service, const RhythmConfig &config)
     : queue_(queue), device_(device), service_(service), config_(config),
-      pool_(config.cohortContexts, config.cohortSize)
+      pool_(config.cohortContexts, config.cohortSize),
+      sloLatencyMs_(std::max<uint32_t>(config.sloWindow, 1))
 {
     RHYTHM_ASSERT(config_.cohortSize > 0);
     sessions_ = std::make_unique<SessionArray>(
@@ -92,6 +108,12 @@ RhythmServer::setResponseCallback(ResponseCallback cb)
 }
 
 void
+RhythmServer::setFaultPlan(fault::FaultPlan *plan)
+{
+    faultPlan_ = plan;
+}
+
+void
 RhythmServer::start(Source source)
 {
     source_ = std::move(source);
@@ -102,8 +124,14 @@ bool
 RhythmServer::injectRequest(std::string raw, uint64_t client_id)
 {
     if (forming_ && forming_->entries.size() >= config_.cohortSize &&
-        parserBusy_)
+        parserBusy_) {
+        ++stats_.readerDrops;
         return false; // reader stall: both buffers occupied
+    }
+    if (sheddingActive()) {
+        shedRequest(client_id);
+        return true; // consumed: answered with an immediate 503
+    }
     if (!forming_)
         forming_ = std::make_unique<ReaderBatch>();
     if (forming_->entries.empty()) {
@@ -114,8 +142,67 @@ RhythmServer::injectRequest(std::string raw, uint64_t client_id)
         RawEntry{std::move(raw), client_id, queue_.now()});
     ++stats_.requestsAccepted;
     ++inflightRequests_;
+    noteAccepted(client_id);
     maybeLaunchBatch(false);
     return true;
+}
+
+uint64_t
+RhythmServer::formationBacklog() const
+{
+    uint64_t backlog = forming_ ? forming_->entries.size() : 0;
+    backlog += pendingDispatch_.size() + pendingImages_.size();
+    for (const CohortContext &ctx : pool_.contexts()) {
+        if (ctx.state() == CohortState::PartiallyFull ||
+            ctx.state() == CohortState::Full)
+            backlog += ctx.entries().size();
+    }
+    return backlog;
+}
+
+bool
+RhythmServer::sheddingActive()
+{
+    bool shed = false;
+    if (config_.shedBacklogLimit &&
+        formationBacklog() >= config_.shedBacklogLimit)
+        shed = true;
+    if (!shed && config_.shedLatencySlo &&
+        sloLatencyMs_.totalCount() >= kMinSloSamples &&
+        sloLatencyMs_.percentile(99.0) >
+            des::toMillis(config_.shedLatencySlo))
+        shed = true;
+    // Accumulate degraded time incrementally (not only on the
+    // degraded->healthy edge) so an interval still open when the run
+    // ends is visible in the stats.
+    if (degraded_) {
+        stats_.degradedTime += queue_.now() - degradedSince_;
+        degradedSince_ = queue_.now();
+    } else if (shed) {
+        degradedSince_ = queue_.now();
+    }
+    degraded_ = shed;
+    return shed;
+}
+
+void
+RhythmServer::shedRequest(uint64_t client_id)
+{
+    ++stats_.requestsAccepted;
+    ++stats_.requestsShed;
+    if (responseCb_)
+        responseCb_(client_id, kShedResponse, 0);
+}
+
+void
+RhythmServer::noteAccepted(uint64_t client_id)
+{
+    if (faultPlan_ &&
+        faultPlan_->at(fault::Site::ClientDisconnect, queue_.now())
+            .fire) {
+        ++stats_.faultsInjected;
+        disconnected_.insert(client_id);
+    }
 }
 
 void
@@ -136,14 +223,20 @@ RhythmServer::pump()
             maybeLaunchBatch(true);
             return;
         }
+        const uint64_t client_id = nextClientId_++;
+        if (sheddingActive()) {
+            shedRequest(client_id);
+            continue;
+        }
         if (!forming_)
             forming_ = std::make_unique<ReaderBatch>();
         if (forming_->entries.empty())
             forming_->firstArrival = queue_.now();
         forming_->entries.push_back(
-            RawEntry{std::move(*raw), nextClientId_++, queue_.now()});
+            RawEntry{std::move(*raw), client_id, queue_.now()});
         ++stats_.requestsAccepted;
         ++inflightRequests_;
+        noteAccepted(client_id);
     }
 }
 
@@ -456,12 +549,25 @@ RhythmServer::completeRequest(uint64_t client_id,
                               const std::string &response,
                               des::Time latency, bool failed)
 {
-    ++stats_.responsesCompleted;
-    if (failed)
-        ++stats_.errorResponses;
-    stats_.latencyMs.add(des::toMillis(latency));
     RHYTHM_ASSERT(inflightRequests_ > 0);
     --inflightRequests_;
+    if (!disconnected_.empty() && disconnected_.erase(client_id) > 0) {
+        // The client hung up mid-pipeline: the work happened but the
+        // response is undeliverable. Count it as an error (lost
+        // goodput) and keep it out of the latency SLO window.
+        ++stats_.clientDisconnects;
+        ++stats_.errorResponses;
+        return;
+    }
+    if (failed)
+        ++stats_.errorResponses;
+    else
+        ++stats_.responsesCompleted;
+    if (config_.requestDeadline && latency > config_.requestDeadline)
+        ++stats_.deadlineMisses;
+    stats_.latencyMs.add(des::toMillis(latency));
+    if (config_.shedLatencySlo)
+        sloLatencyMs_.add(des::toMillis(latency));
     if (responseCb_)
         responseCb_(client_id, response, latency);
 }
@@ -509,11 +615,34 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
     uint64_t backend_insts = 0;
     uint64_t backend_calls = 0;
 
+    // Cohort-level backend retry state: the budget is shared by all
+    // lanes; per-stage retry rounds translate into backoff delays in
+    // the simulated command sequence below.
+    uint32_t retry_budget = config_.backendRetryBudget;
+    std::vector<uint32_t> retry_rounds(static_cast<size_t>(stages), 0);
+    std::vector<uint64_t> retried_calls(static_cast<size_t>(stages), 0);
+
+    // One backend call, with transient-failure injection when a fault
+    // plan is armed. A self-injecting BackendService produces the same
+    // "ERR|unavailable" wire response, so both host- and device-path
+    // failures funnel through the retry loop below.
+    auto call_backend = [&](const std::string &request,
+                            simt::TraceRecorder &rec) -> std::string {
+        if (faultPlan_ &&
+            faultPlan_->at(fault::Site::BackendFail, queue_.now()).fire) {
+            ++stats_.faultsInjected;
+            return backend::response::error(
+                backend::response::kUnavailableReason);
+        }
+        return service_.executeBackend(request, rec);
+    };
+
     for (uint32_t lane = 0; lane < sample; ++lane) {
         const CohortEntry &entry = ctx.entries()[lane];
         specweb::HandlerContext hctx;
         hctx.request = &entry.request;
         hctx.sessions = sessions_.get();
+        bool lane_unavailable = false;
         for (int s = 0; s < stages; ++s) {
             simt::RecordingTracer rec(stage_traces[static_cast<size_t>(s)]
                                                   [lane]);
@@ -527,14 +656,37 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
             }
             if (s < stages - 1) {
                 simt::CountingTracer counter;
-                hctx.backendResponse =
-                    service_.executeBackend(hctx.backendRequest, counter);
+                uint32_t attempts = 0;
+                std::string resp =
+                    call_backend(hctx.backendRequest, counter);
+                while (backend::response::isUnavailable(resp) &&
+                       retry_budget > 0) {
+                    --retry_budget;
+                    ++attempts;
+                    ++stats_.backendRetries;
+                    resp = call_backend(hctx.backendRequest, counter);
+                }
                 backend_insts += counter.instructions();
-                ++backend_calls;
+                backend_calls += 1 + attempts;
+                const size_t si = static_cast<size_t>(s);
+                retry_rounds[si] = std::max(retry_rounds[si], attempts);
+                retried_calls[si] += attempts;
+                if (backend::response::isUnavailable(resp)) {
+                    // Budget exhausted: isolate the failure to this
+                    // lane — it answers 503 while its cohort-mates
+                    // complete normally.
+                    run.failed[lane] = true;
+                    lane_unavailable = true;
+                    ++stats_.backendFailedLanes;
+                    break;
+                }
+                hctx.backendResponse = std::move(resp);
                 hctx.backendRequest.clear();
             }
         }
-        run.responses.push_back(buffer.content(lane));
+        run.responses.push_back(lane_unavailable
+                                    ? kBackendUnavailableResponse
+                                    : buffer.content(lane));
     }
 
     // Replay the response stores with the configured layout/padding into
@@ -621,6 +773,32 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
                             0});
                 }
             }
+
+            // Degradation costs for this cohort-stage: an injected
+            // backend brownout, exponential backoff between retry
+            // rounds, and the service time of the retried calls
+            // themselves. Zero on the default path, so the sequence is
+            // unchanged when no faults or retries occurred.
+            des::Time extra = 0;
+            if (faultPlan_) {
+                const fault::Decision slow =
+                    faultPlan_->at(fault::Site::BackendSlow, queue_.now());
+                if (slow.fire) {
+                    ++stats_.faultsInjected;
+                    extra += slow.delay;
+                }
+            }
+            const size_t si = static_cast<size_t>(s);
+            for (uint32_t r = 0; r < retry_rounds[si]; ++r)
+                extra += config_.retryBackoffBase
+                         << std::min<uint32_t>(r, 20);
+            if (retried_calls[si] > 0)
+                extra += des::fromSeconds(
+                    static_cast<double>(retried_calls[si]) /
+                    config_.hostBackendReqsPerSec);
+            if (extra > 0)
+                run.sequence.push_back(
+                    Cmd{Cmd::Kind::HostDelay, {}, 0, extra});
         }
     }
 

@@ -34,9 +34,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "des/event_queue.hh"
+#include "fault/plan.hh"
 #include "rhythm/buffers.hh"
 #include "rhythm/cohort.hh"
 #include "rhythm/service.hh"
@@ -82,13 +84,60 @@ struct RhythmConfig
     double hostFallbackInstsPerSec = 20e9;
     /** Warp model for kernel profiling. */
     simt::WarpModel warpModel;
+
+    // ---- Robustness / graceful degradation (all off by default, so
+    // ---- a default config reproduces the paper's figures exactly) --
+
+    /**
+     * Per-request completion deadline (0 = none). Late responses are
+     * still delivered but counted as deadline misses: the client gave
+     * up, so they are lost goodput.
+     */
+    des::Time requestDeadline = 0;
+    /**
+     * Backend retry attempts allowed per cohort (0 = a failed backend
+     * call 503s its lane immediately). The budget is shared by all
+     * lanes of a cohort so a full brownout cannot retry-storm.
+     */
+    uint32_t backendRetryBudget = 0;
+    /** Backoff before the first retry round; doubles every round. */
+    des::Time retryBackoffBase = 50 * des::kMicrosecond;
+    /**
+     * Shed (immediate 503) new requests while the formation backlog —
+     * reader batch + dispatch queue + forming cohorts — is at or above
+     * this many requests (0 = no backlog shedding).
+     */
+    uint32_t shedBacklogLimit = 0;
+    /**
+     * Shed new requests while the windowed p99 latency exceeds this
+     * SLO (0 = no latency shedding). Uses the last `sloWindow`
+     * completions so the server re-admits once the brownout clears.
+     */
+    des::Time shedLatencySlo = 0;
+    /** Completions considered by the latency shedder. */
+    uint32_t sloWindow = 512;
 };
 
-/** Aggregate server statistics. */
+/**
+ * Aggregate server statistics.
+ *
+ * Conservation invariant: every request the server accepted ownership
+ * of is answered exactly once —
+ *
+ *     requestsAccepted == responsesCompleted + errorResponses
+ *                         + requestsShed
+ *
+ * (responses to disconnected clients are counted as errorResponses:
+ * the work happened but no client saw it). Reader-full rejections are
+ * NOT accepted; they count in readerDrops and the caller retries.
+ */
 struct RhythmStats
 {
+    /** Requests taken from the client, including shed ones. */
     uint64_t requestsAccepted = 0;
+    /** Successful responses delivered (errors counted separately). */
     uint64_t responsesCompleted = 0;
+    /** Error responses (4xx/5xx) plus undeliverable responses. */
     uint64_t errorResponses = 0;
     uint64_t cohortsLaunched = 0;
     uint64_t cohortTimeouts = 0;
@@ -112,6 +161,24 @@ struct RhythmStats
     /** Aggregate SIMD efficiency of process-stage kernels. */
     double processIssueSlots = 0;
     double processLaneInstructions = 0;
+
+    // ---- Robustness / degradation counters -------------------------
+    /** Requests rejected with an immediate 503 by the load shedder. */
+    uint64_t requestsShed = 0;
+    /** injectRequest refusals (reader double-buffer full). */
+    uint64_t readerDrops = 0;
+    /** Backend calls re-issued after a transient failure. */
+    uint64_t backendRetries = 0;
+    /** Lanes answered 503 after the cohort retry budget ran out. */
+    uint64_t backendFailedLanes = 0;
+    /** Responses delivered later than the request deadline. */
+    uint64_t deadlineMisses = 0;
+    /** Responses undeliverable because the client disconnected. */
+    uint64_t clientDisconnects = 0;
+    /** Fault-plan injections observed at server-consulted sites. */
+    uint64_t faultsInjected = 0;
+    /** Simulated time spent in degraded (shedding) mode. */
+    des::Time degradedTime = 0;
 };
 
 /**
@@ -157,13 +224,29 @@ class RhythmServer
     /** Registers the per-response callback. */
     void setResponseCallback(ResponseCallback cb);
 
+    /**
+     * Installs a fault plan (not owned; nullptr disarms). The server
+     * consults it for backend failure/slowdown and client disconnects;
+     * device-level sites (PCIe, stream stalls) are installed separately
+     * with fault::installDeviceFaults. Do not also arm the backing
+     * BackendService, or each backend call is consulted twice.
+     */
+    void setFaultPlan(fault::FaultPlan *plan);
+
     /** Installs a pull source and begins pumping requests. */
     void start(Source source);
 
     /**
      * Pushes one request into the reader.
-     * @return false when the reader is full (caller should retry after
-     *         running the event loop — a structural stall).
+     *
+     * Push-mode contract: `true` means the server took ownership and
+     * will answer the request exactly once through the response
+     * callback — possibly with an immediate 503 if the load shedder is
+     * active. `false` means the reader's double buffer is full (a
+     * structural stall, counted in RhythmStats::readerDrops); the
+     * request was NOT accepted and the caller must either retry after
+     * running the event loop (closed-loop clients) or treat the
+     * request as dropped (open-loop clients).
      */
     bool injectRequest(std::string raw, uint64_t client_id);
 
@@ -200,6 +283,14 @@ class RhythmServer
     };
 
     void pump();
+    /** Backlog of requests waiting for a cohort to launch. */
+    uint64_t formationBacklog() const;
+    /** Evaluates the load shedder and tracks degraded-mode time. */
+    bool sheddingActive();
+    /** Sheds one request with an immediate 503. */
+    void shedRequest(uint64_t client_id);
+    /** Post-acceptance bookkeeping (client-disconnect injection). */
+    void noteAccepted(uint64_t client_id);
     void maybeLaunchBatch(bool force);
     void parseBatch(std::unique_ptr<ReaderBatch> batch);
     void dispatchParsed(std::vector<CohortEntry> parsed);
@@ -243,6 +334,13 @@ class RhythmServer
     int parserStream_ = -1;
 
     bool timeoutScanScheduled_ = false;
+
+    fault::FaultPlan *faultPlan_ = nullptr;
+    /** Clients that disconnected while their request was in flight. */
+    std::unordered_set<uint64_t> disconnected_;
+    WindowedPercentile sloLatencyMs_;
+    bool degraded_ = false;
+    des::Time degradedSince_ = 0;
 
     RhythmStats stats_;
 };

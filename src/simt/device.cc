@@ -49,6 +49,12 @@ Device::launchKernel(int stream, KernelCost cost, Callback done)
 }
 
 void
+Device::setFaultHooks(DeviceFaultHooks hooks)
+{
+    faultHooks_ = std::move(hooks);
+}
+
+void
 Device::enqueue(int stream, Command cmd)
 {
     RHYTHM_ASSERT(stream >= 0 && stream < nextStream_, "unknown stream");
@@ -68,7 +74,19 @@ Device::startCommand(int queue_index)
     // The command stays at the queue head (blocking the queue, and
     // keeping its completion callback alive) until it completes; only
     // its parameters travel into the execution machinery.
-    const Command &cmd = q.front();
+    Command &cmd = q.front();
+    if (faultHooks_.commandStall && !cmd.stallChecked) {
+        cmd.stallChecked = true;
+        const des::Time stall = faultHooks_.commandStall();
+        if (stall > 0) {
+            // The stream wedges: its hardware queue stays blocked for
+            // the stall duration, then the command proceeds normally.
+            queue_.scheduleAfter(stall, [this, queue_index]() {
+                startCommand(queue_index);
+            });
+            return;
+        }
+    }
     switch (cmd.type) {
       case CommandType::CopyH2D:
         startCopy(h2d_, PendingCopy{cmd.bytes, true, queue_index});
@@ -119,8 +137,11 @@ Device::startCopy(CopyEngine &engine, PendingCopy copy)
     }
     const double transfer_seconds =
         static_cast<double>(copy.bytes) / (config_.pcieBandwidthGBs * 1e9);
-    const des::Time duration =
+    des::Time duration =
         config_.pcieLatency + des::fromSeconds(transfer_seconds);
+    if (faultHooks_.copyExtra)
+        duration +=
+            faultHooks_.copyExtra(copy.toDevice, copy.bytes, duration);
     engine.busySeconds += des::toSeconds(duration);
     queue_.scheduleAfter(duration, [this, &engine, qi = copy.queueIndex]() {
         copyFinished(engine);

@@ -33,6 +33,30 @@
 namespace rhythm::simt {
 
 /**
+ * Optional fault-injection hooks consulted by the device. Installed by
+ * the fault subsystem (`fault::installDeviceFaults`); when a hook is
+ * empty the corresponding site costs nothing. Hooks are consulted in
+ * deterministic DES order, so a seeded fault plan reproduces exactly.
+ */
+struct DeviceFaultHooks
+{
+    /**
+     * Consulted once per queued command immediately before it starts;
+     * returns an extra stall (0 = none) during which the hardware
+     * queue stays blocked (a wedged stream).
+     */
+    std::function<des::Time()> commandStall;
+    /**
+     * Consulted once per PCIe transfer; returns extra transfer time on
+     * top of @p nominal (link-layer replay of a corrupted TLP, or
+     * bandwidth degradation from retraining).
+     */
+    std::function<des::Time(bool to_device, uint64_t bytes,
+                            des::Time nominal)>
+        copyExtra;
+};
+
+/**
  * Discrete-event model of a SIMT accelerator.
  *
  * All methods must be called from the owning EventQueue's thread of
@@ -60,6 +84,9 @@ class Device
 
     /** Enqueues a kernel launch with the given resource demand. */
     void launchKernel(int stream, KernelCost cost, Callback done);
+
+    /** Installs fault-injection hooks (replace with {} to disarm). */
+    void setFaultHooks(DeviceFaultHooks hooks);
 
     /** The static configuration. */
     const DeviceConfig &config() const { return config_; }
@@ -98,6 +125,8 @@ class Device
         uint64_t bytes = 0;
         KernelCost cost;
         Callback done;
+        /** The stall hook fires at most once per command. */
+        bool stallChecked = false;
     };
 
     struct RunningKernel
@@ -137,6 +166,7 @@ class Device
 
     des::EventQueue &queue_;
     DeviceConfig config_;
+    DeviceFaultHooks faultHooks_;
     des::Time createTime_;
 
     int nextStream_ = 0;

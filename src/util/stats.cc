@@ -99,6 +99,46 @@ Histogram::clear()
     sorted_ = true;
 }
 
+WindowedPercentile::WindowedPercentile(size_t window) : window_(window)
+{
+    RHYTHM_ASSERT(window_ > 0);
+    ring_.reserve(window_);
+}
+
+void
+WindowedPercentile::add(double value)
+{
+    if (ring_.size() < window_) {
+        ring_.push_back(value);
+    } else {
+        ring_[next_] = value;
+        next_ = (next_ + 1) % window_;
+    }
+    ++total_;
+    cacheValid_ = false;
+}
+
+double
+WindowedPercentile::percentile(double p) const
+{
+    if (ring_.empty())
+        return 0.0;
+    RHYTHM_ASSERT(p >= 0.0 && p <= 100.0);
+    if (cacheValid_ && cachedP_ == p)
+        return cachedValue_;
+    scratch_ = ring_;
+    const double rank =
+        (p / 100.0) * static_cast<double>(scratch_.size() - 1);
+    const auto nth = static_cast<size_t>(rank + 0.5);
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<long>(nth),
+                     scratch_.end());
+    cachedP_ = p;
+    cachedValue_ = scratch_[nth];
+    cacheValid_ = true;
+    return cachedValue_;
+}
+
 void
 WeightedHarmonicMean::add(double weight, double value)
 {

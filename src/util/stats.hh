@@ -95,6 +95,48 @@ class Histogram
 };
 
 /**
+ * A fixed-window percentile tracker over the most recent samples.
+ *
+ * The load shedder needs "observed p99 latency right now", not the
+ * whole-run percentile a Histogram gives: after a brownout clears, old
+ * slow samples must age out so the server exits degraded mode. Keeps a
+ * ring of the last `window` samples; percentile queries select over the
+ * ring (O(window)) with the result cached until the next add.
+ */
+class WindowedPercentile
+{
+  public:
+    /** @param window Samples retained; must be positive. */
+    explicit WindowedPercentile(size_t window = 512);
+
+    /** Records one sample, evicting the oldest beyond the window. */
+    void add(double value);
+
+    /** Samples ever recorded (not capped by the window). */
+    uint64_t totalCount() const { return total_; }
+
+    /** Samples currently in the window. */
+    size_t windowCount() const { return ring_.size(); }
+
+    /**
+     * Returns the given percentile over the current window via
+     * nearest-rank selection. @param p Percentile in [0, 100].
+     * Returns 0 when the window is empty.
+     */
+    double percentile(double p) const;
+
+  private:
+    size_t window_;
+    std::vector<double> ring_;
+    size_t next_ = 0;
+    uint64_t total_ = 0;
+    mutable bool cacheValid_ = false;
+    mutable double cachedP_ = -1.0;
+    mutable double cachedValue_ = 0.0;
+    mutable std::vector<double> scratch_;
+};
+
+/**
  * A weighted-harmonic-mean accumulator.
  *
  * The paper combines per-request-type efficiencies into a workload

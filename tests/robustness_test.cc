@@ -206,6 +206,14 @@ TEST(ServerRobustness, HostileStreamAllRequestsAnswered)
     queue.run(); // timeout-launched stragglers
     EXPECT_EQ(answered, sent);
     EXPECT_TRUE(server.drained());
+
+    // Conservation: every accepted request is answered exactly once,
+    // as a success, an error or a shed 503.
+    const core::RhythmStats &st = server.stats();
+    EXPECT_EQ(st.requestsAccepted, sent);
+    EXPECT_EQ(st.requestsAccepted, st.responsesCompleted +
+                                       st.errorResponses +
+                                       st.requestsShed);
 }
 
 } // namespace

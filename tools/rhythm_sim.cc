@@ -19,6 +19,8 @@
 #include "backend/bankdb.hh"
 #include "chat/store.hh"
 #include "chat/service.hh"
+#include "fault/device_injector.hh"
+#include "fault/plan.hh"
 #include "platform/titan.hh"
 #include "rhythm/banking_service.hh"
 #include "rhythm/server.hh"
@@ -55,13 +57,61 @@ usage(const std::string &error)
            "  --queues=N                  hardware work queues\n"
            "  --no-transpose              row-major cohort buffers\n"
            "  --no-padding                disable whitespace padding\n"
-           "  --seed=N                    deterministic seed (42)\n";
+           "  --seed=N                    deterministic seed (42)\n"
+           "fault injection (all off by default):\n"
+           "  --fault-seed=N              fault plan seed (1)\n"
+           "  --backend-fail=P            backend call failure probability\n"
+           "  --backend-slow=P            backend brownout probability\n"
+           "  --backend-slow-ms=X         mean brownout delay (5.0)\n"
+           "  --pcie-corrupt=P            PCIe corrupt+replay probability\n"
+           "  --pcie-degrade=P            PCIe degradation probability\n"
+           "  --pcie-degrade-factor=X     degradation slowdown (2.0)\n"
+           "  --stall=P                   stream stall probability\n"
+           "  --stall-ms=X                mean stall duration (1.0)\n"
+           "  --disconnect=P              client disconnect probability\n"
+           "graceful degradation (all off by default):\n"
+           "  --retry-budget=N            backend retries per cohort\n"
+           "  --backoff-us=X              retry backoff base (50)\n"
+           "  --deadline-ms=X             per-request deadline\n"
+           "  --shed-backlog=N            shed above this formation "
+           "backlog\n"
+           "  --shed-p99-ms=X             shed above this observed p99\n";
     return error.empty() ? 0 : 2;
+}
+
+/**
+ * Prints the fault/degradation report section. Only called when a fault
+ * plan or a degradation knob is armed, so default runs keep the exact
+ * seed output.
+ */
+void
+faultReport(const core::RhythmStats &stats, const fault::FaultPlan *plan)
+{
+    TableWriter t({"robustness metric", "value"});
+    t.addRow({"requests shed (503)", withCommas(stats.requestsShed)});
+    t.addRow({"reader drops", withCommas(stats.readerDrops)});
+    t.addRow({"backend retries", withCommas(stats.backendRetries)});
+    t.addRow({"backend failed lanes",
+              withCommas(stats.backendFailedLanes)});
+    t.addRow({"deadline misses", withCommas(stats.deadlineMisses)});
+    t.addRow({"client disconnects", withCommas(stats.clientDisconnects)});
+    t.addRow({"degraded-mode time",
+              formatDouble(des::toMillis(stats.degradedTime), 2) +
+                  " ms"});
+    if (plan) {
+        uint64_t injected = plan->totalInjected();
+        // Server-side consultations (BackendFail/BackendSlow/
+        // ClientDisconnect) are also counted in stats.faultsInjected;
+        // the plan total covers the device-side sites too.
+        t.addRow({"faults injected", withCommas(injected)});
+    }
+    t.printAscii(std::cout);
 }
 
 void
 report(const core::RhythmServer &server, const simt::Device &device,
-       const des::EventQueue &queue, const platform::TitanPowerModel &pm)
+       const des::EventQueue &queue, const platform::TitanPowerModel &pm,
+       const fault::FaultPlan *plan = nullptr, bool robust = false)
 {
     const core::RhythmStats &stats = server.stats();
     const simt::Device::Stats dstats = device.stats();
@@ -134,6 +184,8 @@ report(const core::RhythmServer &server, const simt::Device &device,
               humanBytes(static_cast<double>(
                   server.memoryFootprintBytes()))});
     t.printAscii(std::cout);
+    if (plan || robust)
+        faultReport(stats, plan);
 }
 
 } // namespace
@@ -146,11 +198,15 @@ main(int argc, char **argv)
         return usage(flags.error());
     if (flags.has("help"))
         return usage("");
-    if (!flags.allowOnly({"workload", "platform", "type", "cohort-size",
-                          "cohorts", "contexts", "timeout-ms",
-                          "lane-sample", "users", "docs", "sms",
-                          "mem-gbs", "pcie-gbs", "queues", "transpose",
-                          "padding", "seed", "help"}))
+    if (!flags.allowOnly(
+            {"workload", "platform", "type", "cohort-size", "cohorts",
+             "contexts", "timeout-ms", "lane-sample", "users", "docs",
+             "sms", "mem-gbs", "pcie-gbs", "queues", "transpose",
+             "padding", "seed", "help", "fault-seed", "backend-fail",
+             "backend-slow", "backend-slow-ms", "pcie-corrupt",
+             "pcie-degrade", "pcie-degrade-factor", "stall", "stall-ms",
+             "disconnect", "retry-budget", "backoff-us", "deadline-ms",
+             "shed-backlog", "shed-p99-ms"}))
         return usage(flags.error());
 
     // ---- Platform ----------------------------------------------------
@@ -187,6 +243,49 @@ main(int argc, char **argv)
         static_cast<uint32_t>(flags.getU64("lane-sample", 128));
     cfg.transposeBuffers = flags.getBool("transpose", true);
     cfg.padResponses = flags.getBool("padding", true);
+
+    // ---- Robustness knobs (all off by default) -----------------------
+    cfg.backendRetryBudget =
+        static_cast<uint32_t>(flags.getU64("retry-budget", 0));
+    cfg.retryBackoffBase =
+        des::fromSeconds(flags.getDouble("backoff-us", 50.0) / 1e6);
+    cfg.requestDeadline =
+        des::fromSeconds(flags.getDouble("deadline-ms", 0.0) / 1e3);
+    cfg.shedBacklogLimit =
+        static_cast<uint32_t>(flags.getU64("shed-backlog", 0));
+    cfg.shedLatencySlo =
+        des::fromSeconds(flags.getDouble("shed-p99-ms", 0.0) / 1e3);
+
+    fault::FaultConfig fcfg;
+    fcfg.seed = flags.getU64("fault-seed", 1);
+    fcfg.at(fault::Site::BackendFail).probability =
+        flags.getDouble("backend-fail", 0.0);
+    fcfg.at(fault::Site::BackendSlow).probability =
+        flags.getDouble("backend-slow", 0.0);
+    fcfg.at(fault::Site::BackendSlow).meanDelay =
+        des::fromSeconds(flags.getDouble("backend-slow-ms", 5.0) / 1e3);
+    fcfg.at(fault::Site::PcieCorrupt).probability =
+        flags.getDouble("pcie-corrupt", 0.0);
+    fcfg.at(fault::Site::PcieDegrade).probability =
+        flags.getDouble("pcie-degrade", 0.0);
+    fcfg.at(fault::Site::PcieDegrade).factor =
+        flags.getDouble("pcie-degrade-factor", 2.0);
+    fcfg.at(fault::Site::StreamStall).probability =
+        flags.getDouble("stall", 0.0);
+    fcfg.at(fault::Site::StreamStall).meanDelay =
+        des::fromSeconds(flags.getDouble("stall-ms", 1.0) / 1e3);
+    fcfg.at(fault::Site::ClientDisconnect).probability =
+        flags.getDouble("disconnect", 0.0);
+    for (const auto &site : fcfg.sites) {
+        if (site.probability < 0.0 || site.probability > 1.0)
+            return usage("fault probabilities must be in [0, 1]");
+        if (site.factor < 1.0)
+            return usage("--pcie-degrade-factor must be >= 1");
+    }
+    const bool faults_on = !fcfg.allQuiet();
+    const bool robust = faults_on || cfg.backendRetryBudget ||
+                        cfg.requestDeadline || cfg.shedBacklogLimit ||
+                        cfg.shedLatencySlo;
 
     const uint64_t seed = flags.getU64("seed", 42);
     const uint32_t cohorts =
@@ -228,6 +327,11 @@ main(int argc, char **argv)
         core::RhythmServer server(queue, device, service, cfg);
         specweb::StaticContent content(32, seed);
         server.setStaticContent(&content);
+        fault::FaultPlan plan(fcfg);
+        if (faults_on) {
+            server.setFaultPlan(&plan);
+            fault::installDeviceFaults(device, plan, queue);
+        }
 
         // Logout consumes one session per request; other types reuse a
         // pool.
@@ -264,7 +368,8 @@ main(int argc, char **argv)
             return std::move(req.raw);
         });
         queue.run();
-        report(server, device, queue, variant.power);
+        report(server, device, queue, variant.power,
+               faults_on ? &plan : nullptr, robust);
         return 0;
     }
 
@@ -276,6 +381,11 @@ main(int argc, char **argv)
         simt::Device device(queue, variant.device);
         chat::ChatService service(store);
         core::RhythmServer server(queue, device, service, cfg);
+        fault::FaultPlan plan(fcfg);
+        if (faults_on) {
+            server.setFaultPlan(&plan);
+            fault::installDeviceFaults(device, plan, queue);
+        }
 
         uint64_t issued = 0;
         server.start([&]() -> std::optional<std::string> {
@@ -286,7 +396,8 @@ main(int argc, char **argv)
             return gen.next(type);
         });
         queue.run();
-        report(server, device, queue, variant.power);
+        report(server, device, queue, variant.power,
+               faults_on ? &plan : nullptr, robust);
         std::cout << "messages posted during run: "
                   << withCommas(store.totalPosted() - 256ull * 40)
                   << "\n";
@@ -304,6 +415,11 @@ main(int argc, char **argv)
         simt::Device device(queue, variant.device);
         search::SearchService service(index);
         core::RhythmServer server(queue, device, service, cfg);
+        fault::FaultPlan plan(fcfg);
+        if (faults_on) {
+            server.setFaultPlan(&plan);
+            fault::installDeviceFaults(device, plan, queue);
+        }
 
         uint64_t issued = 0;
         server.start([&]() -> std::optional<std::string> {
@@ -313,7 +429,8 @@ main(int argc, char **argv)
             return gen.next().raw;
         });
         queue.run();
-        report(server, device, queue, variant.power);
+        report(server, device, queue, variant.power,
+               faults_on ? &plan : nullptr, robust);
         return 0;
     }
 
