@@ -15,9 +15,10 @@
 #include "platform/titan.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("ablation_sampling", argc, argv);
     bench::banner("Methodology: lane-sampling fidelity",
                   "DESIGN.md Section 5 (profile scaling)");
 
@@ -42,11 +43,17 @@ main()
                       bench::fmt(r.throughput / 1e3, 1),
                       bench::fmt(r.avgLatencyMs, 2),
                       bench::fmt(err, 1)});
+        const std::string key =
+            "sample_" + (sample == 0 ? "full" : std::to_string(sample));
+        report.metric(key + ".throughput", r.throughput);
+        report.metric(key + ".error_pct", err);
     }
     table.printAscii(std::cout);
     std::cout << "Expected: sampling error within a few percent down to "
                  "one warp's worth of\nlanes — same-type requests are "
                  "statistically interchangeable, which is the very\n"
                  "property Rhythm exploits.\n";
+    if (!report.write())
+        return 1;
     return 0;
 }

@@ -10,9 +10,14 @@
 #define RHYTHM_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -70,6 +75,134 @@ withRef(double measured, double reference, int precision = 2)
     return formatDouble(measured, precision) + " (" +
            formatDouble(reference, precision) + ")";
 }
+
+/** Lower-cases and underscores a display name into a stable metric key. */
+inline std::string
+slug(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c >= 'A' && c <= 'Z')
+            out.push_back(static_cast<char>(c - 'A' + 'a'));
+        else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            out.push_back(c);
+        else if (c == ' ' || c == '/' || c == '-')
+            out.push_back('_');
+        // Anything else (punctuation) is dropped.
+    }
+    while (!out.empty() && out.back() == '_')
+        out.pop_back();
+    return out;
+}
+
+/**
+ * Machine-readable bench output: every bench binary accepts
+ * `--json=<path>` and, when given, emits one JSON document
+ *
+ *     {"bench": <name>, "config": {...}, "metrics": {...}}
+ *
+ * with flat dotted metric keys (e.g. "titan_b.throughput"). The schema
+ * is shared by all benches and by `rhythm_sim --json`, and is what
+ * tools/check_bench.py compares against bench/baselines/ in the CI
+ * perf gate — so metric keys are part of a stable interface: renaming
+ * one requires regenerating the baselines.
+ */
+class Reporter
+{
+  public:
+    /** @param bench Stable bench name (matches the binary name). */
+    Reporter(std::string bench, int argc, char **argv)
+        : bench_(std::move(bench))
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--json=", 0) == 0)
+                path_ = std::string(arg.substr(7));
+        }
+    }
+
+    /** True when --json=<path> was passed. */
+    bool enabled() const { return !path_.empty(); }
+
+    /** Records a config key (run parameters, not compared by the gate). */
+    void config(std::string key, double value)
+    {
+        config_.push_back({std::move(key), value, {}, false});
+    }
+    void config(std::string key, std::string value)
+    {
+        config_.push_back({std::move(key), 0.0, std::move(value), true});
+    }
+
+    /** Records one gate-comparable metric. */
+    void metric(std::string key, double value)
+    {
+        metrics_.push_back({std::move(key), value});
+    }
+
+    /** Records every metric of a registry (flattened dotted keys). */
+    void metricsFrom(const obs::MetricsRegistry &registry,
+                     const std::string &prefix = "")
+    {
+        for (auto &[key, value] : registry.flatten())
+            metric(prefix + key, value);
+    }
+
+    /**
+     * Writes the JSON document; no-op without --json. Returns false
+     * (and prints to stderr) when the file cannot be written.
+     */
+    bool write() const
+    {
+        if (path_.empty())
+            return true;
+        std::ofstream out(path_);
+        if (!out) {
+            std::cerr << "error: cannot write --json file: " << path_
+                      << "\n";
+            return false;
+        }
+        obs::JsonWriter w(out);
+        w.beginObject();
+        w.key("bench");
+        w.value(bench_);
+        w.key("config");
+        w.beginObject();
+        for (const auto &entry : config_) {
+            w.key(entry.key);
+            if (entry.isString)
+                w.value(entry.str);
+            else
+                w.value(entry.num);
+        }
+        w.endObject();
+        w.key("metrics");
+        w.beginObject();
+        for (const auto &[key, value] : metrics_) {
+            w.key(key);
+            w.value(value);
+        }
+        w.endObject();
+        w.endObject();
+        out << "\n";
+        return out.good();
+    }
+
+  private:
+    struct ConfigEntry
+    {
+        std::string key;
+        double num = 0.0;
+        std::string str;
+        bool isString = false;
+    };
+
+    std::string bench_;
+    std::string path_;
+    std::vector<ConfigEntry> config_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 } // namespace rhythm::bench
 

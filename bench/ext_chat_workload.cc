@@ -70,8 +70,9 @@ runIsolated(chat::RoomStore &store, chat::PageType type, uint32_t cohorts)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter report("ext_chat_workload", argc, argv);
     bench::banner("Extension: the Chat workload on Rhythm (Titan B)",
                   "Section 8 future work (Search/Email/Chat on Rhythm)");
 
@@ -85,6 +86,9 @@ main()
         RunResult r =
             runIsolated(store, static_cast<chat::PageType>(t), 8);
         whm.add(info.mixPercent, r.throughput);
+        const std::string key = bench::slug(info.name);
+        report.metric(key + ".throughput", r.throughput);
+        report.metric(key + ".simd_efficiency", r.simdEff);
         table.addRow({std::string(info.name),
                       bench::fmt(info.mixPercent, 0),
                       bench::fmt(r.throughput / 1e3, 0),
@@ -99,5 +103,8 @@ main()
            "paper).\nObservations to check: the tiny poll page reaches "
            "the highest rate; the post\ncohorts really mutate the room "
            "store (messages posted column).\n";
+    report.metric("mix_weighted_throughput", whm.value());
+    if (!report.write())
+        return 1;
     return 0;
 }

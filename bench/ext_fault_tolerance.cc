@@ -103,8 +103,18 @@ runOnce(double fail_prob, uint32_t retry_budget, uint64_t fault_seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter report("ext_fault_tolerance", argc, argv);
+    // --quick: single-seed acceptance and no sweep table — the mode CI's
+    // build-and-test job runs on every push (the full 3x3 sweep plus
+    // 3-seed acceptance stays the local/nightly default).
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--quick")
+            quick = true;
+    }
+
     bench::banner("Extension: fault tolerance vs retry budget",
                   "robustness extension (not a paper figure)");
 
@@ -112,32 +122,46 @@ main()
     std::cout << "\nFault-free baseline: "
               << bench::fmt(baseline.goodputKrps, 0) << " KReqs/s, p99 "
               << bench::fmt(baseline.p99Ms, 2) << " ms\n\n";
+    report.config("quick", quick ? 1.0 : 0.0);
+    report.metric("baseline.goodput_krps", baseline.goodputKrps);
+    report.metric("baseline.p99_ms", baseline.p99Ms);
 
-    TableWriter table({"backend fail rate", "retry budget", "KReqs/s",
-                       "goodput vs clean", "p99 ms", "retries",
-                       "503 lanes"});
-    for (double rate : {0.001, 0.01, 0.05}) {
-        for (uint32_t budget : {0u, 4u, 16u}) {
-            const RunResult r = runOnce(rate, budget, 1);
-            table.addRow(
-                {bench::fmt(rate * 100, 1) + "%", withCommas(budget),
-                 bench::fmt(r.goodputKrps, 0),
-                 bench::fmt(100.0 * r.goodputKrps / baseline.goodputKrps,
-                            1) +
-                     "%",
-                 bench::fmt(r.p99Ms, 2), withCommas(r.retries),
-                 withCommas(r.failedLanes)});
+    if (!quick) {
+        TableWriter table({"backend fail rate", "retry budget", "KReqs/s",
+                           "goodput vs clean", "p99 ms", "retries",
+                           "503 lanes"});
+        for (double rate : {0.001, 0.01, 0.05}) {
+            for (uint32_t budget : {0u, 4u, 16u}) {
+                const RunResult r = runOnce(rate, budget, 1);
+                table.addRow(
+                    {bench::fmt(rate * 100, 1) + "%", withCommas(budget),
+                     bench::fmt(r.goodputKrps, 0),
+                     bench::fmt(100.0 * r.goodputKrps /
+                                    baseline.goodputKrps,
+                                1) +
+                         "%",
+                     bench::fmt(r.p99Ms, 2), withCommas(r.retries),
+                     withCommas(r.failedLanes)});
+                const std::string key =
+                    "rate_" + bench::fmt(rate * 100, 1) + ".budget_" +
+                    std::to_string(budget);
+                report.metric(key + ".goodput_krps", r.goodputKrps);
+            }
         }
+        table.printAscii(std::cout);
     }
-    table.printAscii(std::cout);
 
     // Acceptance: 1% backend failure with a 16-retry budget keeps
     // goodput within 5% of the fault-free baseline, for three distinct
-    // fault seeds, with the event queue fully drained (no hangs) and
-    // the request conservation invariant intact.
-    std::cout << "\nAcceptance (1% failure, budget 16, 3 seeds):\n";
+    // fault seeds (one in --quick mode), with the event queue fully
+    // drained (no hangs) and the request conservation invariant intact.
+    const std::vector<uint64_t> seeds =
+        quick ? std::vector<uint64_t>{1} : std::vector<uint64_t>{1, 2, 3};
+    std::cout << "\nAcceptance (1% failure, budget 16, "
+              << seeds.size() << (seeds.size() == 1 ? " seed" : " seeds")
+              << "):\n";
     bool pass = true;
-    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (uint64_t seed : seeds) {
         const RunResult r = runOnce(0.01, 16, seed);
         const double ratio = r.goodputKrps / baseline.goodputKrps;
         const bool ok =
@@ -167,5 +191,10 @@ main()
     std::cout << "\nVerdict: " << (pass ? "PASS" : "FAIL")
               << " (goodput >= 95% of fault-free at 1% backend failure, "
                  "no hangs, deterministic)\n";
+    report.metric("faulty.goodput_krps", a.goodputKrps);
+    report.metric("faulty.p99_ms", a.p99Ms);
+    report.metric("acceptance_pass", pass ? 1.0 : 0.0);
+    if (!report.write())
+        return 1;
     return pass ? 0 : 1;
 }

@@ -22,9 +22,10 @@
 #include "platform/titan.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("ext_future_accelerator", argc, argv);
     bench::banner("Extension: future server accelerators",
                   "Section 8 (specialized data-parallel server designs)");
 
@@ -69,6 +70,9 @@ main()
             platform::evaluateTitan(v, opts);
         if (baseline == 0.0)
             baseline = r.throughput;
+        const std::string key = bench::slug(d.name);
+        report.metric(key + ".throughput", r.throughput);
+        report.metric(key + ".reqs_per_joule_wall", r.reqsPerJouleWall);
         table.addRow({d.name, bench::fmt(r.throughput / 1e6, 2),
                       bench::fmt(r.avgLatencyMs, 1),
                       bench::fmt(r.dynamicWatts, 0),
@@ -83,5 +87,8 @@ main()
            "scales throughput more than SMs do; combining both with "
            "server\nspecialization compounds throughput and efficiency "
            "gains.\n";
+    report.config("cohorts", opts.cohorts);
+    if (!report.write())
+        return 1;
     return 0;
 }

@@ -72,8 +72,9 @@ runIsolated(search::InvertedIndex &index, search::PageType type,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter report("ext_search_workload", argc, argv);
     bench::banner("Extension: the Search workload on Rhythm (Titan B)",
                   "Section 8 future work (Search/Email/Chat on Rhythm)");
 
@@ -89,6 +90,9 @@ main()
         RunResult r =
             runIsolated(index, static_cast<search::PageType>(t), 8);
         whm.add(info.mixPercent, r.throughput);
+        const std::string key = bench::slug(info.name);
+        report.metric(key + ".throughput", r.throughput);
+        report.metric(key + ".simd_efficiency", r.simdEff);
         table.addRow({std::string(info.name),
                       bench::fmt(info.mixPercent, 0),
                       bench::fmt(r.throughput / 1e3, 0),
@@ -103,5 +107,8 @@ main()
                  "cohorts keep high SIMD efficiency; the\nresults page "
                  "(posting-list scans + ranking) is the heaviest type, "
                  "as in production\nsearch front-ends.\n";
+    report.metric("mix_weighted_throughput", whm.value());
+    if (!report.write())
+        return 1;
     return 0;
 }

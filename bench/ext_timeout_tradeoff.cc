@@ -101,15 +101,16 @@ runAtRate(double arrival_rate, des::Time timeout, uint64_t requests)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter report("ext_timeout_tradeoff", argc, argv);
     bench::banner("Extension: cohort timeout vs latency/efficiency",
                   "Sections 1/3.1 (delay requests to form cohorts)");
 
-    for (const auto &[label, rate, requests] :
-         {std::tuple<const char *, double, uint64_t>{
-              "LOW arrival rate (100K reqs/s)", 100e3, 20000},
-          {"HIGH arrival rate (2M reqs/s)", 2e6, 60000}}) {
+    for (const auto &[label, prefix, rate, requests] :
+         {std::tuple<const char *, const char *, double, uint64_t>{
+              "LOW arrival rate (100K reqs/s)", "low", 100e3, 20000},
+          {"HIGH arrival rate (2M reqs/s)", "high", 2e6, 60000}}) {
         std::cout << "\n-- " << label << " --\n";
         TableWriter table({"timeout ms", "KReqs/s", "mean latency ms",
                            "p99 latency ms", "avg cohort fill"});
@@ -121,6 +122,10 @@ main()
                           bench::fmt(r.meanLatencyMs, 2),
                           bench::fmt(r.p99LatencyMs, 2),
                           bench::fmt(r.avgCohortFill, 2)});
+            const std::string key = std::string(prefix) + "_timeout_" +
+                                    bench::fmt(timeout_ms, 2);
+            report.metric(key + ".throughput", r.throughput);
+            report.metric(key + ".p99_latency_ms", r.p99LatencyMs);
         }
         table.printAscii(std::cout);
     }
@@ -130,5 +135,7 @@ main()
            "the price of latency; at high arrival\nrates cohorts fill "
            "before any timeout expires and the knob is neutral — the\n"
            "paper's Section 6.4 observation.\n";
+    if (!report.write())
+        return 1;
     return 0;
 }

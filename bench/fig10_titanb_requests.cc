@@ -16,9 +16,10 @@
 #include "platform/titan.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("fig10_titanb_requests", argc, argv);
     bench::banner("Figure 10: Titan B per-request throughput-efficiency",
                   "Figure 10 (tight-fit buffers perform best)");
 
@@ -47,6 +48,11 @@ main()
             platform::runIsolatedType(b, info.type, opts);
         const double fit =
             info.specwebResponseKb / info.rhythmBufferKb * 100.0;
+        const std::string key = bench::slug(info.name);
+        report.metric(key + ".norm_throughput", r.throughput / i7_thr);
+        report.metric(key + ".norm_dynamic_efficiency",
+                      r.reqsPerJouleDynamic / a9_dyn_eff);
+        report.metric(key + ".simd_efficiency", r.simdEfficiency);
         table.addRow({std::string(info.name),
                       bench::fmt(info.specwebResponseKb, 0) + " / " +
                           std::to_string(info.rhythmBufferKb),
@@ -61,5 +67,9 @@ main()
            "login, change\nprofile, transfer) sit in the desired range; "
            "loose-fit types (fit% low) lose\nthroughput and efficiency "
            "to transposing unused buffer bytes.\n";
+    report.config("cohorts", opts.cohorts);
+    report.config("users", opts.users);
+    if (!report.write())
+        return 1;
     return 0;
 }

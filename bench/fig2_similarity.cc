@@ -17,9 +17,10 @@
 #include "specweb/types.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("fig2_similarity", argc, argv);
     bench::banner("Figure 2: request similarity / potential SIMD speedup",
                   "Section 2.3, Figure 2 (nearly linear for all types)");
 
@@ -39,6 +40,8 @@ main()
             lanes.push_back(&t);
         auto r = analysis::measureSimilarity(lanes);
         min_normalized = std::min(min_normalized, r.normalizedSpeedup);
+        report.metric(bench::slug(info.name) + ".normalized_speedup",
+                      r.normalizedSpeedup);
         table.addRow({std::string(info.name), std::to_string(traces),
                       std::to_string(r.sumBlocks),
                       std::to_string(r.mergedBlocks),
@@ -49,5 +52,9 @@ main()
     std::cout << "Minimum normalized speedup across types: "
               << bench::fmt(min_normalized, 3)
               << " (paper: nearly linear, ~0.95-1.0)\n";
+    report.config("traces_per_type", 5.0);
+    report.metric("min_normalized_speedup", min_normalized);
+    if (!report.write())
+        return 1;
     return 0;
 }

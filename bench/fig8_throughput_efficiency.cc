@@ -27,9 +27,10 @@ struct Point
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("fig8_throughput_efficiency", argc, argv);
     bench::banner("Figure 8: throughput-efficiency (8a wall, 8b dynamic)",
                   "Figure 8 (normalized to i7-8w throughput, A9-2w "
                   "efficiency)");
@@ -94,5 +95,17 @@ main()
     std::cout << "Each cell: measured (paper). The paper's desired "
                  "operating range is reached\nonly by the Titan B/C "
                  "Rhythm platforms.\n";
+
+    report.config("cohorts", opts.cohorts);
+    report.config("users", opts.users);
+    report.config("lane_sample", opts.laneSample);
+    for (const Point &p : points) {
+        const std::string key = bench::slug(p.name);
+        report.metric(key + ".throughput", p.throughput);
+        report.metric(key + ".wall_efficiency", p.wallEff);
+        report.metric(key + ".dynamic_efficiency", p.dynEff);
+    }
+    if (!report.write())
+        return 1;
     return 0;
 }

@@ -13,9 +13,10 @@
 #include "platform/titan.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("fig9_pcie_bound", argc, argv);
     bench::banner("Figure 9: Titan A achieved vs PCIe 3.0 bound",
                   "Figure 9 (achieved within 83-95% of bound per type)");
 
@@ -37,6 +38,10 @@ main()
         const double ratio = r.throughput / bound;
         min_ratio = std::min(min_ratio, ratio);
         max_ratio = std::max(max_ratio, ratio);
+        const std::string key = bench::slug(info.name);
+        report.metric(key + ".throughput", r.throughput);
+        report.metric(key + ".bound_ratio", ratio);
+        report.metric(key + ".p99_latency_ms", r.p99LatencyMs);
         table.addRow({std::string(info.name),
                       bench::fmt(r.throughput / 1e3, 1),
                       bench::fmt(bound / 1e3, 1),
@@ -52,5 +57,10 @@ main()
                  "bandwidth doubles the bound;\nrerun with "
                  "device.pcieBandwidthGBs = 24 to reproduce that "
                  "projection.\n";
+    report.config("cohorts", opts.cohorts);
+    report.config("users", opts.users);
+    report.config("lane_sample", opts.laneSample);
+    if (!report.write())
+        return 1;
     return 0;
 }

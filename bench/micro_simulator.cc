@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "backend/bankdb.hh"
 #include "host/server.hh"
 #include "http/parser.hh"
@@ -138,4 +141,30 @@ BENCHMARK(BM_HostServeRecorded);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but translates the repo-wide `--json=<path>`
+// convention into google-benchmark's native JSON reporter flags so every
+// bench binary shares one machine-readable interface.
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    bool json = false;
+    for (auto &arg : args) {
+        if (arg.rfind("--json=", 0) == 0) {
+            arg = "--benchmark_out=" + arg.substr(7);
+            json = true;
+        }
+    }
+    if (json)
+        args.push_back("--benchmark_out_format=json");
+    std::vector<char *> cargs;
+    for (auto &arg : args)
+        cargs.push_back(arg.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

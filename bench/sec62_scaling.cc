@@ -15,9 +15,10 @@
 #include "platform/titan.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("sec62_scaling", argc, argv);
     bench::banner("Section 6.2: scaling many-core processors",
                   "Section 6.2 (replicated cores vs Rhythm on Titan B/C)");
 
@@ -63,6 +64,10 @@ main()
             platform::ScalingResult s = platform::scaleToMatch(
                 core_name, titan.throughput, core_thr, core_w,
                 titan.dynamicWatts);
+            const std::string key =
+                bench::slug(label) + "." + bench::slug(core_name);
+            report.metric(key + ".cores_needed", s.coresNeeded);
+            report.metric(key + ".headroom_watts", s.headroomWatts);
             table.addRow(
                 {label, core_name,
                  bench::withRef(s.coresNeeded, refs[r].cores, 0),
@@ -81,5 +86,19 @@ main()
            "Titan C's power before any uncore is added\n(the paper "
            "frames it as Titan C having >170 W to spend on the "
            "transpose offload).\n";
+    report.config("cohorts", opts.cohorts);
+    report.config("users", opts.users);
+    auto worst_p99 = [](const platform::TitanWorkloadResult &w) {
+        double p99 = 0.0;
+        for (const auto &t : w.perType)
+            p99 = std::max(p99, t.p99LatencyMs);
+        return p99;
+    };
+    report.metric("titan_b.throughput", b.throughput);
+    report.metric("titan_c.throughput", c.throughput);
+    report.metric("titan_b.p99_latency_ms", worst_p99(b));
+    report.metric("titan_c.p99_latency_ms", worst_p99(c));
+    if (!report.write())
+        return 1;
     return 0;
 }

@@ -18,9 +18,10 @@
 #include "rhythm/session_array.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("sec63_resources", argc, argv);
     bench::banner("Section 6.3: system resource requirements",
                   "Section 6.3 (network bandwidth, memory capacity)");
 
@@ -66,6 +67,8 @@ main()
         net.addRow({r.name, bench::fmt(r.throughput / 1e3, 0),
                     bench::withRef(gbps, paper_gbps[row], 0),
                     bench::fmt(compressed_gbps, 0)});
+        report.metric(bench::slug(r.name) + ".network_gbps", gbps);
+        report.metric(bench::slug(r.name) + ".throughput", r.throughput);
         ++row;
     }
     net.printAscii(std::cout);
@@ -110,5 +113,11 @@ main()
               << humanBytes(6.0 * (1ull << 30))
               << " device memory (paper: limited to 8 inflight cohorts "
                  "of 4096).\n";
+    report.config("cohorts", opts.cohorts);
+    report.config("users", opts.users);
+    report.metric("per_request_network_bytes", per_request_bytes);
+    report.metric("total_device_memory_bytes", total);
+    if (!report.write())
+        return 1;
     return 0;
 }

@@ -13,9 +13,10 @@
 #include "rhythm/banking_service.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("sec64_cohort_size", argc, argv);
     bench::banner("Section 6.4: cohort size sensitivity",
                   "Section 6.4 (4096 balances throughput vs memory)");
 
@@ -49,11 +50,16 @@ main()
                       bench::fmt(r.avgLatencyMs, 2),
                       bench::fmt(r.deviceUtilization, 2),
                       bench::fmt(pool_mib, 0)});
+        const std::string key = "cohort_" + std::to_string(size);
+        report.metric(key + ".throughput", r.throughput);
+        report.metric(key + ".avg_latency_ms", r.avgLatencyMs);
     }
     table.printAscii(std::cout);
     std::cout << "Expected shape (paper): throughput rises with cohort "
                  "size and saturates by 4096;\nmemory grows linearly; "
                  "latency grows with formation+execution time. 4096 is "
                  "the\nbalance point on a 6 GB device.\n";
+    if (!report.write())
+        return 1;
     return 0;
 }

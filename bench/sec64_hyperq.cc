@@ -14,9 +14,10 @@
 #include "platform/titan.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("sec64_hyperq", argc, argv);
     bench::banner("Section 6.4: HyperQ ablation",
                   "Section 6.4 (single work queue vs 32 HyperQ queues)");
 
@@ -36,11 +37,16 @@ main()
                       bench::fmt(r.throughput / 1e3, 0),
                       bench::fmt(r.avgLatencyMs, 2),
                       bench::fmt(r.deviceUtilization, 2)});
+        const std::string key = "queues_" + std::to_string(queues);
+        report.metric(key + ".throughput", r.throughput);
+        report.metric(key + ".device_utilization", r.deviceUtilization);
     }
     table.printAscii(std::cout);
     std::cout << "Expected shape (paper): a single queue (GTX690) "
                  "serializes kernels from\ndifferent cohorts and limits "
                  "throughput and utilization; HyperQ (32 queues)\nlets "
                  "inflight cohorts overlap and saturate the device.\n";
+    if (!report.write())
+        return 1;
     return 0;
 }

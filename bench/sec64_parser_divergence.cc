@@ -46,8 +46,9 @@ profileParser(const std::vector<std::string> &raws, uint32_t slot_bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter report("sec64_parser_divergence", argc, argv);
     bench::banner("Section 6.4: parser divergence",
                   "Section 6.4 (mixed cohort: 556 us, 7.4M reqs/s at "
                   "4096)");
@@ -113,5 +114,12 @@ main()
            "parses fast enough\nthat a single parser instance does not "
            "limit server throughput; Rhythm can also\nrun multiple "
            "parser instances concurrently.\n";
+    report.config("cohort_size", cohort);
+    report.metric("mixed_cohort_us", mixed_us);
+    report.metric("mixed_parser_mreqs", cohort / mixed_us);
+    report.metric("mixed_simd_efficiency", mixed_kp.simdEfficiency(32));
+    report.metric("divergence_slowdown", mixed_us / baseline_us);
+    if (!report.write())
+        return 1;
     return 0;
 }

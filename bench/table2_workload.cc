@@ -12,9 +12,10 @@
 #include "platform/measure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("table2_workload", argc, argv);
     bench::banner("Table 2: SPECWeb Banking workload characterization",
                   "Table 2 (instructions, response sizes, mix, backend)");
 
@@ -27,6 +28,8 @@ main()
     for (size_t i = 0; i < specweb::kNumRequestTypes; ++i) {
         const auto &info = specweb::typeTable()[i];
         const auto &tm = wm.perType[i];
+        report.metric(bench::slug(info.name) + ".instructions_per_request",
+                      tm.instructionsPerRequest);
         table.addRow(
             {std::string(info.name),
              bench::withRef(tm.instructionsPerRequest,
@@ -47,5 +50,12 @@ main()
               << " KB/response (measured (paper)).\n"
               << "Paper also reports the simple average 429,563 insts "
                  "and 15.5 KB across types.\n";
+    report.config("sessions", 100.0);
+    report.config("users", 2000.0);
+    report.metric("mix_weighted_instructions", wm.mixWeightedInstructions);
+    report.metric("mix_weighted_response_bytes",
+                  wm.mixWeightedResponseBytes);
+    if (!report.write())
+        return 1;
     return 0;
 }

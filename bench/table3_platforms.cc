@@ -16,9 +16,10 @@
 #include "platform/titan.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rhythm;
+    bench::Reporter report("table3_platforms", argc, argv);
     bench::banner("Table 1: experimental platforms",
                   "Table 1 (platform parameters used by the models)");
     {
@@ -55,6 +56,10 @@ main()
                       double dynamic, double lat_ms, double kreqs,
                       double rpj_wall, double rpj_dyn,
                       const bench::PaperTable3Row &ref) {
+        const std::string key = bench::slug(name);
+        report.metric(key + ".throughput_kreqs", kreqs);
+        report.metric(key + ".latency_ms", lat_ms);
+        report.metric(key + ".reqs_per_joule_dynamic", rpj_dyn);
         table.addRow({name, bench::withRef(idle, ref.idleWatts, 0),
                       bench::withRef(wall, ref.wallWatts, 0),
                       bench::withRef(dynamic, ref.dynamicWatts, 0),
@@ -95,5 +100,9 @@ main()
            "throughput near-A9 efficiency; Titan C ~8x i7, >=2.5x A9 "
            "dynamic\nefficiency; CPU latencies sub-ms, Titan B/C tens "
            "of ms, Titan A ~100 ms.\n";
+    report.config("cohorts", opts.cohorts);
+    report.config("users", opts.users);
+    if (!report.write())
+        return 1;
     return 0;
 }

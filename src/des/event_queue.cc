@@ -11,6 +11,8 @@ EventQueue::scheduleAt(Time when, Callback cb)
     RHYTHM_ASSERT(cb, "null event callback");
     EventId id{when, nextSequence_++};
     events_.emplace(Key{id.when, id.sequence}, std::move(cb));
+    if (events_.size() > maxPending_)
+        maxPending_ = events_.size();
     return id;
 }
 

@@ -71,6 +71,14 @@ class EventQueue
     uint64_t dispatched() const { return dispatched_; }
 
     /**
+     * High-water mark of pending() over the queue's lifetime — a
+     * classic DES health metric (a queue whose depth keeps growing is
+     * a simulation leaking events). Exported by the observability
+     * layer.
+     */
+    size_t maxPending() const { return maxPending_; }
+
+    /**
      * Runs until the queue drains or the optional horizon is reached.
      * @param horizon Stop once the next event is strictly beyond this
      *        time (the clock is advanced to the horizon). 0 = no horizon.
@@ -90,6 +98,7 @@ class EventQueue
     Time now_ = 0;
     uint64_t nextSequence_ = 0;
     uint64_t dispatched_ = 0;
+    size_t maxPending_ = 0;
     bool stopRequested_ = false;
     std::map<Key, Callback> events_;
 };

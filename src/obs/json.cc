@@ -1,0 +1,197 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rhythm::obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream &out, int indent)
+    : out_(out), indent_(indent)
+{
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    out_ << '\n';
+    for (size_t i = 0; i < stack_.size(); ++i)
+        for (int s = 0; s < indent_; ++s)
+            out_ << ' ';
+}
+
+void
+JsonWriter::separate()
+{
+    if (stack_.empty())
+        return;
+    Level &top = stack_.back();
+    if (top.expectValue) {
+        // Value follows its key on the same line.
+        top.expectValue = false;
+        return;
+    }
+    if (!top.empty)
+        out_ << ',';
+    top.empty = false;
+    newline();
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out_ << '{';
+    stack_.push_back(Level{true, true, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    const bool empty = stack_.empty() ? true : stack_.back().empty;
+    if (!stack_.empty())
+        stack_.pop_back();
+    if (!empty)
+        newline();
+    out_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out_ << '[';
+    stack_.push_back(Level{false, true, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    const bool empty = stack_.empty() ? true : stack_.back().empty;
+    if (!stack_.empty())
+        stack_.pop_back();
+    if (!empty)
+        newline();
+    out_ << ']';
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    separate();
+    out_ << '"' << jsonEscape(k) << "\": ";
+    if (!stack_.empty())
+        stack_.back().expectValue = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    out_ << '"' << jsonEscape(v) << '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string_view(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    out_ << jsonNumber(v);
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    out_ << v;
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    separate();
+    out_ << v;
+}
+
+void
+JsonWriter::value(int v)
+{
+    separate();
+    out_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    separate();
+    out_ << "null";
+}
+
+void
+JsonWriter::raw(std::string_view json)
+{
+    separate();
+    out_ << json;
+}
+
+} // namespace rhythm::obs

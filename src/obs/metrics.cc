@@ -1,0 +1,217 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rhythm::obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    RHYTHM_ASSERT(!bounds_.empty(), "histogram needs at least one bound");
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        RHYTHM_ASSERT(bounds_[i] > bounds_[i - 1],
+                      "histogram bounds must be strictly increasing");
+}
+
+std::vector<double>
+FixedHistogram::exponentialBounds(double first, double factor,
+                                  size_t count)
+{
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double b = first;
+    for (size_t i = 0; i < count; ++i) {
+        bounds.push_back(b);
+        b *= factor;
+    }
+    return bounds;
+}
+
+const std::vector<double> &
+FixedHistogram::defaultLatencyBoundsMs()
+{
+    // 1 us .. ~134 s in powers of two: 28 buckets + overflow.
+    static const std::vector<double> bounds =
+        exponentialBounds(1e-3, 2.0, 28);
+    return bounds;
+}
+
+void
+FixedHistogram::add(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    counts_[static_cast<size_t>(it - bounds_.begin())]++;
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+}
+
+double
+FixedHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank target (1-based).
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(p / 100.0 *
+                                     static_cast<double>(count_) +
+                                 0.5));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const uint64_t before = cumulative;
+        cumulative += counts_[i];
+        if (cumulative < rank)
+            continue;
+        // Interpolate inside bucket i between its lower and upper edge.
+        const double lo = i == 0 ? min_ : bounds_[i - 1];
+        const double hi = i < bounds_.size() ? bounds_[i] : max_;
+        const double frac =
+            static_cast<double>(rank - before) /
+            static_cast<double>(counts_[i]);
+        const double v = lo + (hi - lo) * frac;
+        return std::clamp(v, min_, max_);
+    }
+    return max_;
+}
+
+void
+FixedHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    return *it->second;
+}
+
+FixedHistogram &
+MetricsRegistry::histogram(std::string_view name,
+                           std::vector<double> bounds)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        if (bounds.empty())
+            bounds = FixedHistogram::defaultLatencyBoundsMs();
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<FixedHistogram>(
+                              std::move(bounds)))
+                 .first;
+    }
+    return *it->second;
+}
+
+bool
+MetricsRegistry::has(std::string_view name) const
+{
+    return counters_.find(name) != counters_.end() ||
+           gauges_.find(name) != gauges_.end() ||
+           histograms_.find(name) != histograms_.end();
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, c] : counters_) {
+        w.key(name);
+        w.value(c->value());
+    }
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, g] : gauges_) {
+        w.key(name);
+        w.value(g->value());
+    }
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, h] : histograms_) {
+        w.key(name);
+        w.beginObject();
+        w.key("count");
+        w.value(h->count());
+        w.key("sum");
+        w.value(h->sum());
+        w.key("min");
+        w.value(h->min());
+        w.key("max");
+        w.value(h->max());
+        w.key("p50");
+        w.value(h->p50());
+        w.key("p95");
+        w.value(h->p95());
+        w.key("p99");
+        w.value(h->p99());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::flatten() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, static_cast<double>(c->value()));
+    for (const auto &[name, g] : gauges_)
+        out.emplace_back(name, g->value());
+    for (const auto &[name, h] : histograms_) {
+        out.emplace_back(name + ".count",
+                         static_cast<double>(h->count()));
+        out.emplace_back(name + ".mean", h->mean());
+        out.emplace_back(name + ".p50", h->p50());
+        out.emplace_back(name + ".p95", h->p95());
+        out.emplace_back(name + ".p99", h->p99());
+        out.emplace_back(name + ".max", h->max());
+    }
+    return out;
+}
+
+} // namespace rhythm::obs

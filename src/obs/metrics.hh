@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The metrics registry: counters, gauges and fixed-bucket histograms.
+ *
+ * Design constraints (ISSUE 2):
+ *  - The whole simulation is single threaded (a paper design point), so
+ *    "lock-free-ish" here means: no locks, no atomics, and hot-path
+ *    updates that are a plain load/add/store on a handle obtained once.
+ *    Handles stay valid for the registry's lifetime — registration
+ *    never erases a metric; reset() zeroes values in place.
+ *  - Fixed-bucket histograms keep O(buckets) memory regardless of
+ *    sample count (unlike util/stats.hh's exact Histogram, which
+ *    retains every sample for offline analysis). Percentiles are
+ *    estimated by linear interpolation inside the owning bucket and
+ *    clamped to the observed min/max.
+ */
+
+#ifndef RHYTHM_OBS_METRICS_HH
+#define RHYTHM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace rhythm::obs {
+
+/** A monotonically increasing counter. */
+class Counter
+{
+  public:
+    void add(uint64_t delta = 1) { value_ += delta; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A last-value gauge. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram with percentile estimation.
+ *
+ * Buckets are defined by strictly increasing upper bounds; an implicit
+ * overflow bucket catches samples beyond the last bound. Suitable for
+ * latency distributions where ~2x-resolution percentiles are enough
+ * and memory must not grow with the run length.
+ */
+class FixedHistogram
+{
+  public:
+    /** @param bounds Strictly increasing bucket upper bounds. */
+    explicit FixedHistogram(std::vector<double> bounds);
+
+    /** Exponentially spaced bounds: first, first*factor, ... (count). */
+    static std::vector<double> exponentialBounds(double first,
+                                                 double factor,
+                                                 size_t count);
+
+    /** Default latency bounds: 1 us .. ~134 s in powers of two (ms). */
+    static const std::vector<double> &defaultLatencyBoundsMs();
+
+    void add(double value);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Estimates the given percentile (p in [0,100]) by nearest-rank
+     * bucket selection with linear interpolation inside the bucket,
+     * clamped to the observed min/max. Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** Bucket upper bounds (excluding the implicit overflow bucket). */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Per-bucket counts; size() == bounds().size() + 1 (overflow). */
+    const std::vector<uint64_t> &bucketCounts() const { return counts_; }
+
+    /** Zeroes all counts; keeps the bucket layout. */
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Name → metric registry.
+ *
+ * Lookup creates on first use. Returned references remain valid until
+ * the registry is destroyed (metrics are never erased), so callers on
+ * hot paths fetch a handle once and update through it.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+
+    /**
+     * Returns the named histogram, creating it with @p bounds (or the
+     * default latency bounds when empty) on first use. Later calls
+     * ignore @p bounds.
+     */
+    FixedHistogram &histogram(std::string_view name,
+                              std::vector<double> bounds = {});
+
+    /** True if a metric of the given name exists (any kind). */
+    bool has(std::string_view name) const;
+
+    /** Zeroes every metric's value; registrations survive. */
+    void reset();
+
+    /**
+     * Dumps all metrics as one JSON object:
+     *     {"counters": {...}, "gauges": {...},
+     *      "histograms": {name: {count,sum,min,max,p50,p95,p99}}}
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /**
+     * Flattens metrics into (key, value) pairs: counters and gauges by
+     * name; histograms as name.count/name.p50/name.p95/name.p99/
+     * name.mean/name.max. Used by the bench reporter.
+     */
+    std::vector<std::pair<std::string, double>> flatten() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<FixedHistogram>, std::less<>>
+        histograms_;
+};
+
+} // namespace rhythm::obs
+
+#endif // RHYTHM_OBS_METRICS_HH

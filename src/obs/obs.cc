@@ -1,0 +1,12 @@
+#include "obs/obs.hh"
+
+namespace rhythm::obs {
+
+Observability &
+global()
+{
+    static Observability instance;
+    return instance;
+}
+
+} // namespace rhythm::obs

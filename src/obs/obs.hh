@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The observability context and the OBS_* instrumentation macro layer.
+ *
+ * One process-wide Observability object bundles the metrics registry
+ * and the tracer and binds them to a DES clock. It is DISABLED by
+ * default: every OBS_* macro compiles to a single branch on one global
+ * bool, so the instrumented hot paths (server stages, kernel launches,
+ * PCIe transfers) cost nothing measurable when observability is off and
+ * the default figure outputs stay byte-identical to the seed.
+ *
+ * Drivers that want traces/metrics call
+ *
+ *     obs::global().enable(queue);   // right after creating the queue
+ *     ... run the simulation ...
+ *     obs::global().tracer().writeChromeTrace(out);
+ *     obs::global().metrics().writeJson(w);
+ *     obs::global().disable();       // and reset() between runs
+ *
+ * Defining RHYTHM_OBS_DISABLED at compile time removes the
+ * instrumentation entirely (the macros expand to nothing) for builds
+ * that want provably-zero overhead.
+ */
+
+#ifndef RHYTHM_OBS_OBS_HH
+#define RHYTHM_OBS_OBS_HH
+
+#include "des/event_queue.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace rhythm::obs {
+
+/** Fixed track ids used by the built-in instrumentation. */
+namespace track {
+/** Pipeline-stage tracks. */
+inline constexpr uint32_t kReader = 1;
+inline constexpr uint32_t kParser = 2;
+/** Per-cohort-context tracks: kCohortBase + context id. */
+inline constexpr uint32_t kCohortBase = 100;
+/** Per-hardware-work-queue tracks: kHwqBase + queue index. */
+inline constexpr uint32_t kHwqBase = 300;
+/** PCIe DMA engine tracks. */
+inline constexpr uint32_t kPcieH2D = 500;
+inline constexpr uint32_t kPcieD2H = 501;
+/** Instant events: faults, shedding, degradation transitions. */
+inline constexpr uint32_t kEvents = 600;
+} // namespace track
+
+/** The process-wide observability context. */
+class Observability
+{
+  public:
+    /** True when instrumentation is recording. */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Starts recording against @p clock. The clock must outlive the
+     * enabled period (disable() before destroying the queue).
+     */
+    void enable(const des::EventQueue &clock)
+    {
+        clock_ = &clock;
+        enabled_ = true;
+        tracer_.setTrackName(track::kReader, "reader");
+        tracer_.setTrackName(track::kParser, "parser");
+        tracer_.setTrackName(track::kEvents, "events");
+    }
+
+    /** Stops recording (data is retained until reset()). */
+    void disable()
+    {
+        enabled_ = false;
+        clock_ = nullptr;
+    }
+
+    /** Clears trace events and zeroes metric values. */
+    void reset()
+    {
+        tracer_.clear();
+        metrics_.reset();
+    }
+
+    /** Current simulated time (0 when no clock is bound). */
+    des::Time now() const { return clock_ ? clock_->now() : 0; }
+
+    MetricsRegistry &metrics() { return metrics_; }
+    Tracer &tracer() { return tracer_; }
+
+  private:
+    bool enabled_ = false;
+    const des::EventQueue *clock_ = nullptr;
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+};
+
+/** The global observability context (single threaded by design). */
+Observability &global();
+
+} // namespace rhythm::obs
+
+// ---- Instrumentation macros ------------------------------------------
+//
+// Every macro is a no-op unless obs::global().enabled(); with
+// RHYTHM_OBS_DISABLED they vanish at compile time.
+
+#ifdef RHYTHM_OBS_DISABLED
+
+#define OBS_ENABLED() false
+#define OBS_TRACK_NAME(track, name) \
+    do {                            \
+    } while (0)
+#define OBS_SPAN_BEGIN(track, name, cat) \
+    do {                                 \
+    } while (0)
+#define OBS_SPAN_END(track) \
+    do {                    \
+    } while (0)
+#define OBS_SPAN_COMPLETE(track, name, cat, start, end, ...) \
+    do {                                                     \
+    } while (0)
+#define OBS_INSTANT(track, name, cat, ...) \
+    do {                                   \
+    } while (0)
+#define OBS_COUNTER_ADD(name, delta) \
+    do {                             \
+    } while (0)
+#define OBS_GAUGE_SET(name, v) \
+    do {                       \
+    } while (0)
+#define OBS_HIST_ADD(name, v) \
+    do {                      \
+    } while (0)
+
+#else
+
+#define OBS_ENABLED() (::rhythm::obs::global().enabled())
+
+/** Names a trace track (idempotent). */
+#define OBS_TRACK_NAME(track, name)                                  \
+    do {                                                             \
+        if (OBS_ENABLED())                                           \
+            ::rhythm::obs::global().tracer().setTrackName((track),   \
+                                                          (name));   \
+    } while (0)
+
+/** Opens a nested span at the current simulated time. */
+#define OBS_SPAN_BEGIN(track, name, cat)                              \
+    do {                                                              \
+        if (OBS_ENABLED())                                            \
+            ::rhythm::obs::global().tracer().begin(                   \
+                (track), (name), (cat),                               \
+                ::rhythm::obs::global().now());                       \
+    } while (0)
+
+/** Closes the innermost span on the track. */
+#define OBS_SPAN_END(track)                                         \
+    do {                                                            \
+        if (OBS_ENABLED())                                          \
+            ::rhythm::obs::global().tracer().end(                   \
+                (track), ::rhythm::obs::global().now());            \
+    } while (0)
+
+/**
+ * Records a span with explicit start/end; trailing arguments are
+ * obs::TraceArg annotations.
+ */
+#define OBS_SPAN_COMPLETE(track, name, cat, start, end, ...)          \
+    do {                                                              \
+        if (OBS_ENABLED())                                            \
+            ::rhythm::obs::global().tracer().complete(                \
+                (track), (name), (cat), (start), (end),               \
+                {__VA_ARGS__});                                       \
+    } while (0)
+
+/** Records an instantaneous event at the current simulated time. */
+#define OBS_INSTANT(track, name, cat, ...)                            \
+    do {                                                              \
+        if (OBS_ENABLED())                                            \
+            ::rhythm::obs::global().tracer().instant(                 \
+                (track), (name), (cat),                               \
+                ::rhythm::obs::global().now(), {__VA_ARGS__});        \
+    } while (0)
+
+/** Bumps a registry counter. */
+#define OBS_COUNTER_ADD(name, delta)                                  \
+    do {                                                              \
+        if (OBS_ENABLED())                                            \
+            ::rhythm::obs::global().metrics().counter(name).add(      \
+                delta);                                               \
+    } while (0)
+
+/** Sets a registry gauge. */
+#define OBS_GAUGE_SET(name, v)                                       \
+    do {                                                             \
+        if (OBS_ENABLED())                                           \
+            ::rhythm::obs::global().metrics().gauge(name).set(v);    \
+    } while (0)
+
+/** Adds a sample to a registry histogram (default latency buckets). */
+#define OBS_HIST_ADD(name, v)                                        \
+    do {                                                             \
+        if (OBS_ENABLED())                                           \
+            ::rhythm::obs::global().metrics().histogram(name).add(   \
+                v);                                                  \
+    } while (0)
+
+#endif // RHYTHM_OBS_DISABLED
+
+#endif // RHYTHM_OBS_OBS_HH

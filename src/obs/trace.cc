@@ -1,0 +1,166 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rhythm::obs {
+namespace {
+
+/** Chrome trace timestamps are microseconds; DES time is picoseconds. */
+double
+toTraceUs(des::Time t)
+{
+    return des::toMicros(t);
+}
+
+void
+writeArgs(JsonWriter &w, const std::vector<TraceArg> &args)
+{
+    if (args.empty())
+        return;
+    w.key("args");
+    w.beginObject();
+    for (const TraceArg &a : args) {
+        w.key(a.key);
+        if (a.isString)
+            w.value(std::string_view(a.str));
+        else
+            w.value(a.num);
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+Tracer::setTrackName(uint32_t track, std::string_view name)
+{
+    trackNames_.emplace(track, std::string(name));
+}
+
+void
+Tracer::begin(uint32_t track, std::string name, const char *category,
+              des::Time now, std::vector<TraceArg> args)
+{
+    events_.push_back(TraceEvent{track, TraceEvent::Phase::Begin,
+                                 std::move(name), category, now, 0,
+                                 std::move(args)});
+    ++openSpans_[track];
+}
+
+void
+Tracer::end(uint32_t track, des::Time now)
+{
+    auto it = openSpans_.find(track);
+    if (it == openSpans_.end() || it->second == 0)
+        return; // unbalanced end: drop
+    --it->second;
+    events_.push_back(TraceEvent{track, TraceEvent::Phase::End, "", "",
+                                 now, 0, {}});
+}
+
+void
+Tracer::complete(uint32_t track, std::string name, const char *category,
+                 des::Time start, des::Time end,
+                 std::vector<TraceArg> args)
+{
+    events_.push_back(TraceEvent{track, TraceEvent::Phase::Complete,
+                                 std::move(name), category, start,
+                                 end >= start ? end - start : 0,
+                                 std::move(args)});
+}
+
+void
+Tracer::instant(uint32_t track, std::string name, const char *category,
+                des::Time now, std::vector<TraceArg> args)
+{
+    events_.push_back(TraceEvent{track, TraceEvent::Phase::Instant,
+                                 std::move(name), category, now, 0,
+                                 std::move(args)});
+}
+
+size_t
+Tracer::openSpans(uint32_t track) const
+{
+    auto it = openSpans_.find(track);
+    return it == openSpans_.end() ? 0 : it->second;
+}
+
+void
+Tracer::clear()
+{
+    events_.clear();
+    openSpans_.clear();
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &out) const
+{
+    // Stable sort by timestamp: complete events are recorded at their
+    // *end* time, so recording order is not timestamp order; viewers
+    // want sorted input. Stability preserves begin/end pairing at
+    // identical instants.
+    std::vector<size_t> order(events_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](size_t a, size_t b) {
+                         return events_[a].ts < events_[b].ts;
+                     });
+
+    JsonWriter w(out, 0);
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    sep();
+    out << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, "
+           "\"name\": \"process_name\", "
+           "\"args\": {\"name\": \"rhythm\"}}";
+    for (const auto &[track, name] : trackNames_) {
+        sep();
+        out << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << track
+            << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+            << jsonEscape(name) << "\"}}";
+    }
+
+    for (size_t idx : order) {
+        const TraceEvent &e = events_[idx];
+        sep();
+        JsonWriter ew(out, 0);
+        ew.beginObject();
+        const char phase = static_cast<char>(e.phase);
+        ew.key("ph");
+        ew.value(std::string_view(&phase, 1));
+        ew.key("pid");
+        ew.value(0);
+        ew.key("tid");
+        ew.value(static_cast<uint64_t>(e.track));
+        ew.key("ts");
+        ew.value(toTraceUs(e.ts));
+        if (e.phase == TraceEvent::Phase::Complete) {
+            ew.key("dur");
+            ew.value(toTraceUs(e.dur));
+        }
+        if (e.phase != TraceEvent::Phase::End) {
+            ew.key("name");
+            ew.value(std::string_view(e.name));
+            if (e.category[0] != '\0') {
+                ew.key("cat");
+                ew.value(std::string_view(e.category));
+            }
+        }
+        if (e.phase == TraceEvent::Phase::Instant) {
+            ew.key("s");
+            ew.value("t"); // thread-scoped instant
+        }
+        writeArgs(ew, e.args);
+        ew.endObject();
+    }
+    out << "\n]}\n";
+}
+
+} // namespace rhythm::obs

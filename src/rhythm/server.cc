@@ -5,6 +5,7 @@
 #include "backend/protocol.hh"
 #include "http/parser.hh"
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace rhythm::core {
@@ -82,6 +83,11 @@ struct RhythmServer::CohortRun
     uint64_t responseContentBytes = 0; //!< Scaled to the full cohort.
     uint64_t paddingBytes = 0;
     size_t nextCmd = 0;
+    /** Index of the first response-path command (tracing: where the
+     *  process stage ends and the response stage begins). */
+    size_t responseBeginIdx = 0;
+    bool processClosed = false;  //!< Process span already emitted.
+    des::Time responseStart = 0; //!< Response-stage span start.
 };
 
 RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
@@ -126,6 +132,7 @@ RhythmServer::injectRequest(std::string raw, uint64_t client_id)
     if (forming_ && forming_->entries.size() >= config_.cohortSize &&
         parserBusy_) {
         ++stats_.readerDrops;
+        OBS_COUNTER_ADD("server.reader_drops", 1);
         return false; // reader stall: both buffers occupied
     }
     if (sheddingActive()) {
@@ -141,6 +148,7 @@ RhythmServer::injectRequest(std::string raw, uint64_t client_id)
     forming_->entries.push_back(
         RawEntry{std::move(raw), client_id, queue_.now()});
     ++stats_.requestsAccepted;
+    OBS_COUNTER_ADD("server.requests_accepted", 1);
     ++inflightRequests_;
     noteAccepted(client_id);
     maybeLaunchBatch(false);
@@ -181,6 +189,10 @@ RhythmServer::sheddingActive()
     } else if (shed) {
         degradedSince_ = queue_.now();
     }
+    if (shed != degraded_)
+        OBS_INSTANT(obs::track::kEvents,
+                    shed ? "degraded-enter" : "degraded-exit",
+                    "degradation");
     degraded_ = shed;
     return shed;
 }
@@ -190,6 +202,9 @@ RhythmServer::shedRequest(uint64_t client_id)
 {
     ++stats_.requestsAccepted;
     ++stats_.requestsShed;
+    OBS_COUNTER_ADD("server.requests_shed", 1);
+    OBS_INSTANT(obs::track::kEvents, "shed", "degradation",
+                {"client", client_id});
     if (responseCb_)
         responseCb_(client_id, kShedResponse, 0);
 }
@@ -201,6 +216,8 @@ RhythmServer::noteAccepted(uint64_t client_id)
         faultPlan_->at(fault::Site::ClientDisconnect, queue_.now())
             .fire) {
         ++stats_.faultsInjected;
+        OBS_INSTANT(obs::track::kEvents, "client-disconnect", "fault",
+                    {"client", client_id});
         disconnected_.insert(client_id);
     }
 }
@@ -235,6 +252,7 @@ RhythmServer::pump()
         forming_->entries.push_back(
             RawEntry{std::move(*raw), client_id, queue_.now()});
         ++stats_.requestsAccepted;
+        OBS_COUNTER_ADD("server.requests_accepted", 1);
         ++inflightRequests_;
         noteAccepted(client_id);
     }
@@ -259,6 +277,12 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
     const uint32_t n = static_cast<uint32_t>(batch->entries.size());
     const uint32_t sample =
         config_.laneSample == 0 ? n : std::min(n, config_.laneSample);
+    // The reader stage for this batch spans from its first arrival to
+    // the hand-off to the parser (now).
+    OBS_SPAN_COMPLETE(obs::track::kReader, "reader", "stage",
+                      batch->firstArrival, queue_.now(),
+                      {"requests", static_cast<uint64_t>(n)});
+    const des::Time parse_start = queue_.now();
 
     // Parse every request (dispatch needs the results); record traces
     // for the sampled lanes to cost the parser kernel.
@@ -301,7 +325,11 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
         computeKernelCost(parser_profile, device_.config());
 
     // Device chain: [H2D copy] → [request transpose] → [parser kernel].
-    auto after_parse = [this, parsed]() {
+    auto after_parse = [this, parsed, parse_start, n, sample]() {
+        OBS_SPAN_COMPLETE(obs::track::kParser, "parse", "stage",
+                          parse_start, queue_.now(),
+                          {"requests", static_cast<uint64_t>(n)},
+                          {"sampled_lanes", static_cast<uint64_t>(sample)});
         parserBusy_ = false;
         dispatchParsed(std::move(*parsed));
         maybeLaunchBatch(false);
@@ -492,6 +520,7 @@ RhythmServer::scheduleTimeoutScan()
         if (forming_ && !forming_->entries.empty()) {
             if (now - forming_->firstArrival >= config_.cohortTimeout) {
                 ++stats_.cohortTimeouts;
+                OBS_COUNTER_ADD("server.cohort_timeouts", 1);
                 maybeLaunchBatch(true);
             } else {
                 anything_forming = true;
@@ -507,12 +536,14 @@ RhythmServer::scheduleTimeoutScan()
         });
         for (CohortContext *ctx : expired) {
             ++stats_.cohortTimeouts;
+            OBS_COUNTER_ADD("server.cohort_timeouts", 1);
             launchCohort(*ctx);
         }
         if (!pendingImages_.empty()) {
             if (now - pendingImages_.front().arrival >=
                 config_.cohortTimeout) {
                 ++stats_.cohortTimeouts;
+                OBS_COUNTER_ADD("server.cohort_timeouts", 1);
                 launchImageCohort();
             } else {
                 anything_forming = true;
@@ -563,9 +594,11 @@ RhythmServer::completeRequest(uint64_t client_id,
         ++stats_.errorResponses;
     else
         ++stats_.responsesCompleted;
+    OBS_COUNTER_ADD(failed ? "server.errors" : "server.responses", 1);
     if (config_.requestDeadline && latency > config_.requestDeadline)
         ++stats_.deadlineMisses;
     stats_.latencyMs.add(des::toMillis(latency));
+    OBS_HIST_ADD("server.latency_ms", des::toMillis(latency));
     if (config_.shedLatencySlo)
         sloLatencyMs_.add(des::toMillis(latency));
     if (responseCb_)
@@ -579,6 +612,17 @@ RhythmServer::launchCohort(CohortContext &ctx)
     ++stats_.cohortsLaunched;
     auto run = std::make_shared<CohortRun>();
     run->launchedAt = queue_.now();
+    if (OBS_ENABLED()) {
+        const uint32_t tr = obs::track::kCohortBase + ctx.id();
+        OBS_TRACK_NAME(tr, "cohort ctx " + std::to_string(ctx.id()));
+        // The dispatch stage for this cohort spans from its first
+        // member's arrival in a context to the pipeline launch (now).
+        OBS_SPAN_COMPLETE(
+            tr, "dispatch", "stage", ctx.firstArrival(), queue_.now(),
+            {"requests", static_cast<uint64_t>(ctx.entries().size())},
+            {"type", std::string(service_.typeName(ctx.type()))});
+        OBS_COUNTER_ADD("server.cohorts_launched", 1);
+    }
     executeCohort(ctx, *run);
     enqueueCohortPipeline(ctx, std::move(run));
 }
@@ -631,6 +675,7 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
         if (faultPlan_ &&
             faultPlan_->at(fault::Site::BackendFail, queue_.now()).fire) {
             ++stats_.faultsInjected;
+            OBS_INSTANT(obs::track::kEvents, "backend-fail", "fault");
             return backend::response::error(
                 backend::response::kUnavailableReason);
         }
@@ -785,6 +830,9 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
                     faultPlan_->at(fault::Site::BackendSlow, queue_.now());
                 if (slow.fire) {
                     ++stats_.faultsInjected;
+                    OBS_INSTANT(obs::track::kEvents, "backend-slow",
+                                "fault",
+                                {"delay_us", des::toMicros(slow.delay)});
                     extra += slow.delay;
                 }
             }
@@ -804,6 +852,7 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
 
     // Response path: transpose back to row-major (on device unless the
     // Titan C offload handles it), then ship over PCIe if present.
+    run.responseBeginIdx = run.sequence.size();
     if (config_.transposeBuffers && !config_.offloadResponseTranspose) {
         simt::KernelProfile tp = simt::KernelProfile::streaming(
             n, 2ull * lane_bytes * n, kTransposeInstsPerThread,
@@ -830,6 +879,19 @@ RhythmServer::enqueueCohortPipeline(CohortContext &ctx,
         cohortStreams_[ctx.id() % cohortStreams_.size()];
     auto step = std::make_shared<std::function<void()>>();
     *step = [this, &ctx, run, stream, step]() {
+        if (OBS_ENABLED() && !run->processClosed &&
+            run->nextCmd == run->responseBeginIdx) {
+            // All process-stage commands have completed; the remaining
+            // commands (if any) are the response path.
+            run->processClosed = true;
+            run->responseStart = queue_.now();
+            OBS_SPAN_COMPLETE(
+                obs::track::kCohortBase + ctx.id(), "process", "stage",
+                run->launchedAt, queue_.now(),
+                {"commands",
+                 static_cast<uint64_t>(run->responseBeginIdx)},
+                {"lanes", static_cast<uint64_t>(run->executedLanes)});
+        }
         if (run->nextCmd >= run->sequence.size()) {
             cohortCompleted(ctx, run);
             return;
@@ -861,6 +923,18 @@ RhythmServer::cohortCompleted(CohortContext &ctx,
     const auto &entries = ctx.entries();
     stats_.responseBytes += run->responseContentBytes;
     stats_.paddingBytes += run->paddingBytes;
+    if (OBS_ENABLED()) {
+        if (!run->processClosed) {
+            run->processClosed = true;
+            run->responseStart = now;
+            OBS_SPAN_COMPLETE(obs::track::kCohortBase + ctx.id(),
+                              "process", "stage", run->launchedAt, now);
+        }
+        OBS_SPAN_COMPLETE(obs::track::kCohortBase + ctx.id(), "response",
+                          "stage", run->responseStart, now,
+                          {"bytes", run->responseContentBytes},
+                          {"padding_bytes", run->paddingBytes});
+    }
     for (size_t i = 0; i < entries.size(); ++i) {
         const bool executed = i < run->executedLanes;
         const bool failed = executed && run->failed[i];
@@ -868,6 +942,10 @@ RhythmServer::cohortCompleted(CohortContext &ctx,
         stats_.formationMs.add(
             des::toMillis(run->launchedAt - entries[i].arrival));
         stats_.pipelineMs.add(des::toMillis(now - run->launchedAt));
+        OBS_HIST_ADD("server.formation_ms",
+                     des::toMillis(run->launchedAt - entries[i].arrival));
+        OBS_HIST_ADD("server.pipeline_ms",
+                     des::toMillis(now - run->launchedAt));
         completeRequest(entries[i].clientId,
                         executed ? run->responses[i] : kEmpty,
                         now - entries[i].arrival, failed);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace rhythm::simt {
@@ -79,6 +81,10 @@ Device::startCommand(int queue_index)
         cmd.stallChecked = true;
         const des::Time stall = faultHooks_.commandStall();
         if (stall > 0) {
+            OBS_INSTANT(obs::track::kEvents, "stream-stall", "fault",
+                        {"queue", static_cast<uint64_t>(queue_index)},
+                        {"stall_us", des::toMicros(stall)});
+            OBS_COUNTER_ADD("device.stream_stalls", 1);
             // The stream wedges: its hardware queue stays blocked for
             // the stall duration, then the command proceeds normally.
             queue_.scheduleAfter(stall, [this, queue_index]() {
@@ -137,12 +143,30 @@ Device::startCopy(CopyEngine &engine, PendingCopy copy)
     }
     const double transfer_seconds =
         static_cast<double>(copy.bytes) / (config_.pcieBandwidthGBs * 1e9);
-    des::Time duration =
+    const des::Time nominal =
         config_.pcieLatency + des::fromSeconds(transfer_seconds);
+    des::Time extra = 0;
     if (faultHooks_.copyExtra)
-        duration +=
-            faultHooks_.copyExtra(copy.toDevice, copy.bytes, duration);
+        extra = faultHooks_.copyExtra(copy.toDevice, copy.bytes, nominal);
+    const des::Time duration = nominal + extra;
     engine.busySeconds += des::toSeconds(duration);
+    if (OBS_ENABLED()) {
+        const uint32_t tr =
+            copy.toDevice ? obs::track::kPcieH2D : obs::track::kPcieD2H;
+        OBS_TRACK_NAME(tr, copy.toDevice ? "pcie h2d" : "pcie d2h");
+        OBS_SPAN_COMPLETE(tr, copy.toDevice ? "copy h2d" : "copy d2h",
+                          "pcie", queue_.now(), queue_.now() + duration,
+                          {"bytes", copy.bytes});
+        OBS_COUNTER_ADD(copy.toDevice ? "device.pcie_bytes_h2d"
+                                      : "device.pcie_bytes_d2h",
+                        copy.bytes);
+        if (extra > 0) {
+            OBS_INSTANT(obs::track::kEvents, "pcie-fault", "fault",
+                        {"extra_us", des::toMicros(extra)},
+                        {"bytes", copy.bytes});
+            OBS_COUNTER_ADD("device.pcie_faults", 1);
+        }
+    }
     queue_.scheduleAfter(duration, [this, &engine, qi = copy.queueIndex]() {
         copyFinished(engine);
         commandFinished(qi);
@@ -168,9 +192,13 @@ Device::kernelAdmitted(KernelCost cost, int queue_index)
     rk.remaining = std::max(cost.deviceSeconds, kFinishEpsilon);
     rk.cap = std::clamp(cost.maxShare, kMinShare, 1.0);
     rk.queueIndex = queue_index;
-    pool_.push_back(std::move(rk));
+    rk.admitted = queue_.now();
     ++stats_.kernelsLaunched;
     stats_.kernelMemoryBytes += cost.memoryBytes;
+    if (OBS_ENABLED())
+        OBS_COUNTER_ADD("device.kernels", 1);
+    rk.cost = std::move(cost);
+    pool_.push_back(std::move(rk));
     recomputeRates();
     reschedulePoolEvent();
 }
@@ -253,7 +281,24 @@ Device::poolEventFired()
     std::vector<int> finished_queues;
     for (size_t i = 0; i < pool_.size();) {
         if (pool_[i].remaining <= kFinishEpsilon) {
-            finished_queues.push_back(pool_[i].queueIndex);
+            const RunningKernel &rk = pool_[i];
+            if (OBS_ENABLED()) {
+                const uint32_t tr = obs::track::kHwqBase +
+                    static_cast<uint32_t>(rk.queueIndex);
+                OBS_TRACK_NAME(tr, "hwq " + std::to_string(rk.queueIndex));
+                OBS_SPAN_COMPLETE(
+                    tr,
+                    rk.cost.name.empty() ? std::string("kernel")
+                                         : rk.cost.name,
+                    "kernel", rk.admitted, queue_.now(),
+                    {"occupancy", rk.cap},
+                    {"simd_efficiency", rk.cost.simdEfficiency},
+                    {"global_transactions", rk.cost.globalTransactions},
+                    {"warps", rk.cost.warps},
+                    {"memory_bound",
+                     std::string(rk.cost.memoryBound ? "yes" : "no")});
+            }
+            finished_queues.push_back(rk.queueIndex);
             pool_.erase(pool_.begin() + static_cast<long>(i));
         } else {
             ++i;

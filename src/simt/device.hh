@@ -135,6 +135,8 @@ class Device
         double cap = 1.0;       //!< Occupancy cap on throughput share.
         double rate = 0.0;      //!< Current throughput share.
         int queueIndex = 0;     //!< Hardware queue to release on finish.
+        des::Time admitted = 0; //!< Pool admission time (span start).
+        KernelCost cost;        //!< Launch metadata for tracing.
     };
 
     struct PendingCopy

@@ -67,6 +67,10 @@ computeKernelCost(const KernelProfile &profile, const DeviceConfig &config)
         1.0, static_cast<double>(profile.warps) / saturating);
     if (profile.warps == 0)
         cost.maxShare = 0.0;
+    cost.name = profile.name;
+    cost.warps = profile.warps;
+    cost.simdEfficiency = profile.simdEfficiency(config.warpWidth);
+    cost.globalTransactions = profile.totals.globalTransactions;
     return cost;
 }
 

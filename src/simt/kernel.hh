@@ -129,6 +129,18 @@ struct KernelCost
     bool memoryBound = false;
     /** DRAM bytes this launch moves (for device power accounting). */
     uint64_t memoryBytes = 0;
+
+    // ---- Observability metadata (carried through to the device so
+    // ---- kernel-launch spans can report what executed; not consumed
+    // ---- by the cost model itself) -------------------------------
+    /** Kernel name from the profile. */
+    std::string name;
+    /** Warps in the launch (occupancy numerator). */
+    uint64_t warps = 0;
+    /** SIMD efficiency of the profiled launch. */
+    double simdEfficiency = 0.0;
+    /** Coalesced global-memory transactions of the launch. */
+    uint64_t globalTransactions = 0;
 };
 
 /** Converts a kernel profile into its demand under a device config. */

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Compare bench --json output against checked-in baselines.
+
+Usage:
+    check_bench.py [--tolerance 0.10] BASELINE MEASURED [BASELINE MEASURED ...]
+
+Each file is the `{"bench": ..., "config": {...}, "metrics": {...}}`
+document emitted by a bench binary's --json flag (see bench/common.hh).
+For every metric key in the baseline, the measured value must be within
+the tolerance in the metric's "bad" direction:
+
+  - higher-is-better metrics (throughput, efficiency, goodput,
+    reqs/Joule, headroom, speedup) fail when measured drops more than
+    tolerance below baseline;
+  - lower-is-better metrics (latency, p99, *_ms, cores_needed, errors)
+    fail when measured rises more than tolerance above baseline;
+  - everything else fails on deviation in either direction, since the
+    simulator is deterministic and an unexplained shift means behaviour
+    changed.
+
+Improvements beyond tolerance are reported as notes (regenerate the
+baseline to lock them in) but do not fail the gate. A metric present in
+the baseline but missing from the measured run is a failure; new metrics
+not yet in the baseline are notes only.
+
+Exit code: 0 when every pair passes, 1 otherwise. The simulation is a
+deterministic DES, so checked-in baselines are machine-independent.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER = (
+    "throughput",
+    "efficiency",
+    "goodput",
+    "reqs_per_joule",
+    "headroom",
+    "speedup",
+)
+LOWER_BETTER = ("latency", "p99", "cores_needed", "error")
+
+
+def direction(key):
+    k = key.lower()
+    for pat in HIGHER_BETTER:
+        if pat in k:
+            return "higher"
+    for pat in LOWER_BETTER:
+        if pat in k:
+            return "lower"
+    if k.endswith("_ms") or k.endswith("_watts"):
+        return "lower"
+    return "both"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for field in ("bench", "metrics"):
+        if field not in doc:
+            raise ValueError(f"{path}: missing '{field}' field")
+    return doc
+
+
+def compare(base_doc, meas_doc, tolerance, base_path, meas_path):
+    """Returns (failures, notes) message lists for one baseline pair."""
+    failures = []
+    notes = []
+    if base_doc["bench"] != meas_doc["bench"]:
+        failures.append(
+            f"bench name mismatch: baseline {base_path} is "
+            f"'{base_doc['bench']}', measured {meas_path} is "
+            f"'{meas_doc['bench']}'"
+        )
+        return failures, notes
+
+    bench = base_doc["bench"]
+    base = base_doc["metrics"]
+    meas = meas_doc["metrics"]
+
+    for key, expect in base.items():
+        if key not in meas:
+            failures.append(f"{bench}: metric '{key}' missing from measured run")
+            continue
+        got = meas[key]
+        if expect == 0:
+            if got != 0:
+                notes.append(
+                    f"{bench}: '{key}' baseline is 0, measured {got:g} "
+                    "(not compared)"
+                )
+            continue
+        rel = (got - expect) / abs(expect)
+        dirn = direction(key)
+        worse = (
+            rel < -tolerance
+            if dirn == "higher"
+            else rel > tolerance
+            if dirn == "lower"
+            else abs(rel) > tolerance
+        )
+        better = (
+            rel > tolerance
+            if dirn == "higher"
+            else rel < -tolerance
+            if dirn == "lower"
+            else False
+        )
+        if worse:
+            failures.append(
+                f"{bench}: '{key}' regressed {rel:+.1%} "
+                f"(baseline {expect:g}, measured {got:g}, "
+                f"{dirn}-is-better, tolerance {tolerance:.0%})"
+            )
+        elif better:
+            notes.append(
+                f"{bench}: '{key}' improved {rel:+.1%} "
+                f"(baseline {expect:g}, measured {got:g}) — consider "
+                "regenerating the baseline"
+            )
+
+    for key in meas:
+        if key not in base:
+            notes.append(f"{bench}: new metric '{key}' not in baseline")
+    return failures, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Perf-regression gate over bench --json documents."
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative change in the bad direction (default 0.10)",
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="BASELINE MEASURED",
+        help="alternating baseline/measured JSON paths",
+    )
+    args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        parser.error("expected an even number of files (baseline measured ...)")
+
+    all_failures = []
+    checked = 0
+    for i in range(0, len(args.files), 2):
+        base_path, meas_path = args.files[i], args.files[i + 1]
+        try:
+            base_doc = load(base_path)
+            meas_doc = load(meas_path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            all_failures.append(f"cannot load pair: {e}")
+            continue
+        failures, notes = compare(
+            base_doc, meas_doc, args.tolerance, base_path, meas_path
+        )
+        checked += len(base_doc["metrics"])
+        for msg in notes:
+            print(f"note: {msg}")
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        all_failures.extend(failures)
+
+    if all_failures:
+        print(f"\nperf gate: {len(all_failures)} regression(s) across "
+              f"{checked} baseline metric(s)")
+        return 1
+    print(f"perf gate: OK ({checked} baseline metric(s) within "
+          f"{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,13 +14,16 @@
  *   rhythm_sim --workload=banking --type=logout --no-padding
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "backend/bankdb.hh"
+#include "bench/common.hh"
 #include "chat/store.hh"
 #include "chat/service.hh"
 #include "fault/device_injector.hh"
 #include "fault/plan.hh"
+#include "obs/obs.hh"
 #include "platform/titan.hh"
 #include "rhythm/banking_service.hh"
 #include "rhythm/server.hh"
@@ -58,6 +61,10 @@ usage(const std::string &error)
            "  --no-transpose              row-major cohort buffers\n"
            "  --no-padding                disable whitespace padding\n"
            "  --seed=N                    deterministic seed (42)\n"
+           "observability (off by default):\n"
+           "  --json=PATH                 machine-readable result JSON\n"
+           "  --trace-out=PATH            Chrome trace_event JSON "
+           "(perfetto)\n"
            "fault injection (all off by default):\n"
            "  --fault-seed=N              fault plan seed (1)\n"
            "  --backend-fail=P            backend call failure probability\n"
@@ -111,7 +118,8 @@ faultReport(const core::RhythmStats &stats, const fault::FaultPlan *plan)
 void
 report(const core::RhythmServer &server, const simt::Device &device,
        const des::EventQueue &queue, const platform::TitanPowerModel &pm,
-       const fault::FaultPlan *plan = nullptr, bool robust = false)
+       const fault::FaultPlan *plan = nullptr, bool robust = false,
+       bench::Reporter *rep = nullptr)
 {
     const core::RhythmStats &stats = server.stats();
     const simt::Device::Stats dstats = device.stats();
@@ -186,6 +194,52 @@ report(const core::RhythmServer &server, const simt::Device &device,
     t.printAscii(std::cout);
     if (plan || robust)
         faultReport(stats, plan);
+
+    if (rep) {
+        rep->metric("throughput", throughput);
+        rep->metric("latency.mean_ms", stats.latencyMs.mean());
+        rep->metric("latency.p50_ms", stats.latencyMs.median());
+        rep->metric("latency.p99_ms", stats.latencyMs.percentile(99));
+        rep->metric("device_utilization", util);
+        rep->metric("pcie_utilization", copy_util);
+        rep->metric("simd_efficiency", simd_eff);
+        rep->metric("pcie_bytes",
+                    static_cast<double>(dstats.bytesToDevice +
+                                        dstats.bytesToHost));
+        rep->metric("dynamic_watts", dynamic_watts);
+        rep->metric("reqs_per_joule_wall",
+                    throughput / (pm.idleWatts + dynamic_watts));
+        // The instrumentation counters/histograms ride along under an
+        // "obs." prefix when recording was on for this run.
+        if (obs::global().enabled())
+            rep->metricsFrom(obs::global().metrics(), "obs.");
+    }
+}
+
+/**
+ * Writes the trace and JSON artifacts (no-ops without the flags) and
+ * turns observability back off. Returns the process exit code.
+ */
+int
+finish(const bench::Reporter &rep, const std::string &trace_path)
+{
+    int rc = 0;
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (out) {
+            obs::global().tracer().writeChromeTrace(out);
+            out << "\n";
+        }
+        if (!out.good()) {
+            std::cerr << "error: cannot write --trace-out file: "
+                      << trace_path << "\n";
+            rc = 1;
+        }
+    }
+    if (!rep.write())
+        rc = 1;
+    obs::global().disable();
+    return rc;
 }
 
 } // namespace
@@ -206,7 +260,7 @@ main(int argc, char **argv)
              "backend-slow", "backend-slow-ms", "pcie-corrupt",
              "pcie-degrade", "pcie-degrade-factor", "stall", "stall-ms",
              "disconnect", "retry-budget", "backoff-us", "deadline-ms",
-             "shed-backlog", "shed-p99-ms"}))
+             "shed-backlog", "shed-p99-ms", "json", "trace-out"}))
         return usage(flags.error());
 
     // ---- Platform ----------------------------------------------------
@@ -293,6 +347,16 @@ main(int argc, char **argv)
     const uint64_t total =
         static_cast<uint64_t>(cohorts) * cfg.cohortSize;
 
+    // ---- Observability -----------------------------------------------
+    bench::Reporter json_report("rhythm_sim", argc, argv);
+    const std::string trace_path = flags.getString("trace-out", "");
+    const bool observe = json_report.enabled() || !trace_path.empty();
+    json_report.config("workload", flags.getString("workload", "banking"));
+    json_report.config("platform", preset);
+    json_report.config("cohorts", static_cast<double>(cohorts));
+    json_report.config("cohort_size", static_cast<double>(cfg.cohortSize));
+    json_report.config("seed", static_cast<double>(seed));
+
     std::cout << "rhythm_sim: " << flags.getString("workload", "banking")
               << " on " << preset << " (" << variant.device.numSms
               << " SMs, " << variant.device.memBandwidthGBs << " GB/s, "
@@ -322,6 +386,8 @@ main(int argc, char **argv)
         }
 
         des::EventQueue queue;
+        if (observe)
+            obs::global().enable(queue);
         simt::Device device(queue, variant.device);
         core::BankingService service(db);
         core::RhythmServer server(queue, device, service, cfg);
@@ -369,8 +435,8 @@ main(int argc, char **argv)
         });
         queue.run();
         report(server, device, queue, variant.power,
-               faults_on ? &plan : nullptr, robust);
-        return 0;
+               faults_on ? &plan : nullptr, robust, &json_report);
+        return finish(json_report, trace_path);
     }
 
     if (workload == "chat") {
@@ -378,6 +444,8 @@ main(int argc, char **argv)
         chat::ChatGenerator gen(store, seed * 13 + 5);
 
         des::EventQueue queue;
+        if (observe)
+            obs::global().enable(queue);
         simt::Device device(queue, variant.device);
         chat::ChatService service(store);
         core::RhythmServer server(queue, device, service, cfg);
@@ -397,11 +465,11 @@ main(int argc, char **argv)
         });
         queue.run();
         report(server, device, queue, variant.power,
-               faults_on ? &plan : nullptr, robust);
+               faults_on ? &plan : nullptr, robust, &json_report);
         std::cout << "messages posted during run: "
                   << withCommas(store.totalPosted() - 256ull * 40)
                   << "\n";
-        return 0;
+        return finish(json_report, trace_path);
     }
 
     if (workload == "search") {
@@ -412,6 +480,8 @@ main(int argc, char **argv)
         search::QueryGenerator gen(corpus, seed * 17 + 3);
 
         des::EventQueue queue;
+        if (observe)
+            obs::global().enable(queue);
         simt::Device device(queue, variant.device);
         search::SearchService service(index);
         core::RhythmServer server(queue, device, service, cfg);
@@ -430,8 +500,8 @@ main(int argc, char **argv)
         });
         queue.run();
         report(server, device, queue, variant.power,
-               faults_on ? &plan : nullptr, robust);
-        return 0;
+               faults_on ? &plan : nullptr, robust, &json_report);
+        return finish(json_report, trace_path);
     }
 
     return usage("unknown workload: " + workload);
