@@ -10,6 +10,7 @@
 #define RHYTHM_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,8 +21,30 @@
 #include "obs/metrics.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace rhythm::bench {
+
+/**
+ * Applies a `--sim-threads=N` argument (host-side parallelism of the
+ * simulator's execution engine; default 1 = serial) to the global sim
+ * pool. Called by the Reporter constructor, so every bench accepts the
+ * flag; rhythm_sim parses it through its own Flags machinery. N only
+ * changes wall-clock time — all simulated outputs are byte-identical
+ * by the engine's determinism contract, which is why the value is
+ * deliberately NOT recorded in the --json config section.
+ */
+inline void
+applySimThreads(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--sim-threads=", 0) == 0) {
+            const int n = std::atoi(std::string(arg.substr(14)).c_str());
+            util::setSimThreads(n > 0 ? static_cast<unsigned>(n) : 1);
+        }
+    }
+}
 
 /** Paper Table 3 reference values for one platform row. */
 struct PaperTable3Row
@@ -120,6 +143,7 @@ class Reporter
             if (arg.rfind("--json=", 0) == 0)
                 path_ = std::string(arg.substr(7));
         }
+        applySimThreads(argc, argv);
     }
 
     /** True when --json=<path> was passed. */

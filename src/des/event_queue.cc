@@ -48,6 +48,21 @@ EventQueue::run(Time horizon)
     return dispatched;
 }
 
+namespace {
+
+/// Folds one 64-bit value into an FNV-1a hash, byte by byte.
+uint64_t
+fnv1a(uint64_t hash, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (i * 8)) & 0xff;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace
+
 bool
 EventQueue::step()
 {
@@ -55,10 +70,13 @@ EventQueue::step()
         return false;
     auto it = events_.begin();
     RHYTHM_ASSERT(it->first.first >= now_, "event queue went backwards");
-    now_ = it->first.first;
+    const Key key = it->first;
+    now_ = key.first;
     Callback cb = std::move(it->second);
     events_.erase(it);
     ++dispatched_;
+    orderHash_ =
+        fnv1a(fnv1a(orderHash_, static_cast<uint64_t>(key.first)), key.second);
     cb();
     return true;
 }

@@ -79,6 +79,17 @@ class EventQueue
     size_t maxPending() const { return maxPending_; }
 
     /**
+     * Order-audit fingerprint: an FNV-1a hash folded over the
+     * (when, sequence) key of every event dispatched so far. Host-side
+     * parallelism happens strictly *inside* one event callback (the
+     * engine joins its workers before returning), so this hash must be
+     * invariant under --sim-threads; the equivalence tests compare it
+     * across thread counts to prove the DES schedule — every epoch
+     * barrier between events — is untouched by parallel execution.
+     */
+    uint64_t orderHash() const { return orderHash_; }
+
+    /**
      * Runs until the queue drains or the optional horizon is reached.
      * @param horizon Stop once the next event is strictly beyond this
      *        time (the clock is advanced to the horizon). 0 = no horizon.
@@ -98,6 +109,7 @@ class EventQueue
     Time now_ = 0;
     uint64_t nextSequence_ = 0;
     uint64_t dispatched_ = 0;
+    uint64_t orderHash_ = 14695981039346656037ull; //!< FNV-1a offset basis.
     size_t maxPending_ = 0;
     bool stopRequested_ = false;
     std::map<Key, Callback> events_;

@@ -96,6 +96,7 @@ FixedHistogram::reset()
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = counters_.find(name);
     if (it == counters_.end())
         it = counters_
@@ -107,6 +108,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end())
         it = gauges_
@@ -119,6 +121,7 @@ FixedHistogram &
 MetricsRegistry::histogram(std::string_view name,
                            std::vector<double> bounds)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         if (bounds.empty())
@@ -135,6 +138,7 @@ MetricsRegistry::histogram(std::string_view name,
 bool
 MetricsRegistry::has(std::string_view name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return counters_.find(name) != counters_.end() ||
            gauges_.find(name) != gauges_.end() ||
            histograms_.find(name) != histograms_.end();
@@ -143,6 +147,7 @@ MetricsRegistry::has(std::string_view name) const
 void
 MetricsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[name, c] : counters_)
         c->reset();
     for (auto &[name, g] : gauges_)
@@ -154,6 +159,7 @@ MetricsRegistry::reset()
 void
 MetricsRegistry::writeJson(JsonWriter &w) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     w.beginObject();
     w.key("counters");
     w.beginObject();
@@ -197,6 +203,7 @@ MetricsRegistry::writeJson(JsonWriter &w) const
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::flatten() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::pair<std::string, double>> out;
     for (const auto &[name, c] : counters_)
         out.emplace_back(name, static_cast<double>(c->value()));

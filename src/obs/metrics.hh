@@ -2,12 +2,18 @@
  * @file
  * The metrics registry: counters, gauges and fixed-bucket histograms.
  *
- * Design constraints (ISSUE 2):
- *  - The whole simulation is single threaded (a paper design point), so
- *    "lock-free-ish" here means: no locks, no atomics, and hot-path
- *    updates that are a plain load/add/store on a handle obtained once.
- *    Handles stay valid for the registry's lifetime — registration
- *    never erases a metric; reset() zeroes values in place.
+ * Design constraints (ISSUE 2, thread-safety extended for ISSUE 3):
+ *  - The DES core stays single threaded, but the parallel execution
+ *    engine (src/simt/engine.*) emits counters from pool workers, so
+ *    counters and gauges are atomics (relaxed — they are commutative
+ *    sums/last-writes whose totals are thread-count-invariant) and the
+ *    registry's name lookup is mutex-guarded. Handles stay valid for
+ *    the registry's lifetime — registration never erases a metric;
+ *    reset() zeroes values in place, so hot paths fetch a handle once.
+ *  - Histograms and the tracer remain DES-thread-only: ordered flush is
+ *    guaranteed because flatten()/writeJson() iterate the std::map in
+ *    name order after all workers have joined (the engine's parallel
+ *    regions are barriers).
  *  - Fixed-bucket histograms keep O(buckets) memory regardless of
  *    sample count (unlike util/stats.hh's exact Histogram, which
  *    retains every sample for offline analysis). Percentiles are
@@ -18,9 +24,11 @@
 #ifndef RHYTHM_OBS_METRICS_HH
 #define RHYTHM_OBS_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,28 +37,31 @@
 
 namespace rhythm::obs {
 
-/** A monotonically increasing counter. */
+/** A monotonically increasing counter (thread-safe). */
 class Counter
 {
   public:
-    void add(uint64_t delta = 1) { value_ += delta; }
-    uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    void add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    uint64_t value_ = 0;
+    std::atomic<uint64_t> value_{0};
 };
 
-/** A last-value gauge. */
+/** A last-value gauge (thread-safe). */
 class Gauge
 {
   public:
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
@@ -117,7 +128,11 @@ class FixedHistogram
  *
  * Lookup creates on first use. Returned references remain valid until
  * the registry is destroyed (metrics are never erased), so callers on
- * hot paths fetch a handle once and update through it.
+ * hot paths fetch a handle once and update through it. Lookup is
+ * mutex-guarded (pool workers may register concurrently); counter and
+ * gauge updates through the returned handles are atomic. Histogram
+ * updates and flatten()/writeJson()/reset() must stay on the DES
+ * thread, outside any parallel region.
  */
 class MetricsRegistry
 {
@@ -154,6 +169,7 @@ class MetricsRegistry
     std::vector<std::pair<std::string, double>> flatten() const;
 
   private:
+    mutable std::mutex mutex_; //!< Guards the three name maps.
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
         counters_;
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

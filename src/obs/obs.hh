@@ -25,6 +25,8 @@
 #ifndef RHYTHM_OBS_OBS_HH
 #define RHYTHM_OBS_OBS_HH
 
+#include <atomic>
+
 #include "des/event_queue.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -51,8 +53,12 @@ inline constexpr uint32_t kEvents = 600;
 class Observability
 {
   public:
-    /** True when instrumentation is recording. */
-    bool enabled() const { return enabled_; }
+    /**
+     * True when instrumentation is recording. Readable from engine
+     * pool workers (relaxed atomic); enable()/disable() happen on the
+     * DES thread outside parallel regions.
+     */
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
     /**
      * Starts recording against @p clock. The clock must outlive the
@@ -88,13 +94,17 @@ class Observability
     Tracer &tracer() { return tracer_; }
 
   private:
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
     const des::EventQueue *clock_ = nullptr;
     MetricsRegistry metrics_;
     Tracer tracer_;
 };
 
-/** The global observability context (single threaded by design). */
+/**
+ * The global observability context. Lifecycle calls (enable/disable/
+ * reset) and tracer/histogram use are DES-thread-only; enabled(),
+ * counters and gauges are safe from engine pool workers.
+ */
 Observability &global();
 
 } // namespace rhythm::obs

@@ -7,6 +7,7 @@
 
 #include "obs/obs.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rhythm::core {
 namespace {
@@ -285,33 +286,42 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
     const des::Time parse_start = queue_.now();
 
     // Parse every request (dispatch needs the results); record traces
-    // for the sampled lanes to cost the parser kernel.
+    // for the sampled lanes to cost the parser kernel. Each lane
+    // touches only its own entry/trace slot, so the loop fans out over
+    // the sim pool; results are index-addressed and order-free.
     auto parsed = std::make_shared<std::vector<CohortEntry>>();
-    parsed->reserve(n);
+    parsed->resize(n);
     std::vector<simt::ThreadTrace> traces(sample);
-    for (uint32_t i = 0; i < n; ++i) {
-        RawEntry &raw = batch->entries[i];
-        CohortEntry entry;
-        entry.raw = std::move(raw.raw);
-        entry.arrival = raw.arrival;
-        entry.clientId = raw.clientId;
-        const uint64_t vaddr =
-            kRequestRegionBase +
-            static_cast<uint64_t>(i) * config_.requestSlotBytes;
-        bool ok;
-        if (i < sample) {
-            simt::RecordingTracer rec(traces[i]);
-            ok = http::parseRequest(entry.raw, vaddr, rec, entry.request);
-            if (config_.transposeBuffers)
-                transposeRegionLoads(traces[i], kRequestRegionBase, i,
-                                     config_.requestSlotBytes, sample);
-        } else {
-            ok = http::parseRequest(entry.raw, vaddr, gNull, entry.request);
-        }
-        if (!ok)
-            entry.request.path.clear(); // dispatch will 400 it
-        parsed->push_back(std::move(entry));
-    }
+    util::simPool().parallelRanges(
+        n, 64, [this, &batch, &parsed, &traces, sample](size_t begin,
+                                                        size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                RawEntry &raw = batch->entries[i];
+                CohortEntry &entry = (*parsed)[i];
+                entry.raw = std::move(raw.raw);
+                entry.arrival = raw.arrival;
+                entry.clientId = raw.clientId;
+                const uint64_t vaddr =
+                    kRequestRegionBase +
+                    static_cast<uint64_t>(i) * config_.requestSlotBytes;
+                bool ok;
+                if (i < sample) {
+                    simt::RecordingTracer rec(traces[i]);
+                    ok = http::parseRequest(entry.raw, vaddr, rec,
+                                            entry.request);
+                    if (config_.transposeBuffers)
+                        transposeRegionLoads(traces[i], kRequestRegionBase,
+                                             static_cast<uint32_t>(i),
+                                             config_.requestSlotBytes,
+                                             sample);
+                } else {
+                    ok = http::parseRequest(entry.raw, vaddr, gNull,
+                                            entry.request);
+                }
+                if (!ok)
+                    entry.request.path.clear(); // dispatch will 400 it
+            }
+        });
 
     std::vector<const simt::ThreadTrace *> ptrs;
     ptrs.reserve(sample);
@@ -319,7 +329,7 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
         ptrs.push_back(&t);
     const double scale = static_cast<double>(n) / sample;
     simt::KernelProfile parser_profile = scaleProfile(
-        simt::KernelProfile::fromTraces(ptrs, config_.warpModel, "parser"),
+        device_.engine().profile(ptrs, config_.warpModel, "parser"),
         scale);
     const simt::KernelCost parser_cost =
         computeKernelCost(parser_profile, device_.config());
@@ -747,22 +757,36 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
         static_cast<double>(content_bytes) * run.scale);
 
     // ---- Build the simulated command sequence -----------------------
+    // Profile every pipeline stage in one engine region (warps of all
+    // stages share one index space, so small stages cannot strand pool
+    // workers), then assemble the command sequence serially in stage
+    // order — the canonical order the determinism contract requires.
+    std::vector<std::vector<const simt::ThreadTrace *>> stage_ptrs(
+        static_cast<size_t>(stages));
+    std::vector<simt::Engine::Launch> launches(
+        static_cast<size_t>(stages));
+    for (int s = 0; s < stages; ++s) {
+        const size_t si = static_cast<size_t>(s);
+        stage_ptrs[si].resize(sample);
+        for (uint32_t lane = 0; lane < sample; ++lane)
+            stage_ptrs[si][lane] = &stage_traces[si][lane];
+        launches[si].traces = &stage_ptrs[si];
+        launches[si].model = &config_.warpModel;
+        launches[si].name = std::string(service_.typeName(type)) +
+                            "-stage" + std::to_string(s);
+    }
+    std::vector<simt::KernelProfile> stage_profiles =
+        device_.engine().profileMany(launches);
+
     using Cmd = CohortRun::Cmd;
-    std::vector<const simt::ThreadTrace *> ptrs(sample);
     const uint64_t backend_req_bytes =
         static_cast<uint64_t>(n) * service_.backendRequestSlotBytes();
     const uint64_t backend_resp_bytes =
         static_cast<uint64_t>(n) * service_.backendResponseSlotBytes();
 
     for (int s = 0; s < stages; ++s) {
-        for (uint32_t lane = 0; lane < sample; ++lane)
-            ptrs[lane] = &stage_traces[static_cast<size_t>(s)][lane];
         simt::KernelProfile profile = scaleProfile(
-            simt::KernelProfile::fromTraces(
-                ptrs, config_.warpModel,
-                std::string(service_.typeName(type)) + "-stage" +
-                    std::to_string(s)),
-            run.scale);
+            std::move(stage_profiles[static_cast<size_t>(s)]), run.scale);
         stats_.processIssueSlots +=
             static_cast<double>(profile.totals.issueSlots);
         stats_.processLaneInstructions +=

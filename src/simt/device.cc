@@ -19,7 +19,8 @@ constexpr double kMinShare = 1e-6;
 
 Device::Device(des::EventQueue &queue, DeviceConfig config)
     : queue_(queue), config_(std::move(config)),
-      createTime_(queue.now()), poolLastUpdate_(queue.now())
+      createTime_(queue.now()), poolLastUpdate_(queue.now()),
+      engine_(config_.numSms)
 {
     RHYTHM_ASSERT(config_.hardwareQueues >= 1);
     RHYTHM_ASSERT(config_.numSms >= 1);

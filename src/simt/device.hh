@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "des/event_queue.hh"
+#include "simt/engine.hh"
 #include "simt/kernel.hh"
 
 namespace rhythm::simt {
@@ -90,6 +91,15 @@ class Device
 
     /** The static configuration. */
     const DeviceConfig &config() const { return config_; }
+
+    /**
+     * The parallel warp-simulation engine, sized to this device's SM
+     * count. Callers profile launches through it (instead of the serial
+     * KernelProfile::fromTraces) to get host-side parallelism plus
+     * per-SM deterministic accounting; results are byte-identical.
+     */
+    Engine &engine() { return engine_; }
+    const Engine &engine() const { return engine_; }
 
     /** Aggregate utilization statistics. */
     struct Stats
@@ -184,6 +194,7 @@ class Device
     uint64_t pendingCommands_ = 0;
 
     Stats stats_;
+    Engine engine_;
 };
 
 } // namespace rhythm::simt

@@ -1,0 +1,117 @@
+#include "simt/engine.hh"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "obs/obs.hh"
+#include "util/logging.hh"
+
+namespace rhythm::simt {
+namespace {
+
+/** One warp's slice of a launch's trace array. */
+struct WarpWork
+{
+    const ThreadTrace *const *lanes = nullptr;
+    size_t laneCount = 0;
+    const WarpModel *model = nullptr;
+};
+
+} // namespace
+
+Engine::Engine(int num_sms, util::ThreadPool *pool)
+    : numSms_(num_sms), pool_(pool)
+{
+    RHYTHM_ASSERT(numSms_ >= 1);
+    sms_.resize(static_cast<size_t>(numSms_));
+}
+
+util::ThreadPool &
+Engine::pool() const
+{
+    return pool_ ? *pool_ : util::simPool();
+}
+
+KernelProfile
+Engine::profile(const std::vector<const ThreadTrace *> &traces,
+                const WarpModel &model, std::string name)
+{
+    Launch launch;
+    launch.traces = &traces;
+    launch.model = &model;
+    launch.name = std::move(name);
+    std::vector<KernelProfile> profiles = profileMany({std::move(launch)});
+    return std::move(profiles.front());
+}
+
+std::vector<KernelProfile>
+Engine::profileMany(const std::vector<Launch> &launches)
+{
+    // Flatten every warp of every launch into one index space so the
+    // pool load-balances across launch boundaries.
+    std::vector<WarpWork> work;
+    std::vector<size_t> warpBase(launches.size() + 1, 0);
+    for (size_t li = 0; li < launches.size(); ++li) {
+        const Launch &l = launches[li];
+        RHYTHM_ASSERT(l.traces != nullptr && l.model != nullptr);
+        const auto &traces = *l.traces;
+        const size_t width = static_cast<size_t>(l.model->warpWidth);
+        RHYTHM_ASSERT(width >= 1);
+        for (size_t base = 0; base < traces.size(); base += width) {
+            work.push_back(WarpWork{traces.data() + base,
+                                    std::min(width, traces.size() - base),
+                                    l.model});
+        }
+        warpBase[li + 1] = work.size();
+    }
+
+    // Fork: each warp writes only its own slot. Which worker simulates
+    // which warp is irrelevant — the slots are merged canonically below.
+    std::vector<WarpStats> slots(work.size());
+    pool().parallelFor(work.size(), [&work, &slots](size_t i) {
+        const WarpWork &w = work[i];
+        slots[i] = simulateWarp(
+            std::span<const ThreadTrace *const>(w.lanes, w.laneCount),
+            *w.model);
+        // Cross-thread metric emission; the obs counter sinks are
+        // atomic, and the total is thread-count-invariant.
+        OBS_COUNTER_ADD("engine.warps_simulated", 1);
+    });
+
+    // Join done; merge on the calling thread in canonical order:
+    // launch index, then warp index within the launch.
+    std::vector<KernelProfile> profiles;
+    profiles.reserve(launches.size());
+    for (size_t li = 0; li < launches.size(); ++li) {
+        const size_t begin = warpBase[li];
+        const size_t end = warpBase[li + 1];
+        const std::span<const WarpStats> launchStats(slots.data() + begin,
+                                                     end - begin);
+        profiles.push_back(KernelProfile::fromWarpStats(
+            launchStats, launches[li].traces->size(), launches[li].name));
+        // Per-SM accounting: warp w of a launch runs on SM (w % numSms).
+        for (size_t w = 0; w < launchStats.size(); ++w) {
+            SmCounters &sm = sms_[w % static_cast<size_t>(numSms_)];
+            ++sm.warps;
+            sm.stats.merge(launchStats[w]);
+        }
+        const size_t touched =
+            std::min(launchStats.size(), static_cast<size_t>(numSms_));
+        for (size_t s = 0; s < touched; ++s)
+            ++sms_[s].launches;
+        ++launches_;
+        warps_ += launchStats.size();
+    }
+    return profiles;
+}
+
+void
+Engine::resetCounters()
+{
+    std::fill(sms_.begin(), sms_.end(), SmCounters{});
+    launches_ = 0;
+    warps_ = 0;
+}
+
+} // namespace rhythm::simt

@@ -10,18 +10,28 @@ KernelProfile
 KernelProfile::fromTraces(const std::vector<const ThreadTrace *> &traces,
                           const WarpModel &model, std::string name)
 {
-    KernelProfile profile;
-    profile.name = std::move(name);
-    profile.threads = traces.size();
+    std::vector<WarpStats> warp_stats;
     const size_t width = static_cast<size_t>(model.warpWidth);
+    warp_stats.reserve((traces.size() + width - 1) / width);
     for (size_t base = 0; base < traces.size(); base += width) {
         const size_t lanes = std::min(width, traces.size() - base);
-        WarpStats ws = simulateWarp(
+        warp_stats.push_back(simulateWarp(
             std::span<const ThreadTrace *const>(traces.data() + base, lanes),
-            model);
-        profile.totals.merge(ws);
-        ++profile.warps;
+            model));
     }
+    return fromWarpStats(warp_stats, traces.size(), std::move(name));
+}
+
+KernelProfile
+KernelProfile::fromWarpStats(std::span<const WarpStats> warp_stats,
+                             uint64_t threads, std::string name)
+{
+    KernelProfile profile;
+    profile.name = std::move(name);
+    profile.threads = threads;
+    profile.warps = warp_stats.size();
+    for (const WarpStats &ws : warp_stats)
+        profile.totals.merge(ws);
     return profile;
 }
 

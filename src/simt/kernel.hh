@@ -13,6 +13,7 @@
 #define RHYTHM_SIMT_KERNEL_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,16 @@ struct KernelProfile
     static KernelProfile fromTraces(
         const std::vector<const ThreadTrace *> &traces,
         const WarpModel &model, std::string name = "");
+
+    /**
+     * Builds a profile by merging pre-simulated per-warp statistics in
+     * index order. fromTraces() and the parallel simt::Engine both
+     * funnel through this, so their aggregates are identical by
+     * construction regardless of which thread simulated which warp.
+     */
+    static KernelProfile fromWarpStats(std::span<const WarpStats> warp_stats,
+                                       uint64_t threads,
+                                       std::string name = "");
 
     /**
      * Builds an analytic profile for a streaming, memory-bound kernel

@@ -49,6 +49,12 @@ struct WarpStats
     /** Constant-memory accesses (element granularity). */
     uint64_t constantAccesses = 0;
 
+    /**
+     * Field-wise equality. All fields are integers, so equality is
+     * exact — the parallel engine's equivalence tests rely on this.
+     */
+    bool operator==(const WarpStats &) const = default;
+
     /** Accumulates another stats record into this one. */
     void merge(const WarpStats &other);
 

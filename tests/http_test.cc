@@ -201,6 +201,135 @@ TEST_P(RoundTripProperty, RandomParamsSurvive)
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
                          ::testing::Range<uint64_t>(1, 25));
 
+// ---- Fuzz-ish parser properties --------------------------------------
+//
+// The parser runs on every byte the simulated NIC delivers, so it must
+// be total: any input — including corrupted SPECWeb Banking traffic —
+// either parses or is rejected, never crashes or loiters. Seeded random
+// mutations keep the corpus deterministic across runs and platforms.
+
+/** A corpus of valid SPECWeb Banking requests (one per page shape). */
+std::vector<std::string>
+bankingCorpus(uint64_t seed)
+{
+    Rng rng(seed);
+    const auto sid = [&rng]() {
+        return "session=" + std::to_string(rng.nextBounded(1u << 30));
+    };
+    const auto num = [&rng](uint32_t bound) {
+        return std::to_string(rng.nextBounded(bound));
+    };
+    return {
+        buildRequest(Method::Post, "/bank/login.php",
+                     {{"userid", num(5000)}, {"password", "pwd" + num(5000)}}),
+        buildRequest(Method::Get, "/bank/account_summary.php", {}, sid()),
+        buildRequest(Method::Get, "/bank/check_detail_html.php",
+                     {{"check_no", num(90000)}}, sid()),
+        buildRequest(Method::Get, "/bank/bill_pay.php",
+                     {{"payee", num(40)}, {"amount", num(100000)}}, sid()),
+        buildRequest(Method::Post, "/bank/post_transfer.php",
+                     {{"from", num(4)}, {"to", num(4)},
+                      {"amount", num(250000)}},
+                     sid()),
+        buildRequest(Method::Post, "/bank/post_payee.php",
+                     {{"name", "Acme+Power"}, {"account", num(1000000)}},
+                     sid()),
+        buildRequest(Method::Get, "/bank/logout.php", {}, sid()),
+    };
+}
+
+/** Applies one random byte-level mutation in place. */
+void
+mutate(std::string &raw, Rng &rng)
+{
+    if (raw.empty()) {
+        raw.push_back(static_cast<char>(rng.nextBounded(256)));
+        return;
+    }
+    const size_t pos = static_cast<size_t>(rng.nextBounded(
+        static_cast<uint32_t>(raw.size())));
+    switch (rng.nextBounded(5)) {
+    case 0: // Substitute an arbitrary byte (including NUL and 0xFF).
+        raw[pos] = static_cast<char>(rng.nextBounded(256));
+        break;
+    case 1: // Delete a byte (breaks lengths and CRLF pairs).
+        raw.erase(pos, 1);
+        break;
+    case 2: // Insert a byte.
+        raw.insert(pos, 1, static_cast<char>(rng.nextBounded(256)));
+        break;
+    case 3: // Truncate (simulates a torn read).
+        raw.resize(pos);
+        break;
+    default: // Duplicate a span (repeated headers, doubled separators).
+        raw.insert(pos, raw.substr(pos, rng.nextBounded(16) + 1));
+        break;
+    }
+}
+
+class ParserFuzzProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ParserFuzzProperty, MutatedBankingRequestsNeverCrashParser)
+{
+    Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+    for (std::string raw : bankingCorpus(GetParam())) {
+        const int mutations = static_cast<int>(rng.nextBounded(8)) + 1;
+        for (int m = 0; m < mutations; ++m)
+            mutate(raw, rng);
+        Request req;
+        const bool ok = parseRequest(raw, 0, gNull, req);
+        // Whatever the verdict, parsing must be deterministic: the same
+        // bytes give the same verdict and the same parsed fields.
+        Request again;
+        EXPECT_EQ(parseRequest(raw, 0, gNull, again), ok);
+        if (ok) {
+            EXPECT_EQ(again.method, req.method);
+            EXPECT_EQ(again.path, req.path);
+            EXPECT_EQ(again.params, req.params);
+            EXPECT_EQ(again.sessionId, req.sessionId);
+            // Accepted requests carry internally consistent lengths.
+            EXPECT_LE(req.contentLength, raw.size());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzProperty,
+                         ::testing::Range<uint64_t>(1, 101));
+
+class ParserRoundTripProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ParserRoundTripProperty, ParseSerializeRoundTripIsStable)
+{
+    // For well-formed Banking traffic the parse → rebuild cycle is a
+    // fixed point: rebuilding from the parsed fields reproduces the
+    // original bytes, so a second parse sees an identical request.
+    for (const std::string &raw : bankingCorpus(GetParam())) {
+        Request req;
+        ASSERT_TRUE(parseRequest(raw, 0, gNull, req)) << raw;
+        const std::string rebuilt =
+            buildRequest(req.method, req.path, req.params, req.cookie);
+        Request reparsed;
+        ASSERT_TRUE(parseRequest(rebuilt, 0, gNull, reparsed)) << rebuilt;
+        EXPECT_EQ(reparsed.method, req.method);
+        EXPECT_EQ(reparsed.path, req.path);
+        EXPECT_EQ(reparsed.params, req.params);
+        EXPECT_EQ(reparsed.cookie, req.cookie);
+        EXPECT_EQ(reparsed.sessionId, req.sessionId);
+        EXPECT_EQ(reparsed.keepAlive, req.keepAlive);
+        // And the serialization itself is stable byte-for-byte.
+        EXPECT_EQ(buildRequest(reparsed.method, reparsed.path,
+                               reparsed.params, reparsed.cookie),
+                  rebuilt);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 26));
+
 TEST(Response, SerializeContainsCorrectContentLength)
 {
     ResponseBuilder rb(Status::Ok);

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Determinism-equivalence harness for the parallel execution engine.
+ *
+ * Runs real workload configurations — sized-down versions of the fig8
+ * (Titan variant evaluation), fig9 (PCIe-bound Titan A) and sec6.2
+ * (Titan C scaling) experiments — at --sim-threads ∈ {1, 2, 4, 8} and
+ * asserts that *everything observable* is identical to the serial run:
+ * the flattened metrics registry (what `--json` serializes), the Chrome
+ * trace export, the final DES clock, the event count and dispatch-order
+ * hash, and the engine's per-SM counters. Exact equality of doubles is
+ * intentional: all parallel accounting is integer-based and merged in
+ * canonical order, so there is nothing to be approximately equal about.
+ *
+ * Under tsan (the CI sanitizer matrix runs this binary) the multi-thread
+ * runs also prove the pool/engine/metrics layers are race-free.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/bankdb.hh"
+#include "des/event_queue.hh"
+#include "obs/obs.hh"
+#include "platform/titan.hh"
+#include "rhythm/banking_service.hh"
+#include "rhythm/server.hh"
+#include "simt/device.hh"
+#include "specweb/workload.hh"
+#include "util/thread_pool.hh"
+
+namespace rhythm {
+namespace {
+
+/** Everything a run exposes; compared field-by-field across thread counts. */
+struct Fingerprint
+{
+    des::Time clock = 0;
+    uint64_t dispatched = 0;
+    uint64_t orderHash = 0;
+    uint64_t responses = 0;
+    uint64_t errors = 0;
+    uint64_t engineLaunches = 0;
+    uint64_t engineWarps = 0;
+    std::vector<simt::Engine::SmCounters> sms;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::string trace;
+};
+
+void
+expectIdentical(const Fingerprint &serial, const Fingerprint &parallel,
+                unsigned threads)
+{
+    SCOPED_TRACE("sim-threads=" + std::to_string(threads));
+    EXPECT_EQ(serial.clock, parallel.clock);
+    EXPECT_EQ(serial.dispatched, parallel.dispatched);
+    EXPECT_EQ(serial.orderHash, parallel.orderHash);
+    EXPECT_EQ(serial.responses, parallel.responses);
+    EXPECT_EQ(serial.errors, parallel.errors);
+    EXPECT_EQ(serial.engineLaunches, parallel.engineLaunches);
+    EXPECT_EQ(serial.engineWarps, parallel.engineWarps);
+    ASSERT_EQ(serial.sms.size(), parallel.sms.size());
+    for (size_t s = 0; s < serial.sms.size(); ++s)
+        EXPECT_TRUE(serial.sms[s] == parallel.sms[s]) << "SM " << s;
+    ASSERT_EQ(serial.metrics.size(), parallel.metrics.size());
+    for (size_t i = 0; i < serial.metrics.size(); ++i) {
+        EXPECT_EQ(serial.metrics[i].first, parallel.metrics[i].first);
+        EXPECT_EQ(serial.metrics[i].second, parallel.metrics[i].second)
+            << "metric " << serial.metrics[i].first;
+    }
+    EXPECT_EQ(serial.trace, parallel.trace);
+}
+
+/**
+ * One rhythm_sim-shaped banking run (mixed browsing steady state) with
+ * observability recording, so metrics and trace spans are captured.
+ */
+Fingerprint
+runBanking(unsigned threads)
+{
+    util::setSimThreads(threads);
+    obs::global().reset();
+
+    platform::TitanVariant variant = platform::titanB();
+    core::RhythmConfig cfg = variant.server;
+    cfg.cohortSize = 512;
+    cfg.cohortContexts = 8;
+    cfg.laneSample = 64;
+    const uint64_t total = 4 * cfg.cohortSize;
+    const uint64_t seed = 42;
+
+    des::EventQueue queue;
+    obs::global().enable(queue);
+    simt::Device device(queue, variant.device);
+    backend::BankDb db(400, seed);
+    core::BankingService service(db);
+    core::RhythmServer server(queue, device, service, cfg);
+    specweb::WorkloadGenerator gen(db, seed * 31 + 7);
+
+    auto sessions = server.sessions().populate(
+        std::min<uint64_t>(total, 8192), 400);
+    uint64_t issued = 0;
+    server.start([&]() -> std::optional<std::string> {
+        if (issued >= total)
+            return std::nullopt;
+        specweb::RequestType type;
+        do {
+            type = gen.sampleType();
+        } while (type == specweb::RequestType::Login ||
+                 type == specweb::RequestType::Logout);
+        const auto &[sid, user] = sessions[issued % sessions.size()];
+        ++issued;
+        return gen.generate(type, user, sid).raw;
+    });
+    queue.run();
+
+    Fingerprint fp;
+    fp.clock = queue.now();
+    fp.dispatched = queue.dispatched();
+    fp.orderHash = queue.orderHash();
+    fp.responses = server.stats().responsesCompleted;
+    fp.errors = server.stats().errorResponses;
+    fp.engineLaunches = device.engine().launches();
+    fp.engineWarps = device.engine().warps();
+    fp.sms = device.engine().smCounters();
+    fp.metrics = obs::global().metrics().flatten();
+    std::ostringstream trace;
+    obs::global().tracer().writeChromeTrace(trace);
+    fp.trace = trace.str();
+
+    obs::global().disable();
+    obs::global().reset();
+    util::setSimThreads(1);
+    return fp;
+}
+
+/** Field-exact fingerprint of an isolated-type platform run. */
+Fingerprint
+runIsolated(const platform::TitanVariant &variant,
+            specweb::RequestType type, unsigned threads)
+{
+    util::setSimThreads(threads);
+    platform::IsolatedRunOptions opts;
+    opts.cohorts = 2;
+    opts.users = 400;
+    opts.laneSample = 64;
+    platform::TypeRunResult r =
+        platform::runIsolatedType(variant, type, opts);
+    util::setSimThreads(1);
+
+    // Pack the result's fields into the metrics list; doubles computed
+    // from identical integer inputs in identical (serial, post-barrier)
+    // order must be bit-equal.
+    Fingerprint fp;
+    fp.responses = r.requests;
+    fp.metrics = {
+        {"elapsed", r.elapsedSeconds},
+        {"throughput", r.throughput},
+        {"avg_latency_ms", r.avgLatencyMs},
+        {"p99_latency_ms", r.p99LatencyMs},
+        {"device_utilization", r.deviceUtilization},
+        {"memory_utilization", r.memoryUtilization},
+        {"copy_utilization", r.copyUtilization},
+        {"simd_efficiency", r.simdEfficiency},
+        {"pcie_bytes_per_request",
+         static_cast<double>(r.pcieBytesPerRequest)},
+        {"dynamic_watts", r.dynamicWatts},
+        {"reqs_per_joule_wall", r.reqsPerJouleWall},
+    };
+    return fp;
+}
+
+/** Field-exact fingerprint of a whole-variant (fig8-style) evaluation. */
+Fingerprint
+runVariant(const platform::TitanVariant &variant, unsigned threads)
+{
+    util::setSimThreads(threads);
+    platform::IsolatedRunOptions opts;
+    opts.cohorts = 1;
+    opts.users = 200;
+    opts.laneSample = 32;
+    platform::TitanWorkloadResult r =
+        platform::evaluateTitan(variant, opts);
+    util::setSimThreads(1);
+
+    Fingerprint fp;
+    fp.metrics = {
+        {"throughput", r.throughput},
+        {"avg_latency_ms", r.avgLatencyMs},
+        {"dynamic_watts", r.dynamicWatts},
+        {"wall_watts", r.wallWatts},
+        {"reqs_per_joule_wall", r.reqsPerJouleWall},
+        {"reqs_per_joule_dynamic", r.reqsPerJouleDynamic},
+    };
+    for (size_t i = 0; i < specweb::kNumRequestTypes; ++i) {
+        const std::string p = "type" + std::to_string(i) + ".";
+        fp.metrics.emplace_back(p + "throughput",
+                                r.perType[i].throughput);
+        fp.metrics.emplace_back(p + "p99_ms", r.perType[i].p99LatencyMs);
+        fp.metrics.emplace_back(p + "simd_efficiency",
+                                r.perType[i].simdEfficiency);
+    }
+    return fp;
+}
+
+constexpr unsigned kThreadCounts[] = {2, 4, 8};
+
+TEST(ParallelEquivalenceTest, BankingServerRunIsByteIdentical)
+{
+    const Fingerprint serial = runBanking(1);
+    // Sanity: the run did real work through the engine.
+    ASSERT_GT(serial.responses, 0u);
+    ASSERT_GT(serial.engineWarps, 0u);
+    ASSERT_FALSE(serial.metrics.empty());
+    ASSERT_FALSE(serial.trace.empty());
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runBanking(threads), threads);
+}
+
+TEST(ParallelEquivalenceTest, Fig9SizedTitanARunIsIdentical)
+{
+    // Titan A is the PCIe-bound configuration of Figure 9.
+    const auto variant = platform::titanA();
+    const specweb::RequestType type = specweb::typeTable()[0].type;
+    const Fingerprint serial = runIsolated(variant, type, 1);
+    ASSERT_GT(serial.responses, 0u);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runIsolated(variant, type, threads),
+                        threads);
+}
+
+TEST(ParallelEquivalenceTest, Sec62SizedTitanCRunIsIdentical)
+{
+    // Titan C is the section 6.2 scaling configuration.
+    const auto variant = platform::titanC();
+    const specweb::RequestType type = specweb::typeTable()[1].type;
+    const Fingerprint serial = runIsolated(variant, type, 1);
+    ASSERT_GT(serial.responses, 0u);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runIsolated(variant, type, threads),
+                        threads);
+}
+
+TEST(ParallelEquivalenceTest, Fig8SizedVariantEvaluationIsIdentical)
+{
+    // The full per-type fan-out of the fig8 evaluation: nine isolated
+    // simulations run concurrently on the pool, merged in type order.
+    const auto variant = platform::titanB();
+    const Fingerprint serial = runVariant(variant, 1);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runVariant(variant, threads), threads);
+}
+
+} // namespace
+} // namespace rhythm

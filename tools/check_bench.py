@@ -61,6 +61,20 @@ def load(path):
     for field in ("bench", "metrics"):
         if field not in doc:
             raise ValueError(f"{path}: missing '{field}' field")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError(
+            f"{path}: 'metrics' must be an object, got "
+            f"{type(metrics).__name__}"
+        )
+    for key, value in metrics.items():
+        # bool is an int subclass but a true/false metric is a schema
+        # error, not a measurement.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"{path}: metric '{key}' is not a number "
+                f"(got {type(value).__name__}: {value!r})"
+            )
     return doc
 
 
@@ -155,7 +169,9 @@ def main():
             base_doc = load(base_path)
             meas_doc = load(meas_path)
         except (OSError, ValueError, json.JSONDecodeError) as e:
-            all_failures.append(f"cannot load pair: {e}")
+            msg = f"cannot load pair: {e}"
+            print(f"FAIL: {msg}")
+            all_failures.append(msg)
             continue
         failures, notes = compare(
             base_doc, meas_doc, args.tolerance, base_path, meas_path
@@ -170,6 +186,13 @@ def main():
     if all_failures:
         print(f"\nperf gate: {len(all_failures)} regression(s) across "
               f"{checked} baseline metric(s)")
+        return 1
+    if checked == 0:
+        # A gate that compared nothing must not report success: an empty
+        # baseline (or one whose metrics were all skipped) means the CI
+        # step is miswired, not that performance is fine.
+        print("FAIL: perf gate checked 0 baseline metrics — empty or "
+              "miswired baseline")
         return 1
     print(f"perf gate: OK ({checked} baseline metric(s) within "
           f"{args.tolerance:.0%})")

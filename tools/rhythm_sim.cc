@@ -32,6 +32,7 @@
 #include "util/flags.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -61,6 +62,10 @@ usage(const std::string &error)
            "  --no-transpose              row-major cohort buffers\n"
            "  --no-padding                disable whitespace padding\n"
            "  --seed=N                    deterministic seed (42)\n"
+           "  --sim-threads=N             host worker threads for the\n"
+           "                              execution engine (1 = serial;\n"
+           "                              outputs are byte-identical for\n"
+           "                              any N)\n"
            "observability (off by default):\n"
            "  --json=PATH                 machine-readable result JSON\n"
            "  --trace-out=PATH            Chrome trace_event JSON "
@@ -209,6 +214,38 @@ report(const core::RhythmServer &server, const simt::Device &device,
         rep->metric("dynamic_watts", dynamic_watts);
         rep->metric("reqs_per_joule_wall",
                     throughput / (pm.idleWatts + dynamic_watts));
+        // DES determinism fingerprints: the final clock, the event
+        // count and the dispatch-order hash must be identical for any
+        // --sim-threads value (the equivalence tests byte-compare the
+        // whole document across thread counts). The hash is split into
+        // 32-bit halves so each survives the double-typed metric value
+        // exactly.
+        rep->metric("des.clock_seconds", elapsed);
+        rep->metric("des.events",
+                    static_cast<double>(queue.dispatched()));
+        rep->metric("des.order_hash_hi",
+                    static_cast<double>(queue.orderHash() >> 32));
+        rep->metric("des.order_hash_lo",
+                    static_cast<double>(queue.orderHash() &
+                                        0xffffffffull));
+        // Per-SM accounting from the execution engine, in canonical SM
+        // order — also thread-count-invariant.
+        const simt::Engine &engine = device.engine();
+        rep->metric("engine.launches",
+                    static_cast<double>(engine.launches()));
+        rep->metric("engine.warps", static_cast<double>(engine.warps()));
+        const auto &sms = engine.smCounters();
+        for (size_t s = 0; s < sms.size(); ++s) {
+            char prefix[16];
+            std::snprintf(prefix, sizeof prefix, "sm.%02zu.", s);
+            rep->metric(std::string(prefix) + "warps",
+                        static_cast<double>(sms[s].warps));
+            rep->metric(std::string(prefix) + "issue_slots",
+                        static_cast<double>(sms[s].stats.issueSlots));
+            rep->metric(std::string(prefix) + "global_transactions",
+                        static_cast<double>(
+                            sms[s].stats.globalTransactions));
+        }
         // The instrumentation counters/histograms ride along under an
         // "obs." prefix when recording was on for this run.
         if (obs::global().enabled())
@@ -260,8 +297,17 @@ main(int argc, char **argv)
              "backend-slow", "backend-slow-ms", "pcie-corrupt",
              "pcie-degrade", "pcie-degrade-factor", "stall", "stall-ms",
              "disconnect", "retry-budget", "backoff-us", "deadline-ms",
-             "shed-backlog", "shed-p99-ms", "json", "trace-out"}))
+             "shed-backlog", "shed-p99-ms", "json", "trace-out",
+             "sim-threads"}))
         return usage(flags.error());
+
+    // Host-side parallelism of the execution engine. Applied before any
+    // simulation object exists; N changes wall-clock time only — every
+    // simulated output is byte-identical by the engine's determinism
+    // contract, so the value is deliberately absent from the --json
+    // config section.
+    util::setSimThreads(
+        static_cast<unsigned>(flags.getU64("sim-threads", 1)));
 
     // ---- Platform ----------------------------------------------------
     const std::string preset = flags.getString("platform", "titanB");

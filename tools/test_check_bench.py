@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench.py, the perf-regression gate.
+
+Run directly (python3 test_check_bench.py) or via ctest, which registers
+this file as the `check_bench_py` test. The gate script is exercised
+end-to-end through its CLI so exit codes and messages — the contract CI
+depends on — are what is asserted.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench.py")
+
+
+def doc(bench="fig8", metrics=None, **extra):
+    d = {"bench": bench, "config": {}, "metrics": metrics or {}}
+    d.update(extra)
+    return d
+
+
+class GateHarness(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+        self._n = 0
+
+    def write(self, document):
+        self._n += 1
+        path = os.path.join(self.dir.name, f"doc{self._n}.json")
+        with open(path, "w") as f:
+            json.dump(document, f)
+        return path
+
+    def gate(self, *docs, tolerance=None):
+        """Runs the gate on alternating baseline/measured documents."""
+        argv = [sys.executable, SCRIPT]
+        if tolerance is not None:
+            argv += ["--tolerance", str(tolerance)]
+        argv += [self.write(d) for d in docs]
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+class PassFailTest(GateHarness):
+    def test_identical_metrics_pass(self):
+        base = doc(metrics={"throughput": 100.0, "p99_latency_ms": 4.0})
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0)
+        self.assertIn("perf gate: OK (2 baseline metric", out)
+
+    def test_missing_baseline_key_fails_clearly(self):
+        # The contract this repo's CI leans on: a metric present in the
+        # baseline but absent from the candidate is a hard failure that
+        # names the metric, never a silent pass.
+        base = doc(metrics={"throughput": 100.0, "simd_efficiency": 0.8})
+        meas = doc(metrics={"throughput": 100.0})
+        code, out = self.gate(base, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("'simd_efficiency' missing from measured run", out)
+
+    def test_regression_in_bad_direction_fails(self):
+        base = doc(metrics={"throughput": 100.0})
+        meas = doc(metrics={"throughput": 80.0})
+        code, out = self.gate(base, meas, tolerance=0.10)
+        self.assertEqual(code, 1)
+        self.assertIn("regressed", out)
+
+    def test_improvement_is_note_not_failure(self):
+        base = doc(metrics={"throughput": 100.0})
+        meas = doc(metrics={"throughput": 150.0})
+        code, out = self.gate(base, meas, tolerance=0.10)
+        self.assertEqual(code, 0)
+        self.assertIn("improved", out)
+
+    def test_lower_is_better_direction(self):
+        base = doc(metrics={"p99_latency_ms": 4.0})
+        worse = doc(metrics={"p99_latency_ms": 6.0})
+        code, _ = self.gate(base, worse, tolerance=0.10)
+        self.assertEqual(code, 1)
+        better = doc(metrics={"p99_latency_ms": 3.0})
+        code, _ = self.gate(base, better, tolerance=0.10)
+        self.assertEqual(code, 0)
+
+    def test_neutral_metric_fails_either_direction(self):
+        base = doc(metrics={"cohorts": 10.0})
+        code, _ = self.gate(base, doc(metrics={"cohorts": 13.0}),
+                            tolerance=0.10)
+        self.assertEqual(code, 1)
+        code, _ = self.gate(base, doc(metrics={"cohorts": 7.0}),
+                            tolerance=0.10)
+        self.assertEqual(code, 1)
+
+    def test_new_measured_metric_is_note_only(self):
+        base = doc(metrics={"throughput": 100.0})
+        meas = doc(metrics={"throughput": 100.0, "sm.00.warps": 42})
+        code, out = self.gate(base, meas)
+        self.assertEqual(code, 0)
+        self.assertIn("new metric 'sm.00.warps' not in baseline", out)
+
+    def test_bench_name_mismatch_fails(self):
+        code, out = self.gate(doc(bench="fig8", metrics={"x": 1.0}),
+                              doc(bench="fig9", metrics={"x": 1.0}))
+        self.assertEqual(code, 1)
+        self.assertIn("bench name mismatch", out)
+
+
+class SchemaValidationTest(GateHarness):
+    def test_empty_baseline_metrics_fail_the_gate(self):
+        # A gate that compared nothing must not say OK.
+        code, out = self.gate(doc(metrics={}), doc(metrics={}))
+        self.assertEqual(code, 1)
+        self.assertIn("checked 0 baseline metrics", out)
+
+    def test_non_numeric_metric_is_clean_failure_not_traceback(self):
+        base = doc(metrics={"throughput": "fast"})
+        meas = doc(metrics={"throughput": 100.0})
+        code, out = self.gate(base, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("metric 'throughput' is not a number", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_boolean_metric_rejected(self):
+        code, out = self.gate(doc(metrics={"ok": True}),
+                              doc(metrics={"ok": True}))
+        self.assertEqual(code, 1)
+        self.assertIn("not a number", out)
+
+    def test_metrics_must_be_object(self):
+        code, out = self.gate(doc(metrics=None) | {"metrics": [1, 2]},
+                              doc(metrics={"x": 1.0}))
+        self.assertEqual(code, 1)
+        self.assertIn("'metrics' must be an object", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_missing_fields_fail(self):
+        code, out = self.gate({"metrics": {"x": 1.0}},
+                              doc(metrics={"x": 1.0}))
+        self.assertEqual(code, 1)
+        self.assertIn("missing 'bench' field", out)
+
+    def test_odd_file_count_is_usage_error(self):
+        path = self.write(doc(metrics={"x": 1.0}))
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, path], capture_output=True, text=True)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("even number of files", proc.stderr)
+
+    def test_zero_baseline_value_is_skipped_but_counted(self):
+        # Zero baselines cannot take a relative delta; they are noted,
+        # and as long as other metrics were compared the gate passes.
+        base = doc(metrics={"errors": 0, "throughput": 100.0})
+        meas = doc(metrics={"errors": 3, "throughput": 100.0})
+        code, out = self.gate(base, meas)
+        self.assertEqual(code, 0)
+        self.assertIn("baseline is 0", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
