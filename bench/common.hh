@@ -9,6 +9,7 @@
 #ifndef RHYTHM_BENCH_COMMON_HH
 #define RHYTHM_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,6 +17,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "obs/json.hh"
 #include "obs/metrics.hh"
@@ -119,6 +124,23 @@ slug(std::string_view name)
     return out;
 }
 
+/** Peak resident set size of this process in KiB (0 if unavailable). */
+inline double
+peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+        return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#else
+        return static_cast<double>(usage.ru_maxrss);
+#endif
+    }
+#endif
+    return 0.0;
+}
+
 /**
  * Machine-readable bench output: every bench binary accepts
  * `--json=<path>` and, when given, emits one JSON document
@@ -130,6 +152,15 @@ slug(std::string_view name)
  * tools/check_bench.py compares against bench/baselines/ in the CI
  * perf gate — so metric keys are part of a stable interface: renaming
  * one requires regenerating the baselines.
+ *
+ * Benches that also measure host-side performance opt into a fourth
+ * top-level "host" object (enableHostStats): wall-clock since Reporter
+ * construction ("host_ms"), peak RSS ("peak_rss_kb") and any values
+ * recorded with hostStat(). Host values are machine-dependent, so
+ * check_bench.py gates them with a separate, wider tolerance band
+ * (--host-tolerance) than the exact deterministic metrics — and the
+ * section stays off by default so outputs that CI byte-compares across
+ * runs (e.g. rhythm_sim at different --sim-threads) remain identical.
  */
 class Reporter
 {
@@ -165,12 +196,26 @@ class Reporter
         metrics_.push_back({std::move(key), value});
     }
 
-    /** Records every metric of a registry (flattened dotted keys). */
+    /**
+     * Records every metric of a registry (flattened dotted keys),
+     * minus any whose name starts with @p exclude_prefix.
+     */
     void metricsFrom(const obs::MetricsRegistry &registry,
-                     const std::string &prefix = "")
+                     const std::string &prefix = "",
+                     std::string_view exclude_prefix = {})
     {
-        for (auto &[key, value] : registry.flatten())
+        for (auto &[key, value] : registry.flatten(exclude_prefix))
             metric(prefix + key, value);
+    }
+
+    /** Turns on the "host" section of the document (see class docs). */
+    void enableHostStats() { hostStats_ = true; }
+
+    /** Records one host-section value (implies enableHostStats). */
+    void hostStat(std::string key, double value)
+    {
+        hostStats_ = true;
+        host_.push_back({std::move(key), value});
     }
 
     /**
@@ -208,6 +253,21 @@ class Reporter
             w.value(value);
         }
         w.endObject();
+        if (hostStats_) {
+            w.key("host");
+            w.beginObject();
+            w.key("host_ms");
+            w.value(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+            w.key("peak_rss_kb");
+            w.value(peakRssKb());
+            for (const auto &[key, value] : host_) {
+                w.key(key);
+                w.value(value);
+            }
+            w.endObject();
+        }
         w.endObject();
         out << "\n";
         return out.good();
@@ -226,6 +286,10 @@ class Reporter
     std::string path_;
     std::vector<ConfigEntry> config_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, double>> host_;
+    bool hostStats_ = false;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace rhythm::bench

@@ -201,15 +201,25 @@ MetricsRegistry::writeJson(JsonWriter &w) const
 }
 
 std::vector<std::pair<std::string, double>>
-MetricsRegistry::flatten() const
+MetricsRegistry::flatten(std::string_view exclude_prefix) const
 {
+    const auto excluded = [&](const std::string &name) {
+        return !exclude_prefix.empty() &&
+               std::string_view(name).starts_with(exclude_prefix);
+    };
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::pair<std::string, double>> out;
-    for (const auto &[name, c] : counters_)
-        out.emplace_back(name, static_cast<double>(c->value()));
-    for (const auto &[name, g] : gauges_)
-        out.emplace_back(name, g->value());
+    for (const auto &[name, c] : counters_) {
+        if (!excluded(name))
+            out.emplace_back(name, static_cast<double>(c->value()));
+    }
+    for (const auto &[name, g] : gauges_) {
+        if (!excluded(name))
+            out.emplace_back(name, g->value());
+    }
     for (const auto &[name, h] : histograms_) {
+        if (excluded(name))
+            continue;
         out.emplace_back(name + ".count",
                          static_cast<double>(h->count()));
         out.emplace_back(name + ".mean", h->mean());

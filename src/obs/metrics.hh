@@ -165,8 +165,14 @@ class MetricsRegistry
      * Flattens metrics into (key, value) pairs: counters and gauges by
      * name; histograms as name.count/name.p50/name.p95/name.p99/
      * name.mean/name.max. Used by the bench reporter.
+     *
+     * @param exclude_prefix When non-empty, metrics whose name starts
+     *        with this prefix are omitted. Used to keep cache
+     *        meta-metrics (e.g. "profile_cache.") out of outputs that
+     *        must be byte-identical with the cache on or off.
      */
-    std::vector<std::pair<std::string, double>> flatten() const;
+    std::vector<std::pair<std::string, double>>
+    flatten(std::string_view exclude_prefix = {}) const;
 
   private:
     mutable std::mutex mutex_; //!< Guards the three name maps.

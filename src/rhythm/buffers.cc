@@ -277,6 +277,28 @@ transposeRegionLoads(simt::ThreadTrace &trace, uint64_t region_base,
 }
 
 void
+untransposeRegionLoads(simt::ThreadTrace &trace, uint64_t region_base,
+                       uint32_t lane, uint32_t slot_bytes, uint32_t cohort)
+{
+    const uint64_t lane_base =
+        region_base + static_cast<uint64_t>(lane) * slot_bytes;
+    const uint64_t region_bytes =
+        static_cast<uint64_t>(slot_bytes) * cohort;
+    for (simt::MemOp &op : trace.memOps) {
+        if (op.isStore || op.addr < region_base ||
+            op.addr >= region_base + region_bytes)
+            continue;
+        const uint64_t toff = op.addr - region_base;
+        const uint64_t element = toff / (cohort * 4ull);
+        const uint64_t within = toff % (cohort * 4ull);
+        if (within / 4 != lane)
+            continue; // another lane's interleaved element
+        op.addr = lane_base + element * 4 + within % 4;
+        op.stride = 4;
+    }
+}
+
+void
 CohortBuffer::reset()
 {
     for (Lane &lane : lanes_) {

@@ -289,12 +289,34 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
     // for the sampled lanes to cost the parser kernel. Each lane
     // touches only its own entry/trace slot, so the loop fans out over
     // the sim pool; results are index-addressed and order-free.
+    //
+    // Template cache (traceTemplateCacheEntries > 0): the parser's
+    // trace is an affine function of the lane's buffer base address,
+    // so a raw request seen before replays its recorded template with
+    // the base patched in — byte-identical to a fresh recording. The
+    // shared map is consulted serially before the fork (hit pointers
+    // are stable: the map is node-based and never erased from) and
+    // grown serially after the join, in canonical lane order.
     auto parsed = std::make_shared<std::vector<CohortEntry>>();
     parsed->resize(n);
-    std::vector<simt::ThreadTrace> traces(sample);
+    std::vector<simt::ThreadTrace> traces = tracePool_.acquire();
+    traces.resize(sample);
+    const uint32_t tmpl_cap = config_.traceTemplateCacheEntries;
+    std::vector<const simt::ThreadTrace *> hit_tmpl;
+    std::vector<simt::ThreadTrace> fresh_tmpl;
+    if (tmpl_cap > 0) {
+        hit_tmpl.assign(sample, nullptr);
+        fresh_tmpl.resize(sample);
+        for (uint32_t i = 0; i < sample; ++i) {
+            auto it = parserTemplates_.find(batch->entries[i].raw);
+            if (it != parserTemplates_.end())
+                hit_tmpl[i] = &it->second;
+        }
+    }
     util::simPool().parallelRanges(
-        n, 64, [this, &batch, &parsed, &traces, sample](size_t begin,
-                                                        size_t end) {
+        n, 64,
+        [this, &batch, &parsed, &traces, &hit_tmpl, &fresh_tmpl, tmpl_cap,
+         sample](size_t begin, size_t end) {
             for (size_t i = begin; i < end; ++i) {
                 RawEntry &raw = batch->entries[i];
                 CohortEntry &entry = (*parsed)[i];
@@ -305,23 +327,47 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
                     kRequestRegionBase +
                     static_cast<uint64_t>(i) * config_.requestSlotBytes;
                 bool ok;
-                if (i < sample) {
+                if (i < sample && tmpl_cap > 0 && hit_tmpl[i]) {
+                    // Replay: parse without recording (dispatch needs
+                    // the parsed request), then patch the template's
+                    // address base into this lane's trace slot.
+                    ok = http::parseRequest(entry.raw, vaddr, gNull,
+                                            entry.request);
+                    traces[i] = *hit_tmpl[i];
+                    for (simt::MemOp &op : traces[i].memOps)
+                        op.addr += vaddr;
+                } else if (i < sample) {
                     simt::RecordingTracer rec(traces[i]);
                     ok = http::parseRequest(entry.raw, vaddr, rec,
                                             entry.request);
-                    if (config_.transposeBuffers)
-                        transposeRegionLoads(traces[i], kRequestRegionBase,
-                                             static_cast<uint32_t>(i),
-                                             config_.requestSlotBytes,
-                                             sample);
+                    if (tmpl_cap > 0) {
+                        // Keep a base-0 copy for serial publication
+                        // below (the pre-transpose, rebased form).
+                        fresh_tmpl[i] = traces[i];
+                        for (simt::MemOp &op : fresh_tmpl[i].memOps)
+                            op.addr -= vaddr;
+                    }
                 } else {
                     ok = http::parseRequest(entry.raw, vaddr, gNull,
                                             entry.request);
                 }
+                if (i < sample && config_.transposeBuffers)
+                    transposeRegionLoads(traces[i], kRequestRegionBase,
+                                         static_cast<uint32_t>(i),
+                                         config_.requestSlotBytes,
+                                         sample);
                 if (!ok)
                     entry.request.path.clear(); // dispatch will 400 it
             }
         });
+    if (tmpl_cap > 0) {
+        for (uint32_t i = 0; i < sample; ++i) {
+            if (hit_tmpl[i] || parserTemplates_.size() >= tmpl_cap)
+                continue;
+            parserTemplates_.try_emplace((*parsed)[i].raw,
+                                         std::move(fresh_tmpl[i]));
+        }
+    }
 
     std::vector<const simt::ThreadTrace *> ptrs;
     ptrs.reserve(sample);
@@ -333,6 +379,7 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
         scale);
     const simt::KernelCost parser_cost =
         computeKernelCost(parser_profile, device_.config());
+    tracePool_.release(std::move(traces));
 
     // Device chain: [H2D copy] → [request transpose] → [parser kernel].
     auto after_parse = [this, parsed, parse_start, n, sample]() {
@@ -658,12 +705,24 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
     buf_cfg.padToWarpMax =
         config_.padResponses && config_.transposeBuffers;
     buf_cfg.warpWidth = config_.warpModel.warpWidth;
-    CohortBuffer buffer(buf_cfg);
+    // Per-shape buffer reuse: writers and lane storage keep their heap
+    // capacity across cohorts; reset() scrubs the content. The shape
+    // key is (cohort size, lane bytes) — all other config fields are
+    // fixed for the server's lifetime.
+    std::unique_ptr<CohortBuffer> &buf_slot =
+        bufferCache_[{sample, lane_bytes}];
+    if (!buf_slot)
+        buf_slot = std::make_unique<CohortBuffer>(buf_cfg);
+    else
+        buf_slot->reset();
+    CohortBuffer &buffer = *buf_slot;
 
     std::vector<std::vector<simt::ThreadTrace>> stage_traces(
         static_cast<size_t>(stages));
-    for (auto &v : stage_traces)
+    for (auto &v : stage_traces) {
+        v = tracePool_.acquire();
         v.resize(sample);
+    }
 
     run.failed.assign(sample, false);
     uint64_t backend_insts = 0;
@@ -893,6 +952,10 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
                                    static_cast<uint64_t>(lane_bytes) * n,
                                    0});
     }
+
+    // The stage profiles are value copies; recycle the trace storage.
+    for (auto &v : stage_traces)
+        tracePool_.release(std::move(v));
 }
 
 void

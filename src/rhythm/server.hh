@@ -31,10 +31,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "des/event_queue.hh"
@@ -45,6 +48,7 @@
 #include "rhythm/session_array.hh"
 #include "simt/device.hh"
 #include "specweb/static_content.hh"
+#include "util/arena.hh"
 #include "util/stats.hh"
 
 namespace rhythm::core {
@@ -82,6 +86,17 @@ struct RhythmConfig
      * requests that do not fit the data-parallel model, Section 3.1).
      */
     double hostFallbackInstsPerSec = 20e9;
+    /**
+     * Parser trace-template cache capacity in entries (0 = off, the
+     * default). When on, the parser records each distinct raw request
+     * once at a canonical base address and replays later occurrences
+     * by patching the per-request address base — the parser's trace is
+     * an affine function of its buffer address, so the replayed trace
+     * is byte-identical to a fresh recording (DESIGN.md Section 6e).
+     * Purely a host wall-clock optimization; simulated results do not
+     * change.
+     */
+    uint32_t traceTemplateCacheEntries = 0;
     /** Warp model for kernel profiling. */
     simt::WarpModel warpModel;
 
@@ -334,6 +349,32 @@ class RhythmServer
     int parserStream_ = -1;
 
     bool timeoutScanScheduled_ = false;
+
+    /** Scrubs recycled per-stage trace vectors (keeps capacities). */
+    struct TraceVectorReset
+    {
+        void operator()(std::vector<simt::ThreadTrace> &traces) const
+        {
+            for (simt::ThreadTrace &t : traces)
+                t.clear();
+        }
+    };
+
+    /**
+     * Recycled per-stage ThreadTrace storage and per-shape cohort
+     * buffers. Host-side allocation reuse only: recycled objects are
+     * scrubbed before use, so simulated results are unaffected.
+     */
+    util::ObjectPool<std::vector<simt::ThreadTrace>, TraceVectorReset>
+        tracePool_;
+    std::map<std::pair<uint32_t, uint32_t>, std::unique_ptr<CohortBuffer>>
+        bufferCache_;
+    /**
+     * Parser trace templates keyed by the exact raw request, recorded
+     * at base address 0 and rebased per lane on replay. Bounded by
+     * RhythmConfig::traceTemplateCacheEntries (empty when 0).
+     */
+    std::unordered_map<std::string, simt::ThreadTrace> parserTemplates_;
 
     fault::FaultPlan *faultPlan_ = nullptr;
     /** Clients that disconnected while their request was in flight. */

@@ -24,6 +24,16 @@
  * launch command is enqueued), joins before returning, and never touches
  * the event queue from a worker. The DES schedule is therefore
  * unaffected by the thread count; EventQueue::orderHash() audits this.
+ *
+ * Warp-equivalence memoization: with a ProfileCache attached
+ * (setProfileCache), the engine fingerprints every warp, simulates one
+ * representative per equivalence class, replicates its WarpStats to
+ * the other members, and serves repeated classes straight from the
+ * cross-launch LRU. Because equal fingerprints imply bit-equal
+ * WarpStats (see profile_cache.hh), every downstream result is
+ * byte-identical to the uncached path; classification and cache
+ * mutation happen serially in canonical warp order, so hit/miss
+ * sequences are --sim-threads-invariant too.
  */
 
 #ifndef RHYTHM_SIMT_ENGINE_HH
@@ -34,6 +44,7 @@
 #include <vector>
 
 #include "simt/kernel.hh"
+#include "simt/profile_cache.hh"
 #include "simt/warp.hh"
 #include "util/thread_pool.hh"
 
@@ -100,11 +111,22 @@ class Engine
     /** Clears the per-SM counters and launch/warp totals. */
     void resetCounters();
 
+    /**
+     * Attaches a warp profile cache (not owned; nullptr detaches, the
+     * default). The cache may be shared by several engines and
+     * outlives every profile call that uses it.
+     */
+    void setProfileCache(ProfileCache *cache) { cache_ = cache; }
+
+    /** The attached profile cache, or null. */
+    ProfileCache *profileCache() const { return cache_; }
+
   private:
     util::ThreadPool &pool() const;
 
     int numSms_;
     util::ThreadPool *pool_;
+    ProfileCache *cache_ = nullptr;
     std::vector<SmCounters> sms_;
     uint64_t launches_ = 0;
     uint64_t warps_ = 0;

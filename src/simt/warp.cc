@@ -4,10 +4,49 @@
 #include <array>
 #include <limits>
 #include <unordered_map>
+#include <vector>
 
 #include "util/logging.hh"
 
 namespace rhythm::simt {
+namespace {
+
+/**
+ * Fixed-capacity u64 buffer that spills to the heap instead of
+ * dropping values. The inline array covers the hot path (a warp's
+ * lanes, narrow accesses) allocation-free; wide accesses that straddle
+ * many segments overflow into the vector and are merged before use, so
+ * counts stay exact instead of silently truncating.
+ */
+template <size_t N>
+class SpillBuf
+{
+  public:
+    void push(uint64_t v)
+    {
+        if (n_ < N)
+            inline_[n_++] = v;
+        else
+            spill_.push_back(v);
+    }
+
+    /** Contiguous view of all values (merges the spill if engaged). */
+    std::span<uint64_t> values()
+    {
+        if (spill_.empty())
+            return std::span<uint64_t>(inline_.data(), n_);
+        spill_.insert(spill_.end(), inline_.begin(), inline_.begin() + n_);
+        n_ = 0;
+        return std::span<uint64_t>(spill_);
+    }
+
+  private:
+    std::array<uint64_t, N> inline_;
+    std::vector<uint64_t> spill_;
+    size_t n_ = 0;
+};
+
+} // namespace
 
 void
 WarpStats::merge(const WarpStats &other)
@@ -54,36 +93,37 @@ coalesceTransactions(std::span<const uint64_t> addrs, uint16_t width,
 {
     RHYTHM_ASSERT(segment_bytes > 0);
     // Collect the segment indices touched by every lane's access (an
-    // access can straddle a segment boundary), then count distinct ones.
-    std::array<uint64_t, 128> segments;
-    size_t n = 0;
+    // access can straddle a segment boundary), then count distinct
+    // ones. Wide accesses can touch far more segments than lanes, so
+    // the collection spills to the heap instead of capping the count.
+    SpillBuf<128> segments;
     for (uint64_t addr : addrs) {
         const uint64_t first = addr / segment_bytes;
         const uint64_t last = (addr + width - 1) / segment_bytes;
-        for (uint64_t seg = first; seg <= last && n < segments.size(); ++seg)
-            segments[n++] = seg;
+        for (uint64_t seg = first; seg <= last; ++seg)
+            segments.push(seg);
     }
-    std::sort(segments.begin(), segments.begin() + n);
-    const auto *end = std::unique(segments.begin(), segments.begin() + n);
-    return static_cast<uint32_t>(end - segments.begin());
+    const std::span<uint64_t> vals = segments.values();
+    std::sort(vals.begin(), vals.end());
+    const auto end = std::unique(vals.begin(), vals.end());
+    return static_cast<uint32_t>(end - vals.begin());
 }
 
 uint32_t
 sharedBankReplays(std::span<const uint64_t> addrs)
 {
     // Count distinct addresses per bank; replays = worst bank - 1.
-    std::array<uint64_t, 64> sorted;
-    size_t n = 0;
-    for (uint64_t addr : addrs) {
-        if (n < sorted.size())
-            sorted[n++] = addr;
-    }
-    std::sort(sorted.begin(), sorted.begin() + n);
-    const auto *end = std::unique(sorted.begin(), sorted.begin() + n);
+    // Warps wider than 64 lanes spill rather than dropping addresses.
+    SpillBuf<64> sorted;
+    for (uint64_t addr : addrs)
+        sorted.push(addr);
+    const std::span<uint64_t> vals = sorted.values();
+    std::sort(vals.begin(), vals.end());
+    const auto end = std::unique(vals.begin(), vals.end());
 
     std::array<uint32_t, 32> bank_counts{};
     uint32_t worst = 1;
-    for (const uint64_t *it = sorted.begin(); it != end; ++it) {
+    for (auto it = vals.begin(); it != end; ++it) {
         const uint32_t bank = static_cast<uint32_t>((*it / 4) % 32);
         worst = std::max(worst, ++bank_counts[bank]);
     }
@@ -118,17 +158,25 @@ coalesceGroupOp(std::span<const MemOp *const> ops, const WarpModel &model,
             stats.sharedAccesses += op->count;
             max_count = std::max(max_count, op->count);
         }
-        // Bank conflicts serialize the access into replays.
-        std::array<uint64_t, 64> addrs;
+        // Bank conflicts serialize the access into replays. The lane
+        // buffer sizes to the group (one slot per op), so warp models
+        // wider than the inline capacity stay exact.
+        std::array<uint64_t, 64> inline_addrs;
+        std::vector<uint64_t> heap_addrs;
+        uint64_t *addrs = inline_addrs.data();
+        if (ops.size() > inline_addrs.size()) {
+            heap_addrs.resize(ops.size());
+            addrs = heap_addrs.data();
+        }
         for (uint32_t i = 0; i < max_count; ++i) {
             size_t n = 0;
             for (const MemOp *op : ops) {
-                if (i < op->count && n < addrs.size())
+                if (i < op->count)
                     addrs[n++] = op->addr +
                                  static_cast<uint64_t>(i) * op->stride;
             }
             stats.sharedReplaySlots += sharedBankReplays(
-                std::span<const uint64_t>(addrs.data(), n));
+                std::span<const uint64_t>(addrs, n));
         }
         return;
     }
@@ -160,7 +208,15 @@ coalesceGroupOp(std::span<const MemOp *const> ops, const WarpModel &model,
             uniform = false;
     }
 
-    std::array<uint64_t, 64> addrs;
+    // One address slot per lane of the group; spill to the heap for
+    // warp models wider than the inline capacity.
+    std::array<uint64_t, 64> inline_addrs;
+    std::vector<uint64_t> heap_addrs;
+    uint64_t *addrs = inline_addrs.data();
+    if (ops.size() > inline_addrs.size()) {
+        heap_addrs.resize(ops.size());
+        addrs = heap_addrs.data();
+    }
     const uint32_t kExactLimit = 4096;
 
     if (uniform && max_count > kExactLimit) {
@@ -174,7 +230,7 @@ coalesceGroupOp(std::span<const MemOp *const> ops, const WarpModel &model,
             for (const MemOp *op : ops)
                 addrs[n++] = op->addr + static_cast<uint64_t>(i) * op->stride;
             window_txns += coalesceTransactions(
-                std::span<const uint64_t>(addrs.data(), n), ops[0]->width,
+                std::span<const uint64_t>(addrs, n), ops[0]->width,
                 model.segmentBytes);
         }
         stats.globalTransactions +=
@@ -195,7 +251,7 @@ coalesceGroupOp(std::span<const MemOp *const> ops, const WarpModel &model,
         if (n == 0)
             continue;
         stats.globalTransactions += coalesceTransactions(
-            std::span<const uint64_t>(addrs.data(), n), width,
+            std::span<const uint64_t>(addrs, n), width,
             model.segmentBytes);
     }
 }

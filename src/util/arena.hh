@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Recycling object pool for hot-path allocations.
+ *
+ * The server's cohort pipeline builds and discards large vector-backed
+ * structures (per-stage ThreadTrace arrays, cohort buffers) once per
+ * cohort; recycling them keeps their heap capacity alive across
+ * cohorts instead of re-growing it from zero each time. The pool is
+ * a plain free list — it never constructs eagerly and never shrinks
+ * below what release() hands back (up to a bound), so it is purely a
+ * host-side allocation optimization with no effect on simulated
+ * results.
+ *
+ * Not thread-safe: acquire/release must happen on the owning (DES)
+ * thread. Objects handed out may be used inside parallel regions as
+ * long as each worker touches a disjoint object.
+ */
+
+#ifndef RHYTHM_UTIL_ARENA_HH
+#define RHYTHM_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rhythm::util {
+
+/**
+ * A bounded free list of reusable objects.
+ *
+ * @tparam T Object type; must be movable and default-constructible.
+ * @tparam Reset Functor invoked on release to scrub the object while
+ *         preserving its capacity (e.g. clear() on containers).
+ */
+template <typename T, typename Reset>
+class ObjectPool
+{
+  public:
+    explicit ObjectPool(Reset reset = Reset{}, size_t max_free = 64)
+        : reset_(std::move(reset)), maxFree_(max_free)
+    {
+    }
+
+    /** Pops a recycled object, or default-constructs one. */
+    T acquire()
+    {
+        if (free_.empty())
+            return T{};
+        T obj = std::move(free_.back());
+        free_.pop_back();
+        return obj;
+    }
+
+    /** Scrubs and shelves an object for reuse (dropped when full). */
+    void release(T obj)
+    {
+        if (free_.size() >= maxFree_)
+            return; // drop: the pool is at capacity
+        reset_(obj);
+        free_.push_back(std::move(obj));
+    }
+
+    /** Objects currently shelved. */
+    size_t freeCount() const { return free_.size(); }
+
+  private:
+    std::vector<T> free_;
+    Reset reset_;
+    size_t maxFree_;
+};
+
+} // namespace rhythm::util
+
+#endif // RHYTHM_UTIL_ARENA_HH

@@ -16,6 +16,7 @@
  * runs also prove the pool/engine/metrics layers are race-free.
  */
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "rhythm/banking_service.hh"
 #include "rhythm/server.hh"
 #include "simt/device.hh"
+#include "simt/profile_cache.hh"
 #include "specweb/workload.hh"
 #include "util/thread_pool.hh"
 
@@ -48,6 +50,8 @@ struct Fingerprint
     std::vector<simt::Engine::SmCounters> sms;
     std::vector<std::pair<std::string, double>> metrics;
     std::string trace;
+    //! Profile-cache accounting (zero when no cache was attached).
+    simt::ProfileCache::Stats cacheStats;
 };
 
 void
@@ -77,9 +81,15 @@ expectIdentical(const Fingerprint &serial, const Fingerprint &parallel,
 /**
  * One rhythm_sim-shaped banking run (mixed browsing steady state) with
  * observability recording, so metrics and trace spans are captured.
+ *
+ * @param cache_entries When nonzero, a ProfileCache of that capacity is
+ *        attached to the engine (the --profile-cache=on path). The
+ *        fingerprint's metrics exclude the cache's own "profile_cache."
+ *        meta-counters — those describe the cache, not the simulation,
+ *        and are asserted separately via Fingerprint::cacheStats.
  */
 Fingerprint
-runBanking(unsigned threads)
+runBanking(unsigned threads, size_t cache_entries = 0)
 {
     util::setSimThreads(threads);
     obs::global().reset();
@@ -89,12 +99,18 @@ runBanking(unsigned threads)
     cfg.cohortSize = 512;
     cfg.cohortContexts = 8;
     cfg.laneSample = 64;
+    if (cache_entries > 0)
+        cfg.traceTemplateCacheEntries =
+            static_cast<uint32_t>(cache_entries);
     const uint64_t total = 4 * cfg.cohortSize;
     const uint64_t seed = 42;
 
     des::EventQueue queue;
     obs::global().enable(queue);
+    simt::ProfileCache cache(std::max<size_t>(cache_entries, 1));
     simt::Device device(queue, variant.device);
+    if (cache_entries > 0)
+        device.engine().setProfileCache(&cache);
     backend::BankDb db(400, seed);
     core::BankingService service(db);
     core::RhythmServer server(queue, device, service, cfg);
@@ -126,10 +142,11 @@ runBanking(unsigned threads)
     fp.engineLaunches = device.engine().launches();
     fp.engineWarps = device.engine().warps();
     fp.sms = device.engine().smCounters();
-    fp.metrics = obs::global().metrics().flatten();
+    fp.metrics = obs::global().metrics().flatten("profile_cache.");
     std::ostringstream trace;
     obs::global().tracer().writeChromeTrace(trace);
     fp.trace = trace.str();
+    fp.cacheStats = cache.stats();
 
     obs::global().disable();
     obs::global().reset();
@@ -218,6 +235,64 @@ TEST(ParallelEquivalenceTest, BankingServerRunIsByteIdentical)
     ASSERT_FALSE(serial.trace.empty());
     for (unsigned threads : kThreadCounts)
         expectIdentical(serial, runBanking(threads), threads);
+}
+
+void
+expectSameCacheStats(const simt::ProfileCache::Stats &a,
+                     const simt::ProfileCache::Stats &b, unsigned threads)
+{
+    SCOPED_TRACE("sim-threads=" + std::to_string(threads));
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.intraHits, b.intraHits);
+    EXPECT_EQ(a.insertions, b.insertions);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.bytesSaved, b.bytesSaved);
+}
+
+TEST(ParallelEquivalenceTest, ProfileCacheOnMatchesCacheOffSerial)
+{
+    // The determinism contract of DESIGN.md Section 6e: attaching the
+    // profile cache changes host wall-clock only. Clock, order hash,
+    // metrics and Chrome trace must be byte-identical to the uncached
+    // serial run.
+    const Fingerprint off = runBanking(1);
+    const Fingerprint on = runBanking(1, 4096);
+    expectIdentical(off, on, 1);
+    // The cache did real work (every simulated warp is inserted).
+    EXPECT_GT(on.cacheStats.misses, 0u);
+    EXPECT_GT(on.cacheStats.insertions, 0u);
+    EXPECT_EQ(off.cacheStats.misses, 0u); // no cache attached
+}
+
+TEST(ParallelEquivalenceTest, ProfileCacheOnIsByteIdenticalAcrossThreads)
+{
+    const Fingerprint serial = runBanking(1, 4096);
+    ASSERT_GT(serial.responses, 0u);
+    for (unsigned threads : kThreadCounts) {
+        const Fingerprint parallel = runBanking(threads, 4096);
+        expectIdentical(serial, parallel, threads);
+        // Lookups happen on the DES thread in canonical warp order, so
+        // even the cache's own accounting is thread-count-invariant.
+        expectSameCacheStats(serial.cacheStats, parallel.cacheStats,
+                             threads);
+    }
+}
+
+TEST(ParallelEquivalenceTest, TinyCacheForcingEvictionsStaysIdentical)
+{
+    // Capacity 1 forces an eviction on nearly every insertion; LRU
+    // churn must not leak into simulated outputs at any thread count.
+    const Fingerprint off = runBanking(1);
+    const Fingerprint tiny = runBanking(1, 1);
+    expectIdentical(off, tiny, 1);
+    EXPECT_GT(tiny.cacheStats.evictions, 0u);
+    for (unsigned threads : kThreadCounts) {
+        const Fingerprint parallel = runBanking(threads, 1);
+        expectIdentical(off, parallel, threads);
+        expectSameCacheStats(tiny.cacheStats, parallel.cacheStats,
+                             threads);
+    }
 }
 
 TEST(ParallelEquivalenceTest, Fig9SizedTitanARunIsIdentical)

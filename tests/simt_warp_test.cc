@@ -395,5 +395,74 @@ TEST(SharedBanks, ReplaysFlowIntoWarpStatsAndCost)
               computeKernelCost(clean, cfg).deviceSeconds);
 }
 
+// Regression: the segment scratch buffer used to be a fixed
+// std::array<uint64_t, 128> that silently dropped segments beyond its
+// capacity, under-counting transactions for wide bulk accesses. The
+// count must be exact for any number of distinct segments.
+TEST(Coalescer, MoreThan128DistinctSegmentsAreAllCounted)
+{
+    std::vector<uint64_t> addrs;
+    for (uint64_t i = 0; i < 256; ++i)
+        addrs.push_back(i * 128);
+    EXPECT_EQ(coalesceTransactions(addrs, 4, 128), 256u);
+}
+
+TEST(Coalescer, StraddlingAccessesBeyondCapSpillExactly)
+{
+    // 100 accesses, each straddling a 128 B boundary: 200 distinct
+    // segments, beyond the old 128-entry cap.
+    std::vector<uint64_t> addrs;
+    for (uint64_t i = 0; i < 100; ++i)
+        addrs.push_back(i * 256 + 126);
+    EXPECT_EQ(coalesceTransactions(addrs, 4, 128), 200u);
+}
+
+TEST(Coalescer, WideWarpModelExceedsOldSegmentCap)
+{
+    // A 256-wide warp model with 200 lanes each touching its own
+    // segment: one warp-level access must produce one transaction per
+    // lane. With the old 128-entry scratch array the access-level
+    // count clamped at 128 (and the 64-entry lane buffers clamped
+    // earlier still).
+    std::vector<ThreadTrace> traces;
+    for (uint64_t l = 0; l < 200; ++l) {
+        ThreadTrace t;
+        RecordingTracer rec(t);
+        rec.block(1, 10);
+        rec.load(l * 128, 1, 0, 4);
+        traces.push_back(std::move(t));
+    }
+    auto p = ptrs(traces);
+    WarpModel model;
+    model.warpWidth = 256;
+    WarpStats ws = simulateWarp(p, model);
+    EXPECT_EQ(ws.globalTransactions, 200u);
+}
+
+// Regression: sharedBankReplays sorted same-bank addresses into a fixed
+// std::array<uint64_t, 64>, silently dropping distinct addresses beyond
+// 64 and under-counting replays.
+TEST(SharedBanks, MoreThan64DistinctSameBankAddressesAllReplay)
+{
+    // 70 distinct addresses, all in bank 0 (addr/4 % 32 == 0): replays
+    // are distinct-count minus one. The old cap reported 63.
+    std::vector<uint64_t> addrs;
+    for (uint64_t i = 0; i < 70; ++i)
+        addrs.push_back(i * 128);
+    EXPECT_EQ(sharedBankReplays(addrs), 69u);
+}
+
+TEST(SharedBanks, DuplicatesBeyondCapStillBroadcast)
+{
+    // 80 same-bank accesses but only 66 distinct addresses: broadcast
+    // dedup must survive the spill path.
+    std::vector<uint64_t> addrs;
+    for (uint64_t i = 0; i < 66; ++i)
+        addrs.push_back(i * 128);
+    for (uint64_t i = 0; i < 14; ++i)
+        addrs.push_back(i * 128);
+    EXPECT_EQ(sharedBankReplays(addrs), 65u);
+}
+
 } // namespace
 } // namespace rhythm::simt

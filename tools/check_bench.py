@@ -23,8 +23,17 @@ baseline to lock them in) but do not fail the gate. A metric present in
 the baseline but missing from the measured run is a failure; new metrics
 not yet in the baseline are notes only.
 
+Documents may also carry an optional top-level "host" object
+(bench/common.hh Reporter::enableHostStats) with wall-clock and memory
+numbers. Unlike "metrics", host values are machine-dependent, so they
+are gated with a separate, much wider band (--host-tolerance, default
+0.5) using the same direction rules; a host key present on only one
+side is a note, never a failure (the section is opt-in and machines
+differ).
+
 Exit code: 0 when every pair passes, 1 otherwise. The simulation is a
-deterministic DES, so checked-in baselines are machine-independent.
+deterministic DES, so checked-in baselines are machine-independent;
+only the optional host section varies between machines.
 """
 
 import argparse
@@ -75,28 +84,29 @@ def load(path):
                 f"{path}: metric '{key}' is not a number "
                 f"(got {type(value).__name__}: {value!r})"
             )
+    host = doc.get("host", {})
+    if not isinstance(host, dict):
+        raise ValueError(
+            f"{path}: 'host' must be an object, got "
+            f"{type(host).__name__}"
+        )
+    for key, value in host.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"{path}: host value '{key}' is not a number "
+                f"(got {type(value).__name__}: {value!r})"
+            )
     return doc
 
 
-def compare(base_doc, meas_doc, tolerance, base_path, meas_path):
-    """Returns (failures, notes) message lists for one baseline pair."""
+def compare_section(bench, base, meas, tolerance, label, missing_fails):
+    """Compares one key→number section; returns (failures, notes)."""
     failures = []
     notes = []
-    if base_doc["bench"] != meas_doc["bench"]:
-        failures.append(
-            f"bench name mismatch: baseline {base_path} is "
-            f"'{base_doc['bench']}', measured {meas_path} is "
-            f"'{meas_doc['bench']}'"
-        )
-        return failures, notes
-
-    bench = base_doc["bench"]
-    base = base_doc["metrics"]
-    meas = meas_doc["metrics"]
-
     for key, expect in base.items():
         if key not in meas:
-            failures.append(f"{bench}: metric '{key}' missing from measured run")
+            msg = f"{bench}: {label} '{key}' missing from measured run"
+            (failures if missing_fails else notes).append(msg)
             continue
         got = meas[key]
         if expect == 0:
@@ -124,21 +134,54 @@ def compare(base_doc, meas_doc, tolerance, base_path, meas_path):
         )
         if worse:
             failures.append(
-                f"{bench}: '{key}' regressed {rel:+.1%} "
+                f"{bench}: {label} '{key}' regressed {rel:+.1%} "
                 f"(baseline {expect:g}, measured {got:g}, "
                 f"{dirn}-is-better, tolerance {tolerance:.0%})"
             )
         elif better:
             notes.append(
-                f"{bench}: '{key}' improved {rel:+.1%} "
+                f"{bench}: {label} '{key}' improved {rel:+.1%} "
                 f"(baseline {expect:g}, measured {got:g}) — consider "
                 "regenerating the baseline"
             )
 
     for key in meas:
         if key not in base:
-            notes.append(f"{bench}: new metric '{key}' not in baseline")
+            notes.append(f"{bench}: new {label} '{key}' not in baseline")
     return failures, notes
+
+
+def compare(base_doc, meas_doc, tolerance, host_tolerance, base_path,
+            meas_path):
+    """Returns (failures, notes) message lists for one baseline pair."""
+    if base_doc["bench"] != meas_doc["bench"]:
+        return [
+            f"bench name mismatch: baseline {base_path} is "
+            f"'{base_doc['bench']}', measured {meas_path} is "
+            f"'{meas_doc['bench']}'"
+        ], []
+
+    bench = base_doc["bench"]
+    failures, notes = compare_section(
+        bench,
+        base_doc["metrics"],
+        meas_doc["metrics"],
+        tolerance,
+        "metric",
+        missing_fails=True,
+    )
+    # Host numbers (wall-clock, RSS) are machine-dependent: compared
+    # with the wider band, and a key present on only one side is never
+    # a failure.
+    host_failures, host_notes = compare_section(
+        bench,
+        base_doc.get("host", {}),
+        meas_doc.get("host", {}),
+        host_tolerance,
+        "host value",
+        missing_fails=False,
+    )
+    return failures + host_failures, notes + host_notes
 
 
 def main():
@@ -150,6 +193,13 @@ def main():
         type=float,
         default=0.10,
         help="allowed relative change in the bad direction (default 0.10)",
+    )
+    parser.add_argument(
+        "--host-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed relative change for machine-dependent host "
+        "values — wall-clock, RSS (default 0.5)",
     )
     parser.add_argument(
         "files",
@@ -174,7 +224,12 @@ def main():
             all_failures.append(msg)
             continue
         failures, notes = compare(
-            base_doc, meas_doc, args.tolerance, base_path, meas_path
+            base_doc,
+            meas_doc,
+            args.tolerance,
+            args.host_tolerance,
+            base_path,
+            meas_path,
         )
         checked += len(base_doc["metrics"])
         for msg in notes:

@@ -66,6 +66,12 @@ usage(const std::string &error)
            "                              execution engine (1 = serial;\n"
            "                              outputs are byte-identical for\n"
            "                              any N)\n"
+           "  --profile-cache=on|off      memoize warp profiles across\n"
+           "                              launches (off; outputs are\n"
+           "                              byte-identical either way, only\n"
+           "                              host wall-clock changes)\n"
+           "  --profile-cache-entries=N   cache capacity in warp entries\n"
+           "                              (4096)\n"
            "observability (off by default):\n"
            "  --json=PATH                 machine-readable result JSON\n"
            "  --trace-out=PATH            Chrome trace_event JSON "
@@ -124,7 +130,8 @@ void
 report(const core::RhythmServer &server, const simt::Device &device,
        const des::EventQueue &queue, const platform::TitanPowerModel &pm,
        const fault::FaultPlan *plan = nullptr, bool robust = false,
-       bench::Reporter *rep = nullptr)
+       bench::Reporter *rep = nullptr,
+       const simt::ProfileCache *cache = nullptr)
 {
     const core::RhythmStats &stats = server.stats();
     const simt::Device::Stats dstats = device.stats();
@@ -200,6 +207,25 @@ report(const core::RhythmServer &server, const simt::Device &device,
     if (plan || robust)
         faultReport(stats, plan);
 
+    // Human-readable cache summary (stdout only: the --json document
+    // must stay byte-identical with the cache on or off, so these
+    // numbers are deliberately NOT metrics — bench_sim_speedup emits
+    // them in its own JSON instead).
+    if (cache) {
+        const simt::ProfileCache::Stats &cs = cache->stats();
+        TableWriter ct({"profile cache", "value"});
+        ct.addRow({"cross-launch hits", withCommas(cs.hits)});
+        ct.addRow({"intra-launch hits", withCommas(cs.intraHits)});
+        ct.addRow({"misses (simulated warps)", withCommas(cs.misses)});
+        ct.addRow({"insertions", withCommas(cs.insertions)});
+        ct.addRow({"evictions", withCommas(cs.evictions)});
+        ct.addRow({"entries", withCommas(cache->size()) + " / " +
+                                  withCommas(cache->capacity())});
+        ct.addRow({"trace bytes not re-simulated",
+                   humanBytes(static_cast<double>(cs.bytesSaved))});
+        ct.printAscii(std::cout);
+    }
+
     if (rep) {
         rep->metric("throughput", throughput);
         rep->metric("latency.mean_ms", stats.latencyMs.mean());
@@ -247,9 +273,13 @@ report(const core::RhythmServer &server, const simt::Device &device,
                             sms[s].stats.globalTransactions));
         }
         // The instrumentation counters/histograms ride along under an
-        // "obs." prefix when recording was on for this run.
+        // "obs." prefix when recording was on for this run. Cache
+        // meta-metrics ("profile_cache.*") are excluded: they differ
+        // between cache-on and cache-off runs whose simulated outputs
+        // the equivalence gate byte-compares.
         if (obs::global().enabled())
-            rep->metricsFrom(obs::global().metrics(), "obs.");
+            rep->metricsFrom(obs::global().metrics(), "obs.",
+                             "profile_cache.");
     }
 }
 
@@ -298,7 +328,7 @@ main(int argc, char **argv)
              "pcie-degrade", "pcie-degrade-factor", "stall", "stall-ms",
              "disconnect", "retry-budget", "backoff-us", "deadline-ms",
              "shed-backlog", "shed-p99-ms", "json", "trace-out",
-             "sim-threads"}))
+             "sim-threads", "profile-cache", "profile-cache-entries"}))
         return usage(flags.error());
 
     // Host-side parallelism of the execution engine. Applied before any
@@ -393,6 +423,21 @@ main(int argc, char **argv)
     const uint64_t total =
         static_cast<uint64_t>(cohorts) * cfg.cohortSize;
 
+    // ---- Warp profile cache (host-side memoization, off by default) --
+    const std::string pc_mode = flags.getString("profile-cache", "off");
+    if (pc_mode != "on" && pc_mode != "off")
+        return usage("--profile-cache must be on or off");
+    const bool pc_on = pc_mode == "on";
+    const uint64_t pc_entries =
+        flags.getU64("profile-cache-entries", 4096);
+    if (pc_on && pc_entries == 0)
+        return usage("--profile-cache-entries must be >= 1");
+    if (pc_on)
+        cfg.traceTemplateCacheEntries =
+            static_cast<uint32_t>(pc_entries);
+    // Outlives every workload branch's device; attached only when on.
+    simt::ProfileCache profile_cache(std::max<uint64_t>(pc_entries, 1));
+
     // ---- Observability -----------------------------------------------
     bench::Reporter json_report("rhythm_sim", argc, argv);
     const std::string trace_path = flags.getString("trace-out", "");
@@ -435,6 +480,8 @@ main(int argc, char **argv)
         if (observe)
             obs::global().enable(queue);
         simt::Device device(queue, variant.device);
+        if (pc_on)
+            device.engine().setProfileCache(&profile_cache);
         core::BankingService service(db);
         core::RhythmServer server(queue, device, service, cfg);
         specweb::StaticContent content(32, seed);
@@ -481,7 +528,8 @@ main(int argc, char **argv)
         });
         queue.run();
         report(server, device, queue, variant.power,
-               faults_on ? &plan : nullptr, robust, &json_report);
+               faults_on ? &plan : nullptr, robust, &json_report,
+               pc_on ? &profile_cache : nullptr);
         return finish(json_report, trace_path);
     }
 
@@ -493,6 +541,8 @@ main(int argc, char **argv)
         if (observe)
             obs::global().enable(queue);
         simt::Device device(queue, variant.device);
+        if (pc_on)
+            device.engine().setProfileCache(&profile_cache);
         chat::ChatService service(store);
         core::RhythmServer server(queue, device, service, cfg);
         fault::FaultPlan plan(fcfg);
@@ -511,7 +561,8 @@ main(int argc, char **argv)
         });
         queue.run();
         report(server, device, queue, variant.power,
-               faults_on ? &plan : nullptr, robust, &json_report);
+               faults_on ? &plan : nullptr, robust, &json_report,
+               pc_on ? &profile_cache : nullptr);
         std::cout << "messages posted during run: "
                   << withCommas(store.totalPosted() - 256ull * 40)
                   << "\n";
@@ -529,6 +580,8 @@ main(int argc, char **argv)
         if (observe)
             obs::global().enable(queue);
         simt::Device device(queue, variant.device);
+        if (pc_on)
+            device.engine().setProfileCache(&profile_cache);
         search::SearchService service(index);
         core::RhythmServer server(queue, device, service, cfg);
         fault::FaultPlan plan(fcfg);
@@ -546,7 +599,8 @@ main(int argc, char **argv)
         });
         queue.run();
         report(server, device, queue, variant.power,
-               faults_on ? &plan : nullptr, robust, &json_report);
+               faults_on ? &plan : nullptr, robust, &json_report,
+               pc_on ? &profile_cache : nullptr);
         return finish(json_report, trace_path);
     }
 

@@ -37,11 +37,13 @@ class GateHarness(unittest.TestCase):
             json.dump(document, f)
         return path
 
-    def gate(self, *docs, tolerance=None):
+    def gate(self, *docs, tolerance=None, host_tolerance=None):
         """Runs the gate on alternating baseline/measured documents."""
         argv = [sys.executable, SCRIPT]
         if tolerance is not None:
             argv += ["--tolerance", str(tolerance)]
+        if host_tolerance is not None:
+            argv += ["--host-tolerance", str(host_tolerance)]
         argv += [self.write(d) for d in docs]
         proc = subprocess.run(argv, capture_output=True, text=True)
         return proc.returncode, proc.stdout + proc.stderr
@@ -108,6 +110,77 @@ class PassFailTest(GateHarness):
                               doc(bench="fig9", metrics={"x": 1.0}))
         self.assertEqual(code, 1)
         self.assertIn("bench name mismatch", out)
+
+
+class HostSectionTest(GateHarness):
+    """The machine-dependent "host" object gets its own, wider band."""
+
+    def test_host_within_wide_band_passes(self):
+        base = doc(metrics={"throughput": 100.0},
+                   host={"off_1t_ms": 100.0, "speedup_1t": 2.0})
+        meas = doc(metrics={"throughput": 100.0},
+                   host={"off_1t_ms": 140.0, "speedup_1t": 1.8})
+        code, out = self.gate(base, meas,
+                              tolerance=0.10, host_tolerance=0.5)
+        self.assertEqual(code, 0, out)
+
+    def test_host_regression_beyond_band_fails(self):
+        # host_ms is lower-is-better; a 4x wall-clock blowup must trip
+        # even the wide band.
+        base = doc(metrics={"throughput": 100.0},
+                   host={"on_1t_ms": 100.0})
+        meas = doc(metrics={"throughput": 100.0},
+                   host={"on_1t_ms": 400.0})
+        code, out = self.gate(base, meas,
+                              tolerance=0.10, host_tolerance=0.5)
+        self.assertEqual(code, 1)
+        self.assertIn("host value 'on_1t_ms' regressed", out)
+
+    def test_host_band_is_independent_of_metric_tolerance(self):
+        # 30% slower wall-clock: outside the 10% metric tolerance but
+        # inside the 50% host band — must pass.
+        base = doc(metrics={"throughput": 100.0},
+                   host={"host_ms": 100.0})
+        meas = doc(metrics={"throughput": 100.0},
+                   host={"host_ms": 130.0})
+        code, out = self.gate(base, meas,
+                              tolerance=0.10, host_tolerance=0.5)
+        self.assertEqual(code, 0, out)
+
+    def test_host_speedup_drop_beyond_band_fails(self):
+        base = doc(metrics={"throughput": 100.0},
+                   host={"speedup_1t": 2.0})
+        meas = doc(metrics={"throughput": 100.0},
+                   host={"speedup_1t": 0.9})
+        code, out = self.gate(base, meas, host_tolerance=0.5)
+        self.assertEqual(code, 1)
+        self.assertIn("speedup_1t", out)
+
+    def test_host_key_on_one_side_is_note_not_failure(self):
+        # The section is opt-in: baselines recorded before a bench grew
+        # host stats (or vice versa) must not fail the gate.
+        base = doc(metrics={"throughput": 100.0},
+                   host={"peak_rss_kb": 1000.0, "old_key_ms": 5.0})
+        meas = doc(metrics={"throughput": 100.0},
+                   host={"peak_rss_kb": 1000.0, "new_key_ms": 5.0})
+        code, out = self.gate(base, meas)
+        self.assertEqual(code, 0, out)
+        self.assertIn("host value 'old_key_ms' missing", out)
+        self.assertIn("new host value 'new_key_ms' not in baseline", out)
+
+    def test_document_without_host_section_still_compares(self):
+        base = doc(metrics={"throughput": 100.0},
+                   host={"host_ms": 50.0})
+        meas = doc(metrics={"throughput": 100.0})
+        code, out = self.gate(base, meas)
+        self.assertEqual(code, 0, out)
+
+    def test_non_numeric_host_value_rejected(self):
+        base = doc(metrics={"throughput": 100.0}, host={"host_ms": "slow"})
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 1)
+        self.assertIn("host value 'host_ms' is not a number", out)
+        self.assertNotIn("Traceback", out)
 
 
 class SchemaValidationTest(GateHarness):
