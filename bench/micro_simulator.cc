@@ -10,7 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "bench/common.hh"
 
 #include "backend/bankdb.hh"
 #include "host/server.hh"
@@ -147,7 +150,17 @@ BENCHMARK(BM_HostServeRecorded);
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args(argv, argv + argc);
+    // Honor the repo-wide --sim-threads flag (every other bench gets
+    // it via the Reporter constructor), then strip it so
+    // google-benchmark does not reject an unknown argument.
+    rhythm::bench::applySimThreads(argc, argv);
+    std::vector<std::string> args;
+    args.reserve(static_cast<size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]).rfind("--sim-threads=", 0) == 0)
+            continue;
+        args.emplace_back(argv[i]);
+    }
     bool json = false;
     for (auto &arg : args) {
         if (arg.rfind("--json=", 0) == 0) {

@@ -106,7 +106,7 @@ main(int argc, char **argv)
     };
 
     server.setResponseCallback([&](uint64_t tag,
-                                   const std::string &response,
+                                   std::string_view response,
                                    des::Time) {
         const uint64_t client_id = tag >> 32;
         const uint64_t rid = tag & 0xffffffffu;

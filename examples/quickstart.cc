@@ -43,7 +43,7 @@ main()
     core::RhythmServer server(queue, device, service, config);
 
     server.setResponseCallback([](uint64_t client,
-                                  const std::string &response,
+                                  std::string_view response,
                                   des::Time latency) {
         std::cout << "client " << client << ": "
                   << response.substr(0, response.find("\r\n")) << " ("

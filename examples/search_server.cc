@@ -52,7 +52,7 @@ main(int argc, char **argv)
     std::vector<search::PageType> types;
 
     server.setResponseCallback([&](uint64_t client,
-                                   const std::string &response,
+                                   std::string_view response,
                                    des::Time) {
         // Pull-mode client ids are assigned sequentially from 1.
         const search::PageType type = types[client - 1];

@@ -1,5 +1,6 @@
 #include "http/parser.hh"
 
+#include <algorithm>
 #include <cctype>
 
 #include "util/strings.hh"
@@ -29,6 +30,10 @@ recordScan(simt::TraceRecorder &rec, uint64_t vaddr, size_t offset,
 std::string
 urlDecode(std::string_view text)
 {
+    // Fast path: most tokens (ids, amounts, plain words) contain no
+    // escapes at all — one scan, then a straight copy.
+    if (text.find_first_of("%+") == std::string_view::npos)
+        return std::string(text);
     std::string out;
     out.reserve(text.size());
     for (size_t i = 0; i < text.size(); ++i) {
@@ -61,6 +66,9 @@ parseParams(std::string_view text, uint64_t vaddr, size_t offset,
 {
     if (text.empty())
         return;
+    out.params.reserve(
+        out.params.size() + 1 +
+        static_cast<size_t>(std::count(text.begin(), text.end(), '&')));
     size_t start = 0;
     for (size_t i = 0; i <= text.size(); ++i) {
         if (i == text.size() || text[i] == '&') {

@@ -5,12 +5,28 @@
 
 namespace rhythm::obs {
 
-std::string
-jsonEscape(std::string_view s)
+namespace {
+
+/// True for bytes that cannot appear verbatim in a JSON string.
+inline bool
+needsJsonEscape(unsigned char c)
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
+    return c == '"' || c == '\\' || c < 0x20;
+}
+
+} // namespace
+
+void
+jsonEscapeTo(std::string_view s, std::string &out)
+{
+    // Bulk-append runs of clean bytes; most strings (metric names,
+    // span labels) contain nothing to escape and take one append.
+    size_t start = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (!needsJsonEscape(static_cast<unsigned char>(c)))
+            continue;
+        out.append(s.substr(start, i - start));
         switch (c) {
           case '"':
             out += "\\\"";
@@ -27,18 +43,25 @@ jsonEscape(std::string_view s)
           case '\t':
             out += "\\t";
             break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
+          default: {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+          }
         }
+        start = i + 1;
     }
+    out.append(s.substr(start));
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    jsonEscapeTo(s, out);
     return out;
 }
 
@@ -62,10 +85,9 @@ JsonWriter::newline()
 {
     if (indent_ <= 0)
         return;
-    out_ << '\n';
-    for (size_t i = 0; i < stack_.size(); ++i)
-        for (int s = 0; s < indent_; ++s)
-            out_ << ' ';
+    scratch_.assign(1, '\n');
+    scratch_.append(stack_.size() * static_cast<size_t>(indent_), ' ');
+    out_ << scratch_;
 }
 
 void
@@ -127,7 +149,13 @@ void
 JsonWriter::key(std::string_view k)
 {
     separate();
-    out_ << '"' << jsonEscape(k) << "\": ";
+    // One stream insertion per key: escaping goes through the writer's
+    // scratch string, whose capacity persists across calls (emitting a
+    // trace writes millions of keys).
+    scratch_.assign(1, '"');
+    jsonEscapeTo(k, scratch_);
+    scratch_ += "\": ";
+    out_ << scratch_;
     if (!stack_.empty())
         stack_.back().expectValue = true;
 }
@@ -136,7 +164,10 @@ void
 JsonWriter::value(std::string_view v)
 {
     separate();
-    out_ << '"' << jsonEscape(v) << '"';
+    scratch_.assign(1, '"');
+    jsonEscapeTo(v, scratch_);
+    scratch_ += '"';
+    out_ << scratch_;
 }
 
 void
@@ -149,7 +180,13 @@ void
 JsonWriter::value(double v)
 {
     separate();
-    out_ << jsonNumber(v);
+    if (!std::isfinite(v)) {
+        out_ << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ << buf;
 }
 
 void

@@ -23,6 +23,13 @@ namespace rhythm::obs {
 std::string jsonEscape(std::string_view s);
 
 /**
+ * Appends the escaped form of @p s to @p out without allocating a
+ * temporary. Exporters on hot emission paths (trace events, metric
+ * dumps) reuse one scratch string across calls.
+ */
+void jsonEscapeTo(std::string_view s, std::string &out);
+
+/**
  * Formats a double as a JSON number. Uses up to 12 significant digits
  * (ample for gate comparisons while keeping files readable); non-finite
  * values, which JSON cannot represent, become null.
@@ -86,6 +93,7 @@ class JsonWriter
     std::ostream &out_;
     int indent_;
     std::vector<Level> stack_;
+    std::string scratch_; //!< Reused escape/indent buffer (hot paths).
 };
 
 } // namespace rhythm::obs

@@ -107,7 +107,6 @@ Tracer::writeChromeTrace(std::ostream &out) const
                          return events_[a].ts < events_[b].ts;
                      });
 
-    JsonWriter w(out, 0);
     out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
     bool first = true;
     auto sep = [&]() {
@@ -120,17 +119,24 @@ Tracer::writeChromeTrace(std::ostream &out) const
     out << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, "
            "\"name\": \"process_name\", "
            "\"args\": {\"name\": \"rhythm\"}}";
+    std::string escaped;
     for (const auto &[track, name] : trackNames_) {
         sep();
+        escaped.clear();
+        jsonEscapeTo(name, escaped);
         out << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << track
             << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
-            << jsonEscape(name) << "\"}}";
+            << escaped << "\"}}";
     }
 
+    // One writer for every event: after the top-level endObject its
+    // level stack is empty again, so the next beginObject starts a
+    // fresh document — byte-identical to a per-event writer, without
+    // re-allocating the stack and scratch buffers per event.
+    JsonWriter ew(out, 0);
     for (size_t idx : order) {
         const TraceEvent &e = events_[idx];
         sep();
-        JsonWriter ew(out, 0);
         ew.beginObject();
         const char phase = static_cast<char>(e.phase);
         ew.key("ph");

@@ -23,6 +23,25 @@ BankingService::runStage(uint32_t type_id, int stage,
     app_.runStage(static_cast<specweb::RequestType>(type_id), stage, ctx);
 }
 
+bool
+BankingService::stageIsLaneParallel(uint32_t type_id, int stage) const
+{
+    // Audit (see DESIGN.md 6f): every banking stage either only reads
+    // shared state (SessionArray::lookup, BankDb reads via composed
+    // backend requests) or runs purely on per-lane data — except the
+    // two below, which mutate the shared session store / consume its
+    // RNG and must keep cohort lane order:
+    //  - Login stage 1 calls SessionProvider::create (RNG + bucket
+    //    insert). Stages 0 and 2 of Login never touch sessions.
+    //  - Logout's single stage calls SessionProvider::destroy.
+    const auto type = static_cast<specweb::RequestType>(type_id);
+    if (type == specweb::RequestType::Login)
+        return stage != 1;
+    if (type == specweb::RequestType::Logout)
+        return false;
+    return true;
+}
+
 std::string
 BankingService::executeBackend(std::string_view request,
                                simt::TraceRecorder &rec)

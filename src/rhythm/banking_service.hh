@@ -52,6 +52,8 @@ class BankingService : public Service
     void runStage(uint32_t type_id, int stage,
                   specweb::HandlerContext &ctx) const override;
 
+    bool stageIsLaneParallel(uint32_t type_id, int stage) const override;
+
     std::string executeBackend(std::string_view request,
                                simt::TraceRecorder &rec) override;
 

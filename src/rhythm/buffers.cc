@@ -1,8 +1,10 @@
 #include "rhythm/buffers.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace rhythm::core {
 namespace {
@@ -24,6 +26,9 @@ constexpr uint32_t kReduceInsts = 30;
  * Per-lane ResponseWriter view over the cohort buffer. Generation work
  * (instructions, source reads) is charged at append time; stores are
  * replayed with layout and padding by CohortBuffer::finalizeStores().
+ * The content bytes land directly in the lane's arena slot (zero-copy);
+ * distinct lanes write disjoint slots, so writers of different lanes
+ * may run on different pool workers concurrently.
  */
 class LaneWriter : public specweb::ResponseWriter
 {
@@ -39,21 +44,24 @@ class LaneWriter : public specweb::ResponseWriter
     void
     appendStatic(uint32_t block_id, std::string_view text) override
     {
-        append(block_id, text, false);
+        charge(block_id, text.size(), false);
+        write(text.data(), text.size());
     }
 
     void
     appendDynamic(uint32_t block_id, std::string_view text) override
     {
-        append(block_id, text, true);
+        charge(block_id, text.size(), true);
+        write(text.data(), text.size());
     }
 
     size_t
     reserve(uint32_t block_id, size_t width) override
     {
         auto &lane = parent_.lanes_[lane_];
-        const size_t offset = lane.content.size();
-        append(block_id, std::string(width, ' '), false);
+        const size_t offset = lane.size;
+        charge(block_id, width, false);
+        writeSpaces(width);
         return offset;
     }
 
@@ -61,37 +69,41 @@ class LaneWriter : public specweb::ResponseWriter
     patch(size_t offset, std::string_view text) override
     {
         auto &lane = parent_.lanes_[lane_];
-        RHYTHM_ASSERT(offset + text.size() <= lane.content.size(),
+        RHYTHM_ASSERT(offset + text.size() <= lane.size,
                       "patch outside reservation");
         rec_->block(kBlockPatch, 24);
-        lane.content.replace(offset, text.size(), text);
+        if (lane.spilled)
+            lane.spill.replace(offset, text.size(), text);
+        else
+            std::memcpy(parent_.slot(lane_) + offset, text.data(),
+                        text.size());
     }
 
     size_t
     size() const override
     {
-        return parent_.lanes_[lane_].content.size();
+        return parent_.lanes_[lane_].size;
     }
 
   private:
+    /** Records the generation instructions and source reads of one
+     *  append, before the content bytes are written. */
     void
-    append(uint32_t block_id, std::string_view text, bool dynamic)
+    charge(uint32_t block_id, size_t bytes, bool dynamic)
     {
         RHYTHM_ASSERT(rec_, "writer used before bind()");
         auto &lane = parent_.lanes_[lane_];
         lane.used = true;
         rec_->block(block_id,
-                    16 + static_cast<uint32_t>(text.size()) *
+                    16 + static_cast<uint32_t>(bytes) *
                              parent_.config_.instsPerByte);
-        const uint32_t words =
-            static_cast<uint32_t>((text.size() + 3) / 4);
+        const uint32_t words = static_cast<uint32_t>((bytes + 3) / 4);
         if (words > 0) {
             if (dynamic) {
                 // Dynamic source (backend response region): laid out with
                 // the same cohort geometry as the response buffers.
                 const uint64_t src =
-                    parent_.elementAddr(lane_, lane.content.size()) +
-                    0x4000'0000;
+                    parent_.elementAddr(lane_, lane.size) + 0x4000'0000;
                 const uint32_t stride =
                     parent_.config_.layout == BufferLayout::Transposed
                         ? parent_.config_.cohortSize * 4
@@ -103,10 +115,51 @@ class LaneWriter : public specweb::ResponseWriter
                            simt::MemSpace::Constant);
             }
         }
-        lane.content.append(text);
         lane.appends.push_back(
             CohortBuffer::Append{block_id,
-                                 static_cast<uint32_t>(text.size())});
+                                 static_cast<uint32_t>(bytes)});
+    }
+
+    /** Appends raw bytes into the slot (or the spill fallback). */
+    void
+    write(const char *data, size_t len)
+    {
+        auto &lane = parent_.lanes_[lane_];
+        if (!lane.spilled) {
+            if (lane.size + len <= parent_.config_.laneBytes) {
+                std::memcpy(parent_.slot(lane_) + lane.size, data, len);
+                lane.size += static_cast<uint32_t>(len);
+                return;
+            }
+            spillOut(lane);
+        }
+        lane.spill.append(data, len);
+        lane.size += static_cast<uint32_t>(len);
+    }
+
+    /** Appends whitespace word-at-a-time (no temporary string). */
+    void
+    writeSpaces(size_t len)
+    {
+        auto &lane = parent_.lanes_[lane_];
+        if (!lane.spilled) {
+            if (lane.size + len <= parent_.config_.laneBytes) {
+                std::memset(parent_.slot(lane_) + lane.size, ' ', len);
+                lane.size += static_cast<uint32_t>(len);
+                return;
+            }
+            spillOut(lane);
+        }
+        lane.spill.append(len, ' ');
+        lane.size += static_cast<uint32_t>(len);
+    }
+
+    /** Migrates a lane that outgrew its slot onto the heap. */
+    void
+    spillOut(CohortBuffer::Lane &lane)
+    {
+        lane.spill.assign(parent_.slot(lane_), lane.size);
+        lane.spilled = true;
     }
 
     CohortBuffer &parent_;
@@ -115,13 +168,29 @@ class LaneWriter : public specweb::ResponseWriter
 };
 
 CohortBuffer::CohortBuffer(const CohortBufferConfig &config)
-    : config_(config), lanes_(config.cohortSize)
+    : config_(config),
+      arena_(static_cast<size_t>(config.cohortSize) * config.laneBytes),
+      lanes_(config.cohortSize)
 {
     RHYTHM_ASSERT(config.cohortSize > 0 && config.laneBytes > 0);
     RHYTHM_ASSERT(config.warpWidth > 0);
+    slots_ = arena_.alloc(static_cast<size_t>(config.cohortSize) *
+                          config.laneBytes);
     writers_.reserve(config.cohortSize);
     for (uint32_t l = 0; l < config.cohortSize; ++l)
         writers_.push_back(std::make_unique<LaneWriter>(*this, l));
+}
+
+char *
+CohortBuffer::slot(uint32_t lane)
+{
+    return slots_ + static_cast<size_t>(lane) * config_.laneBytes;
+}
+
+const char *
+CohortBuffer::slot(uint32_t lane) const
+{
+    return slots_ + static_cast<size_t>(lane) * config_.laneBytes;
 }
 
 specweb::ResponseWriter &
@@ -133,18 +202,28 @@ CohortBuffer::writer(uint32_t lane, simt::TraceRecorder &rec)
     return *w;
 }
 
-const std::string &
+std::string_view
 CohortBuffer::content(uint32_t lane) const
 {
     RHYTHM_ASSERT(lane < config_.cohortSize);
-    return lanes_[lane].content;
+    const Lane &l = lanes_[lane];
+    if (l.spilled)
+        return l.spill;
+    return std::string_view(slot(lane), l.size);
 }
 
 size_t
 CohortBuffer::contentSize(uint32_t lane) const
 {
     RHYTHM_ASSERT(lane < config_.cohortSize);
-    return lanes_[lane].content.size();
+    return lanes_[lane].size;
+}
+
+bool
+CohortBuffer::spilled(uint32_t lane) const
+{
+    RHYTHM_ASSERT(lane < config_.cohortSize);
+    return lanes_[lane].spilled;
 }
 
 uint64_t
@@ -153,10 +232,8 @@ CohortBuffer::elementAddr(uint32_t lane, size_t offset) const
     if (config_.layout == BufferLayout::Transposed) {
         // 4-byte elements interleaved across the cohort: element e of
         // lane l lives at base + e*cohortSize*4 + l*4.
-        const uint64_t element = offset / 4;
-        return config_.deviceBase +
-               element * config_.cohortSize * 4 +
-               static_cast<uint64_t>(lane) * 4 + offset % 4;
+        return transposedRegionAddr(config_.deviceBase, lane, offset,
+                                    config_.cohortSize);
     }
     return config_.deviceBase +
            static_cast<uint64_t>(lane) * config_.laneBytes + offset;
@@ -168,6 +245,8 @@ CohortBuffer::finalizeStores(std::vector<simt::ThreadTrace> &traces)
     RHYTHM_ASSERT(traces.size() >= lanes_.size(),
                   "trace vector smaller than cohort");
     const uint32_t width = static_cast<uint32_t>(config_.warpWidth);
+    const uint32_t n = static_cast<uint32_t>(lanes_.size());
+    const size_t warps = (n + width - 1) / width;
 
     auto emit = [&](uint32_t lane, uint32_t block_id, uint32_t insts,
                     size_t offset, uint32_t bytes) {
@@ -189,49 +268,67 @@ CohortBuffer::finalizeStores(std::vector<simt::ThreadTrace> &traces)
         }
     };
 
-    for (uint32_t base = 0; base < lanes_.size(); base += width) {
-        const uint32_t warp_lanes = std::min(
-            width, static_cast<uint32_t>(lanes_.size()) - base);
-        size_t max_appends = 0;
-        for (uint32_t l = 0; l < warp_lanes; ++l) {
-            if (lanes_[base + l].used)
-                max_appends = std::max(max_appends,
-                                       lanes_[base + l].appends.size());
-        }
-        std::vector<size_t> offsets(warp_lanes, 0);
-        for (size_t j = 0; j < max_appends; ++j) {
-            // Warp-max padded length (butterfly reduction on device).
-            uint32_t max_len = 0;
-            for (uint32_t l = 0; l < warp_lanes; ++l) {
-                const Lane &lane = lanes_[base + l];
-                if (lane.used && j < lane.appends.size())
-                    max_len = std::max(max_len, lane.appends[j].length);
+    // Warps are independent (each touches only its own lanes' traces
+    // and Lane records), so the replay fans out over the sim pool; the
+    // shared padding/overflow totals come from per-warp slots reduced
+    // in canonical warp order below — byte-identical at any thread
+    // count.
+    std::vector<uint64_t> warp_padding(warps, 0);
+    std::vector<uint8_t> warp_overflow(warps, 0);
+    util::simPool().parallelRanges(
+        warps, 1, [&](size_t wbegin, size_t wend) {
+            for (size_t w = wbegin; w < wend; ++w) {
+                const uint32_t base = static_cast<uint32_t>(w) * width;
+                const uint32_t warp_lanes = std::min(width, n - base);
+                size_t max_appends = 0;
+                for (uint32_t l = 0; l < warp_lanes; ++l) {
+                    if (lanes_[base + l].used)
+                        max_appends =
+                            std::max(max_appends,
+                                     lanes_[base + l].appends.size());
+                }
+                std::vector<size_t> offsets(warp_lanes, 0);
+                for (size_t j = 0; j < max_appends; ++j) {
+                    // Warp-max padded length (butterfly reduction on
+                    // device).
+                    uint32_t max_len = 0;
+                    for (uint32_t l = 0; l < warp_lanes; ++l) {
+                        const Lane &lane = lanes_[base + l];
+                        if (lane.used && j < lane.appends.size())
+                            max_len = std::max(max_len,
+                                               lane.appends[j].length);
+                    }
+                    for (uint32_t l = 0; l < warp_lanes; ++l) {
+                        Lane &lane = lanes_[base + l];
+                        if (!lane.used || j >= lane.appends.size())
+                            continue;
+                        const uint32_t own = lane.appends[j].length;
+                        const uint32_t stored =
+                            config_.padToWarpMax ? max_len : own;
+                        const uint32_t insts =
+                            20 + stored * 2 +
+                            (config_.padToWarpMax ? kReduceInsts : 0);
+                        emit(base + l, kBlockStorePass, insts,
+                             offsets[l], stored);
+                        if (config_.padToWarpMax)
+                            warp_padding[w] += stored - own;
+                        offsets[l] += stored;
+                    }
+                }
+                for (uint32_t l = 0; l < warp_lanes; ++l) {
+                    Lane &lane = lanes_[base + l];
+                    if (!lane.used)
+                        continue;
+                    lane.paddedSize = offsets[l];
+                    if (offsets[l] > config_.laneBytes)
+                        warp_overflow[w] = 1;
+                }
             }
-            for (uint32_t l = 0; l < warp_lanes; ++l) {
-                Lane &lane = lanes_[base + l];
-                if (!lane.used || j >= lane.appends.size())
-                    continue;
-                const uint32_t own = lane.appends[j].length;
-                const uint32_t stored =
-                    config_.padToWarpMax ? max_len : own;
-                const uint32_t insts =
-                    20 + stored * 2 +
-                    (config_.padToWarpMax ? kReduceInsts : 0);
-                emit(base + l, kBlockStorePass, insts,
-                     offsets[l], stored);
-                if (config_.padToWarpMax)
-                    paddingBytes_ += stored - own;
-                offsets[l] += stored;
-            }
-        }
-        for (uint32_t l = 0; l < warp_lanes; ++l) {
-            Lane &lane = lanes_[base + l];
-            if (!lane.used)
-                continue;
-            lane.paddedSize = offsets[l];
-            if (offsets[l] > config_.laneBytes)
-                overflowed_ = true;
-        }
+        });
+    for (size_t w = 0; w < warps; ++w) {
+        paddingBytes_ += warp_padding[w];
+        if (warp_overflow[w])
+            overflowed_ = true;
     }
 }
 
@@ -250,7 +347,7 @@ CohortBuffer::bufferUtilization() const
     for (const Lane &lane : lanes_) {
         if (!lane.used)
             continue;
-        content += lane.content.size();
+        content += lane.size;
         allocated += config_.laneBytes;
     }
     return allocated == 0
@@ -269,9 +366,8 @@ transposeRegionLoads(simt::ThreadTrace &trace, uint64_t region_base,
         if (op.isStore || op.addr < lane_base ||
             op.addr >= lane_base + slot_bytes)
             continue;
-        const uint64_t off = op.addr - lane_base;
-        op.addr = region_base + (off / 4) * (cohort * 4ull) +
-                  static_cast<uint64_t>(lane) * 4 + off % 4;
+        op.addr = transposedRegionAddr(region_base, lane,
+                                       op.addr - lane_base, cohort);
         op.stride = cohort * 4;
     }
 }
@@ -301,11 +397,19 @@ untransposeRegionLoads(simt::ThreadTrace &trace, uint64_t region_base,
 void
 CohortBuffer::reset()
 {
+    arena_.reset();
+    slots_ = arena_.alloc(static_cast<size_t>(config_.cohortSize) *
+                          config_.laneBytes);
     for (Lane &lane : lanes_) {
-        lane.content.clear();
+        lane.size = 0;
         lane.appends.clear();
         lane.paddedSize = 0;
         lane.used = false;
+        if (lane.spilled) {
+            lane.spilled = false;
+            lane.spill.clear();
+            lane.spill.shrink_to_fit();
+        }
     }
     paddingBytes_ = 0;
     overflowed_ = false;

@@ -42,10 +42,19 @@ std::string_view cohortStateName(CohortState state);
 /** One request riding in a cohort. */
 struct CohortEntry
 {
+    /** Sentinel: the entry's cohort type has not been resolved yet. */
+    static constexpr uint32_t kTypeUnresolved = UINT32_MAX;
+
     http::Request request;
     std::string raw;
     des::Time arrival = 0;
     uint64_t clientId = 0;
+    /**
+     * Cohort type memoized by the dispatcher on first resolution, so
+     * entries blocked on a busy context (structural hazard) do not
+     * re-run path matching on every dispatch pass.
+     */
+    uint32_t routeType = kTypeUnresolved;
 };
 
 /** One cohort's context. */

@@ -76,9 +76,16 @@ struct RhythmServer::CohortRun
     std::vector<Cmd> sequence;
     /** Simulated time the cohort entered the pipeline. */
     des::Time launchedAt = 0;
-    /** Responses of executed lanes (parallel to entries prefix). */
-    std::vector<std::string> responses;
-    std::vector<bool> failed;
+    /**
+     * The cohort's response buffer, owned for the lifetime of the run:
+     * the responses below are zero-copy views into its lane slots.
+     * Returned to the server's per-shape pool after delivery.
+     */
+    std::unique_ptr<CohortBuffer> buffer;
+    /** Responses of executed lanes (views into `buffer` or literals). */
+    std::vector<std::string_view> responses;
+    /** Per-lane failure flags (uint8_t: lanes write concurrently). */
+    std::vector<uint8_t> failed;
     uint32_t executedLanes = 0;
     double scale = 1.0;
     uint64_t responseContentBytes = 0; //!< Scaled to the full cohort.
@@ -297,6 +304,14 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
     // shared map is consulted serially before the fork (hit pointers
     // are stable: the map is node-based and never erased from) and
     // grown serially after the join, in canonical lane order.
+    //
+    // The request-buffer transpose is a single pass everywhere: the
+    // no-cache path records through a TransposingRecorder (loads land
+    // in device-staging layout as they are recorded), and the cache
+    // paths record templates at base 0 natively and materialize each
+    // lane's trace with one fused rebase+transpose loop. All paths use
+    // transposedRegionAddr(), so the result is bit-identical to the
+    // old record → rebase → post-pass-transpose chain.
     auto parsed = std::make_shared<std::vector<CohortEntry>>();
     parsed->resize(n);
     std::vector<simt::ThreadTrace> traces = tracePool_.acquire();
@@ -313,49 +328,70 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
                 hit_tmpl[i] = &it->second;
         }
     }
+    // Builds a lane's trace from a base-0 template: rebase every op to
+    // the lane's slot, mapping in-slot loads straight into the
+    // transposed layout when active (one pass over the ops).
+    auto materialize = [this, sample](const simt::ThreadTrace &tmpl,
+                                      simt::ThreadTrace &out, uint32_t i,
+                                      uint64_t vaddr) {
+        out = tmpl;
+        const uint32_t slot_bytes = config_.requestSlotBytes;
+        const bool transpose = config_.transposeBuffers;
+        for (simt::MemOp &op : out.memOps) {
+            if (transpose && !op.isStore && op.addr < slot_bytes) {
+                op.addr = transposedRegionAddr(kRequestRegionBase, i,
+                                               op.addr, sample);
+                op.stride = sample * 4;
+            } else {
+                op.addr += vaddr;
+            }
+        }
+    };
     util::simPool().parallelRanges(
         n, 64,
-        [this, &batch, &parsed, &traces, &hit_tmpl, &fresh_tmpl, tmpl_cap,
-         sample](size_t begin, size_t end) {
+        [this, &batch, &parsed, &traces, &hit_tmpl, &fresh_tmpl,
+         &materialize, tmpl_cap, sample](size_t begin, size_t end) {
             for (size_t i = begin; i < end; ++i) {
                 RawEntry &raw = batch->entries[i];
                 CohortEntry &entry = (*parsed)[i];
                 entry.raw = std::move(raw.raw);
                 entry.arrival = raw.arrival;
                 entry.clientId = raw.clientId;
+                const uint32_t lane = static_cast<uint32_t>(i);
                 const uint64_t vaddr =
                     kRequestRegionBase +
                     static_cast<uint64_t>(i) * config_.requestSlotBytes;
                 bool ok;
                 if (i < sample && tmpl_cap > 0 && hit_tmpl[i]) {
                     // Replay: parse without recording (dispatch needs
-                    // the parsed request), then patch the template's
-                    // address base into this lane's trace slot.
+                    // the parsed request), then materialize the
+                    // template into this lane's trace slot.
                     ok = http::parseRequest(entry.raw, vaddr, gNull,
                                             entry.request);
-                    traces[i] = *hit_tmpl[i];
-                    for (simt::MemOp &op : traces[i].memOps)
-                        op.addr += vaddr;
+                    materialize(*hit_tmpl[i], traces[i], lane, vaddr);
+                } else if (i < sample && tmpl_cap > 0) {
+                    // Record the template at base 0 natively (its
+                    // stored form), then materialize like a hit; the
+                    // template is published serially after the join.
+                    simt::RecordingTracer rec(fresh_tmpl[i]);
+                    ok = http::parseRequest(entry.raw, 0, rec,
+                                            entry.request);
+                    materialize(fresh_tmpl[i], traces[i], lane, vaddr);
+                } else if (i < sample && config_.transposeBuffers) {
+                    TransposingRecorder rec(traces[i], kRequestRegionBase,
+                                            lane,
+                                            config_.requestSlotBytes,
+                                            sample);
+                    ok = http::parseRequest(entry.raw, vaddr, rec,
+                                            entry.request);
                 } else if (i < sample) {
                     simt::RecordingTracer rec(traces[i]);
                     ok = http::parseRequest(entry.raw, vaddr, rec,
                                             entry.request);
-                    if (tmpl_cap > 0) {
-                        // Keep a base-0 copy for serial publication
-                        // below (the pre-transpose, rebased form).
-                        fresh_tmpl[i] = traces[i];
-                        for (simt::MemOp &op : fresh_tmpl[i].memOps)
-                            op.addr -= vaddr;
-                    }
                 } else {
                     ok = http::parseRequest(entry.raw, vaddr, gNull,
                                             entry.request);
                 }
-                if (i < sample && config_.transposeBuffers)
-                    transposeRegionLoads(traces[i], kRequestRegionBase,
-                                         static_cast<uint32_t>(i),
-                                         config_.requestSlotBytes,
-                                         sample);
                 if (!ok)
                     entry.request.path.clear(); // dispatch will 400 it
             }
@@ -426,6 +462,22 @@ RhythmServer::setStaticContent(const specweb::StaticContent *content)
 void
 RhythmServer::dispatchParsed(std::vector<CohortEntry> parsed)
 {
+    // Fast path: nothing queued and no drain in progress — route each
+    // entry straight from the parsed batch into its cohort context.
+    // This skips the pendingDispatch_ round trip (one CohortEntry move
+    // instead of two, no deque churn); entries blocked on a busy
+    // context queue up for the next pass. Routing order is identical
+    // to the queued path.
+    if (!drainActive_ && pendingDispatch_.empty()) {
+        drainActive_ = true;
+        typeBlocked_.assign(service_.numTypes(), 0);
+        for (CohortEntry &entry : parsed) {
+            if (routeEntry(entry) == RouteResult::Blocked)
+                pendingDispatch_.push_back(std::move(entry));
+        }
+        drainActive_ = false;
+        return;
+    }
     for (CohortEntry &entry : parsed)
         pendingDispatch_.push_back(std::move(entry));
     drainDispatch();
@@ -505,63 +557,83 @@ RhythmServer::drainDispatch()
     if (drainActive_)
         return;
     drainActive_ = true;
-    std::deque<CohortEntry> blocked;
-    while (!pendingDispatch_.empty()) {
-        CohortEntry &front = pendingDispatch_.front();
-        if (staticContent_ &&
-            specweb::StaticContent::isStaticPath(front.request.path) &&
-            staticContent_->lookup(front.request.path)) {
-            const bool was_empty = pendingImages_.empty();
-            pendingImages_.push_back(std::move(front));
-            pendingDispatch_.pop_front();
-            if (pendingImages_.size() >= config_.cohortSize)
-                launchImageCohort();
-            else if (was_empty)
-                scheduleTimeoutScan();
-            continue;
+    typeBlocked_.assign(service_.numTypes(), 0);
+    // One pass over the queue, compacting in place: consumed entries
+    // leave gaps, retained (blocked) entries slide forward to fill
+    // them. The common steady-state prefix — entries of types whose
+    // contexts are all busy — stays exactly where it is with no moves
+    // at all (keep == i). Relative order of retained entries is
+    // preserved, and entries appended mid-pass (reentrant injection)
+    // are picked up by the dynamic size check, matching the historical
+    // drain-until-empty loop.
+    size_t keep = 0;
+    for (size_t i = 0; i < pendingDispatch_.size(); ++i) {
+        CohortEntry &entry = pendingDispatch_[i];
+        if (routeEntry(entry) == RouteResult::Blocked) {
+            if (keep != i)
+                pendingDispatch_[keep] = std::move(entry);
+            ++keep;
         }
-        uint32_t type = 0;
-        if (front.request.path.empty() ||
-            !service_.resolveType(front.request, type)) {
+    }
+    pendingDispatch_.resize(keep);
+    drainActive_ = false;
+}
+
+RhythmServer::RouteResult
+RhythmServer::routeEntry(CohortEntry &entry)
+{
+    // Routes one dispatch-ready entry: static content, cohort type,
+    // host fallback or 404. Consumes the entry unless it reports
+    // Blocked (structural hazard: no cohort context for its type).
+    if (staticContent_ &&
+        specweb::StaticContent::isStaticPath(entry.request.path) &&
+        staticContent_->lookup(entry.request.path)) {
+        const bool was_empty = pendingImages_.empty();
+        pendingImages_.push_back(std::move(entry));
+        if (pendingImages_.size() >= config_.cohortSize)
+            launchImageCohort();
+        else if (was_empty)
+            scheduleTimeoutScan();
+        return RouteResult::Consumed;
+    }
+    uint32_t type = entry.routeType;
+    if (type == CohortEntry::kTypeUnresolved) {
+        if (entry.request.path.empty() ||
+            !service_.resolveType(entry.request, type)) {
             // Not a cohort type: try the service's host fallback
             // (requests outside the data-parallel model, Section 3.1),
             // else 404.
-            if (!front.request.path.empty() && serveOnHost(front)) {
-                pendingDispatch_.pop_front();
-                continue;
-            }
-            completeRequest(front.clientId,
+            if (!entry.request.path.empty() && serveOnHost(entry))
+                return RouteResult::Consumed;
+            completeRequest(entry.clientId,
                             "HTTP/1.1 404 Not Found\r\n"
                             "Content-Length: 0\r\n\r\n",
-                            queue_.now() - front.arrival, true);
-            pendingDispatch_.pop_front();
-            continue;
+                            queue_.now() - entry.arrival, true);
+            return RouteResult::Consumed;
         }
-        CohortContext *ctx = pool_.acquireFor(type);
-        if (!ctx) {
-            // Structural hazard: no context for this type. Keep the
-            // entry (per-type FIFO order preserved) but do not let it
-            // head-of-line block other types — with more types than
-            // contexts a strict FIFO collapses into timeout-launched
-            // fragments.
-            blocked.push_back(std::move(front));
-            pendingDispatch_.pop_front();
-            continue;
-        }
-        const bool was_empty = ctx->entries().empty();
-        const bool full = ctx->add(std::move(front));
-        pendingDispatch_.pop_front();
-        if (was_empty)
-            scheduleTimeoutScan();
-        if (full)
-            launchCohort(*ctx);
+        entry.routeType = type;
     }
-    // Blocked entries go back to the queue head: they are older than
-    // anything dispatched after them.
-    pendingDispatch_.insert(pendingDispatch_.begin(),
-                            std::make_move_iterator(blocked.begin()),
-                            std::make_move_iterator(blocked.end()));
-    drainActive_ = false;
+    // Structural-hazard memo, valid for the rest of this dispatch
+    // pass: contexts only fill up or go Busy while the pass runs
+    // (releases happen in later DES events), so once acquireFor fails
+    // for a type it keeps failing until the pass ends. Blocked
+    // entries keep per-type FIFO order but do not head-of-line block
+    // other types — with more types than contexts a strict FIFO
+    // collapses into timeout-launched fragments.
+    if (typeBlocked_[type])
+        return RouteResult::Blocked;
+    CohortContext *ctx = pool_.acquireFor(type);
+    if (!ctx) {
+        typeBlocked_[type] = 1;
+        return RouteResult::Blocked;
+    }
+    const bool was_empty = ctx->entries().empty();
+    const bool full = ctx->add(std::move(entry));
+    if (was_empty)
+        scheduleTimeoutScan();
+    if (full)
+        launchCohort(*ctx);
+    return RouteResult::Consumed;
 }
 
 void
@@ -634,7 +706,7 @@ RhythmServer::drained() const
 
 void
 RhythmServer::completeRequest(uint64_t client_id,
-                              const std::string &response,
+                              std::string_view response,
                               des::Time latency, bool failed)
 {
     RHYTHM_ASSERT(inflightRequests_ > 0);
@@ -706,16 +778,11 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
         config_.padResponses && config_.transposeBuffers;
     buf_cfg.warpWidth = config_.warpModel.warpWidth;
     // Per-shape buffer reuse: writers and lane storage keep their heap
-    // capacity across cohorts; reset() scrubs the content. The shape
-    // key is (cohort size, lane bytes) — all other config fields are
-    // fixed for the server's lifetime.
-    std::unique_ptr<CohortBuffer> &buf_slot =
-        bufferCache_[{sample, lane_bytes}];
-    if (!buf_slot)
-        buf_slot = std::make_unique<CohortBuffer>(buf_cfg);
-    else
-        buf_slot->reset();
-    CohortBuffer &buffer = *buf_slot;
+    // capacity across cohorts; reset() scrubs the content. The run
+    // owns the buffer (responses are zero-copy views into it) and
+    // returns it to the per-shape pool after delivery.
+    run.buffer = acquireBuffer(buf_cfg);
+    CohortBuffer &buffer = *run.buffer;
 
     std::vector<std::vector<simt::ThreadTrace>> stage_traces(
         static_cast<size_t>(stages));
@@ -724,7 +791,7 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
         v.resize(sample);
     }
 
-    run.failed.assign(sample, false);
+    run.failed.assign(sample, 0);
     uint64_t backend_insts = 0;
     uint64_t backend_calls = 0;
 
@@ -751,57 +818,131 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
         return service_.executeBackend(request, rec);
     };
 
+    // Lanes whose backend calls exhausted the retry budget answer a
+    // canned 503 instead of their buffer content.
+    std::vector<uint8_t> unavailable(sample, 0);
+
+    // Host-stage execution. Two structurally different but
+    // output-identical drivers (DESIGN.md 6f):
+    //
+    //  - Lane-major (the legacy serial order): each lane runs all its
+    //    stages before the next lane starts. Used when the service has
+    //    not audited any stage of this type for lane parallelism —
+    //    cross-lane-visible mutations then see the exact historical
+    //    order.
+    //
+    //  - Stage-major: all lanes run stage s before any lane runs
+    //    s+1. Stages the service declared lane-parallel fan out over
+    //    the sim pool in lane chunks (each lane touches only its own
+    //    trace slot, buffer slot and handler context); the others run
+    //    serially in lane order. Backend calls and all shared-state
+    //    bookkeeping (retry budget, stats) happen in a serial merge
+    //    phase in canonical lane order after each stage's fork/join,
+    //    so results are byte-identical at any --sim-threads.
+    bool any_parallel_stage = false;
+    for (int s = 0; s < stages; ++s)
+        any_parallel_stage |= service_.stageIsLaneParallel(type, s);
+
+    // Runs one (lane, stage) pair: bind the lane's recorder and writer,
+    // execute the handler stage. Pure per-lane for parallel stages.
+    std::vector<specweb::HandlerContext> ctxs = ctxPool_.acquire();
+    ctxs.resize(sample);
+    auto run_lane_stage = [&](uint32_t lane, int s) {
+        specweb::HandlerContext &hctx = ctxs[lane];
+        simt::RecordingTracer rec(
+            stage_traces[static_cast<size_t>(s)][lane]);
+        hctx.rec = &rec;
+        specweb::ResponseWriter &writer = buffer.writer(lane, rec);
+        hctx.out = &writer;
+        service_.runStage(type, s, hctx);
+    };
+    // Shared-state merge for one (lane, stage): failure latching and
+    // the backend round trip. Must run in canonical lane order.
+    // @return false when the lane is done (failed or final stage).
+    auto merge_lane_stage = [&](uint32_t lane, int s) -> bool {
+        specweb::HandlerContext &hctx = ctxs[lane];
+        if (hctx.failed) {
+            run.failed[lane] = 1;
+            return false;
+        }
+        if (s >= stages - 1)
+            return false;
+        simt::CountingTracer counter;
+        uint32_t attempts = 0;
+        std::string resp = call_backend(hctx.backendRequest, counter);
+        while (backend::response::isUnavailable(resp) &&
+               retry_budget > 0) {
+            --retry_budget;
+            ++attempts;
+            ++stats_.backendRetries;
+            resp = call_backend(hctx.backendRequest, counter);
+        }
+        backend_insts += counter.instructions();
+        backend_calls += 1 + attempts;
+        const size_t si = static_cast<size_t>(s);
+        retry_rounds[si] = std::max(retry_rounds[si], attempts);
+        retried_calls[si] += attempts;
+        if (backend::response::isUnavailable(resp)) {
+            // Budget exhausted: isolate the failure to this lane — it
+            // answers 503 while its cohort-mates complete normally.
+            run.failed[lane] = 1;
+            unavailable[lane] = 1;
+            ++stats_.backendFailedLanes;
+            return false;
+        }
+        hctx.backendResponse = std::move(resp);
+        hctx.backendRequest.clear();
+        return true;
+    };
+
     for (uint32_t lane = 0; lane < sample; ++lane) {
-        const CohortEntry &entry = ctx.entries()[lane];
-        specweb::HandlerContext hctx;
-        hctx.request = &entry.request;
-        hctx.sessions = sessions_.get();
-        bool lane_unavailable = false;
-        for (int s = 0; s < stages; ++s) {
-            simt::RecordingTracer rec(stage_traces[static_cast<size_t>(s)]
-                                                  [lane]);
-            hctx.rec = &rec;
-            specweb::ResponseWriter &writer = buffer.writer(lane, rec);
-            hctx.out = &writer;
-            service_.runStage(type, s, hctx);
-            if (hctx.failed) {
-                run.failed[lane] = true;
-                break;
-            }
-            if (s < stages - 1) {
-                simt::CountingTracer counter;
-                uint32_t attempts = 0;
-                std::string resp =
-                    call_backend(hctx.backendRequest, counter);
-                while (backend::response::isUnavailable(resp) &&
-                       retry_budget > 0) {
-                    --retry_budget;
-                    ++attempts;
-                    ++stats_.backendRetries;
-                    resp = call_backend(hctx.backendRequest, counter);
-                }
-                backend_insts += counter.instructions();
-                backend_calls += 1 + attempts;
-                const size_t si = static_cast<size_t>(s);
-                retry_rounds[si] = std::max(retry_rounds[si], attempts);
-                retried_calls[si] += attempts;
-                if (backend::response::isUnavailable(resp)) {
-                    // Budget exhausted: isolate the failure to this
-                    // lane — it answers 503 while its cohort-mates
-                    // complete normally.
-                    run.failed[lane] = true;
-                    lane_unavailable = true;
-                    ++stats_.backendFailedLanes;
+        ctxs[lane].request = &ctx.entries()[lane].request;
+        ctxs[lane].sessions = sessions_.get();
+    }
+    if (!any_parallel_stage) {
+        for (uint32_t lane = 0; lane < sample; ++lane) {
+            for (int s = 0; s < stages; ++s) {
+                run_lane_stage(lane, s);
+                if (!merge_lane_stage(lane, s))
                     break;
-                }
-                hctx.backendResponse = std::move(resp);
-                hctx.backendRequest.clear();
             }
         }
-        run.responses.push_back(lane_unavailable
-                                    ? kBackendUnavailableResponse
-                                    : buffer.content(lane));
+    } else {
+        // Chunk size only affects scheduling, never results (outputs
+        // are index-addressed); aim for a few chunks per worker.
+        const size_t grain = std::max<size_t>(
+            1, sample / (4 * util::simPool().threads()));
+        std::vector<uint8_t> done(sample, 0);
+        for (int s = 0; s < stages; ++s) {
+            if (service_.stageIsLaneParallel(type, s)) {
+                util::simPool().parallelRanges(
+                    sample, grain, [&](size_t begin, size_t end) {
+                        for (size_t lane = begin; lane < end; ++lane) {
+                            if (!done[lane])
+                                run_lane_stage(
+                                    static_cast<uint32_t>(lane), s);
+                        }
+                    });
+            } else {
+                for (uint32_t lane = 0; lane < sample; ++lane) {
+                    if (!done[lane])
+                        run_lane_stage(lane, s);
+                }
+            }
+            for (uint32_t lane = 0; lane < sample; ++lane) {
+                if (!done[lane] && !merge_lane_stage(lane, s))
+                    done[lane] = 1;
+            }
+        }
     }
+    run.responses.resize(sample);
+    for (uint32_t lane = 0; lane < sample; ++lane) {
+        run.responses[lane] = unavailable[lane]
+                                  ? std::string_view(
+                                        kBackendUnavailableResponse)
+                                  : buffer.content(lane);
+    }
+    ctxPool_.release(std::move(ctxs));
 
     // Replay the response stores with the configured layout/padding into
     // the final stage's traces.
@@ -1024,8 +1165,7 @@ RhythmServer::cohortCompleted(CohortContext &ctx,
     }
     for (size_t i = 0; i < entries.size(); ++i) {
         const bool executed = i < run->executedLanes;
-        const bool failed = executed && run->failed[i];
-        static const std::string kEmpty;
+        const bool failed = executed && run->failed[i] != 0;
         stats_.formationMs.add(
             des::toMillis(run->launchedAt - entries[i].arrival));
         stats_.pipelineMs.add(des::toMillis(now - run->launchedAt));
@@ -1034,12 +1174,46 @@ RhythmServer::cohortCompleted(CohortContext &ctx,
         OBS_HIST_ADD("server.pipeline_ms",
                      des::toMillis(now - run->launchedAt));
         completeRequest(entries[i].clientId,
-                        executed ? run->responses[i] : kEmpty,
+                        executed ? run->responses[i] : std::string_view(),
                         now - entries[i].arrival, failed);
     }
+    // Delivery done: the response views are dead, so the buffer can go
+    // back to the per-shape pool for the next cohort of this shape.
+    run->responses.clear();
+    releaseBuffer(std::move(run->buffer));
     ctx.release();
     drainDispatch();
     pump();
+}
+
+std::unique_ptr<CohortBuffer>
+RhythmServer::acquireBuffer(const CohortBufferConfig &cfg)
+{
+    // The pool key is (cohort size, lane bytes) — every other config
+    // field is fixed for the server's lifetime, so a recycled buffer's
+    // construction config matches cfg exactly.
+    auto &free_list = bufferPool_[{cfg.cohortSize, cfg.laneBytes}];
+    if (!free_list.empty()) {
+        std::unique_ptr<CohortBuffer> buffer =
+            std::move(free_list.back());
+        free_list.pop_back();
+        buffer->reset();
+        return buffer;
+    }
+    return std::make_unique<CohortBuffer>(cfg);
+}
+
+void
+RhythmServer::releaseBuffer(std::unique_ptr<CohortBuffer> buffer)
+{
+    if (!buffer)
+        return;
+    auto &free_list = bufferPool_[{buffer->config().cohortSize,
+                                   buffer->config().laneBytes}];
+    // At most one buffer per in-flight cohort context can be live, so
+    // the free list never needs to hold more than that.
+    if (free_list.size() < config_.cohortContexts)
+        free_list.push_back(std::move(buffer));
 }
 
 uint64_t

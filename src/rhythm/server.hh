@@ -208,9 +208,14 @@ class RhythmServer
   public:
     /** Pulls the next raw request; nullopt when the stream is drained. */
     using Source = std::function<std::optional<std::string>()>;
-    /** Invoked per completed response (executed lanes carry content). */
+    /**
+     * Invoked per completed response (executed lanes carry content).
+     * The response is a zero-copy view into the cohort's buffer slot,
+     * valid only for the duration of the callback — copy it if it must
+     * outlive the call.
+     */
     using ResponseCallback = std::function<void(
-        uint64_t client_id, const std::string &response,
+        uint64_t client_id, std::string_view response,
         des::Time latency)>;
 
     /**
@@ -310,11 +315,14 @@ class RhythmServer
     void parseBatch(std::unique_ptr<ReaderBatch> batch);
     void dispatchParsed(std::vector<CohortEntry> parsed);
     void drainDispatch();
+    /** routeEntry outcome: Blocked means the caller keeps the entry. */
+    enum class RouteResult : uint8_t { Consumed, Blocked };
+    RouteResult routeEntry(CohortEntry &entry);
     bool serveOnHost(CohortEntry &entry);
     void launchImageCohort();
     void launchCohort(CohortContext &ctx);
     void scheduleTimeoutScan();
-    void completeRequest(uint64_t client_id, const std::string &response,
+    void completeRequest(uint64_t client_id, std::string_view response,
                          des::Time latency, bool failed);
 
     // Pipeline execution (host-side eager run producing stage profiles).
@@ -342,6 +350,12 @@ class RhythmServer
     uint64_t nextClientId_ = 1;
     std::deque<CohortEntry> pendingDispatch_;
     bool drainActive_ = false;
+    /**
+     * Per-dispatch-pass structural-hazard memo, indexed by type id:
+     * set when acquireFor first fails for the type, letting the rest
+     * of the pass skip the context scan (see routeEntry).
+     */
+    std::vector<uint8_t> typeBlocked_;
     std::vector<CohortEntry> pendingImages_;
     const specweb::StaticContent *staticContent_ = nullptr;
 
@@ -360,15 +374,46 @@ class RhythmServer
         }
     };
 
+    /** Scrubs recycled per-lane handler contexts (keeps capacities). */
+    struct CtxVectorReset
+    {
+        void operator()(std::vector<specweb::HandlerContext> &ctxs) const
+        {
+            for (specweb::HandlerContext &c : ctxs) {
+                c.request = nullptr;
+                c.rec = nullptr;
+                c.out = nullptr;
+                c.sessions = nullptr;
+                c.backendRequest.clear();
+                c.backendResponse.clear();
+                c.userId = 0;
+                c.createdSessionId = 0;
+                c.failed = false;
+            }
+        }
+    };
+
     /**
-     * Recycled per-stage ThreadTrace storage and per-shape cohort
-     * buffers. Host-side allocation reuse only: recycled objects are
-     * scrubbed before use, so simulated results are unaffected.
+     * Recycled per-stage ThreadTrace storage, per-lane handler-context
+     * vectors and per-shape cohort buffers. Host-side allocation reuse
+     * only: recycled objects are scrubbed before use, so simulated
+     * results are unaffected.
+     *
+     * Cohort buffers are owned by their in-flight CohortRun (responses
+     * are zero-copy views into the buffer) and returned to the
+     * per-shape free list after delivery; with multiple cohorts in
+     * flight each holds a distinct buffer.
      */
     util::ObjectPool<std::vector<simt::ThreadTrace>, TraceVectorReset>
         tracePool_;
-    std::map<std::pair<uint32_t, uint32_t>, std::unique_ptr<CohortBuffer>>
-        bufferCache_;
+    util::ObjectPool<std::vector<specweb::HandlerContext>, CtxVectorReset>
+        ctxPool_;
+    std::unique_ptr<CohortBuffer>
+    acquireBuffer(const CohortBufferConfig &cfg);
+    void releaseBuffer(std::unique_ptr<CohortBuffer> buffer);
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::vector<std::unique_ptr<CohortBuffer>>>
+        bufferPool_;
     /**
      * Parser trace templates keyed by the exact raw request, recorded
      * at base address 0 and rebased per lane on replay. Bounded by

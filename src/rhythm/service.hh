@@ -58,6 +58,28 @@ class Service
     virtual void runStage(uint32_t type_id, int stage,
                           specweb::HandlerContext &ctx) const = 0;
 
+    /**
+     * Whether runStage(type_id, stage) may execute concurrently for
+     * distinct lanes of one cohort (the pipeline then fans the stage
+     * out over the sim pool and merges in canonical lane order).
+     *
+     * A stage qualifies only if, for lanes of the same cohort, its
+     * execution is pure with respect to shared state: it may read
+     * shared structures that no lane of the stage mutates (e.g. session
+     * lookup) but must not write them, consume shared RNG streams, or
+     * otherwise make one lane's output depend on another lane's
+     * execution order. Stages that mutate shared state (session
+     * create/destroy) must return false and run serially. Defaults to
+     * false: services opt stages in after auditing them.
+     */
+    virtual bool
+    stageIsLaneParallel(uint32_t type_id, int stage) const
+    {
+        (void)type_id;
+        (void)stage;
+        return false;
+    }
+
     /** Executes one wire-format backend request. */
     virtual std::string executeBackend(std::string_view request,
                                        simt::TraceRecorder &rec) = 0;

@@ -1,15 +1,14 @@
 /**
  * @file
- * Recycling object pool for hot-path allocations.
+ * Recycling allocators for hot-path allocations: a bump Arena with
+ * epoch reset and a free-list ObjectPool.
  *
  * The server's cohort pipeline builds and discards large vector-backed
  * structures (per-stage ThreadTrace arrays, cohort buffers) once per
  * cohort; recycling them keeps their heap capacity alive across
- * cohorts instead of re-growing it from zero each time. The pool is
- * a plain free list — it never constructs eagerly and never shrinks
- * below what release() hands back (up to a bound), so it is purely a
- * host-side allocation optimization with no effect on simulated
- * results.
+ * cohorts instead of re-growing it from zero each time. Both helpers
+ * are purely host-side allocation optimizations with no effect on
+ * simulated results.
  *
  * Not thread-safe: acquire/release must happen on the owning (DES)
  * thread. Objects handed out may be used inside parallel regions as
@@ -20,10 +19,113 @@
 #define RHYTHM_UTIL_ARENA_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 namespace rhythm::util {
+
+/**
+ * A bump allocator with epoch-based reset.
+ *
+ * Scratch memory whose lifetime is one pipeline iteration (one cohort)
+ * comes from an Arena: allocation is a pointer bump, and reset() at the
+ * iteration boundary recycles every block in place — the blocks keep
+ * their capacity, so after the first iteration the arena allocates no
+ * further heap memory for a steady-state workload. reset() bumps an
+ * epoch counter so holders of stale pointers can assert freshness.
+ *
+ * Not thread-safe: alloc()/reset() must happen on the owning thread.
+ * Blocks handed out may be *written* from parallel workers as long as
+ * each worker touches a disjoint byte range (the zero-copy cohort
+ * buffer slices one block into per-lane slots this way).
+ */
+class Arena
+{
+  public:
+    /** @param block_bytes Granularity of backing blocks. */
+    explicit Arena(size_t block_bytes = 64 * 1024)
+        : blockBytes_(block_bytes)
+    {
+    }
+
+    /**
+     * Allocates @p bytes aligned to @p align (a power of two).
+     * The memory is uninitialized and valid until the next reset().
+     */
+    char *
+    alloc(size_t bytes, size_t align = 64)
+    {
+        for (; cur_ < blocks_.size(); ++cur_) {
+            Block &b = blocks_[cur_];
+            const size_t aligned = (b.used + align - 1) & ~(align - 1);
+            if (aligned + bytes <= b.size) {
+                b.used = aligned + bytes;
+                return b.data.get() + aligned;
+            }
+            if (b.used == 0)
+                break; // empty block too small: replace below
+        }
+        const size_t size = bytes > blockBytes_ ? bytes : blockBytes_;
+        if (cur_ < blocks_.size()) {
+            // Grow an empty-but-undersized block in place.
+            blocks_[cur_] =
+                Block{std::make_unique<char[]>(size), size, bytes};
+        } else {
+            blocks_.push_back(
+                Block{std::make_unique<char[]>(size), size, bytes});
+            cur_ = blocks_.size() - 1;
+        }
+        return blocks_[cur_].data.get();
+    }
+
+    /** Recycles all blocks (capacity kept) and starts a new epoch. */
+    void
+    reset()
+    {
+        for (Block &b : blocks_)
+            b.used = 0;
+        cur_ = 0;
+        ++epoch_;
+    }
+
+    /** Epochs begun so far (== number of reset() calls). */
+    uint64_t epoch() const { return epoch_; }
+
+    /** Total backing bytes currently held. */
+    size_t
+    capacityBytes() const
+    {
+        size_t total = 0;
+        for (const Block &b : blocks_)
+            total += b.size;
+        return total;
+    }
+
+    /** Bytes handed out since the last reset. */
+    size_t
+    usedBytes() const
+    {
+        size_t total = 0;
+        for (const Block &b : blocks_)
+            total += b.used;
+        return total;
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<char[]> data;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    size_t blockBytes_;
+    std::vector<Block> blocks_;
+    size_t cur_ = 0;
+    uint64_t epoch_ = 0;
+};
 
 /**
  * A bounded free list of reusable objects.

@@ -3,7 +3,8 @@
  * Streaming 64-bit hashers for content fingerprints.
  *
  * Two structurally independent accumulators (FNV-1a and a
- * splitmix64-style multiply-xorshift chain) are combined into 128-bit
+ * multiply-rotate chain with a splitmix64 finalizer) are combined into
+ * 128-bit
  * keys where a silent collision would corrupt results — e.g. the warp
  * profile cache, which replicates cached WarpStats verbatim and so
  * must treat key equality as content equality. Neither hash is
@@ -44,24 +45,39 @@ class Fnv1a64
 };
 
 /**
- * Streaming multiply-xorshift chain (splitmix64 finalizer applied per
- * word). Mixes through wide multiplies rather than FNV's byte folds,
- * so its collisions are independent of Fnv1a64's.
+ * Streaming multiply-rotate accumulator finalized with splitmix64 at
+ * digest time. Each word is diffused by an odd-constant multiply (a
+ * bijection) and folded in with an add-and-rotate, so word order and
+ * position matter; the three-multiply splitmix finalizer runs once per
+ * digest instead of once per word. Mixes through add-rotate rather
+ * than FNV's xor-multiply chain, so its collisions are independent of
+ * Fnv1a64's — and its one multiply per word has no data dependence on
+ * the accumulator, letting it pipeline alongside Fnv1a64 on the
+ * fingerprint hot path.
  */
 class Mix64
 {
   public:
     constexpr void update(uint64_t word)
     {
-        uint64_t z = state_ + 0x9e3779b97f4a7c15ull + word;
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-        state_ = z ^ (z >> 31);
+        const uint64_t diffused = word * 0x9e3779b97f4a7c15ull;
+        state_ = rotl(state_ + diffused, 29);
     }
 
-    constexpr uint64_t digest() const { return state_; }
+    constexpr uint64_t digest() const
+    {
+        uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
 
   private:
+    static constexpr uint64_t rotl(uint64_t v, int r)
+    {
+        return (v << r) | (v >> (64 - r));
+    }
+
     uint64_t state_ = 0x6a09e667f3bcc909ull;
 };
 

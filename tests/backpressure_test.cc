@@ -25,7 +25,7 @@ struct Rig
         : db(300, 13), device(queue, simt::DeviceConfig{}),
           service(db), server(queue, device, service, cfg), gen(db, 31)
     {
-        server.setResponseCallback([this](uint64_t, const std::string &,
+        server.setResponseCallback([this](uint64_t, std::string_view,
                                           des::Time) { ++completed; });
     }
 

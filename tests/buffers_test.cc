@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "rhythm/buffers.hh"
@@ -155,6 +157,179 @@ TEST(RegionTranspose, CoalescingMatchesAnalyticExpectation)
     // Same bytes, same instructions -- layout only changes transactions.
     EXPECT_EQ(uncoalesced.globalBytes, coalesced.globalBytes);
     EXPECT_EQ(uncoalesced.issueSlots, coalesced.issueSlots);
+}
+
+TEST(RegionTranspose, ExactTileEdgeLanesAndOffsetsRoundTrip)
+{
+    // Edge lanes (0 and kCohort-1) at edge offsets (first word, last
+    // word, and an unaligned tail byte) — the corners of the transpose
+    // tile where an off-by-one in the address math would land the
+    // element in a neighboring lane's column or the next element row.
+    const uint32_t last = kCohort - 1;
+    EXPECT_EQ(transposedRegionAddr(kRegionBase, 0, 0, kCohort),
+              kRegionBase);
+    EXPECT_EQ(transposedRegionAddr(kRegionBase, last, 0, kCohort),
+              kRegionBase + static_cast<uint64_t>(last) * 4);
+    // Last word of the slot: row (kSlotBytes/4 - 1), column `lane`.
+    EXPECT_EQ(transposedRegionAddr(kRegionBase, last, kSlotBytes - 4,
+                                   kCohort),
+              kRegionBase +
+                  (static_cast<uint64_t>(kSlotBytes) / 4 - 1) *
+                      (kCohort * 4ull) +
+                  static_cast<uint64_t>(last) * 4);
+    // Unaligned offset keeps its byte position within the element.
+    EXPECT_EQ(transposedRegionAddr(kRegionBase, 3, 9, kCohort),
+              kRegionBase + 2 * (kCohort * 4ull) + 3 * 4 + 1);
+
+    for (uint32_t lane : {0u, last}) {
+        const uint64_t lane_base =
+            kRegionBase + static_cast<uint64_t>(lane) * kSlotBytes;
+        ThreadTrace t;
+        {
+            RecordingTracer rec(t);
+            rec.block(1, 10);
+            rec.load(lane_base, 1, 4, 4);
+            rec.load(lane_base + kSlotBytes - 4, 1, 4, 4);
+            rec.load(lane_base, kSlotBytes / 4, 4, 4);
+        }
+        const ThreadTrace original = t;
+        transposeRegionLoads(t, kRegionBase, lane, kSlotBytes, kCohort);
+        untransposeRegionLoads(t, kRegionBase, lane, kSlotBytes,
+                               kCohort);
+        expectSameOps(t, original);
+    }
+}
+
+TEST(TransposingRecorder, MatchesPostPassTransposeBitForBit)
+{
+    // The one-pass recorder must produce exactly the trace that
+    // recording row-major and then running the post-pass rewrite
+    // produces — the parser path switched to the recorder, and the
+    // template-cache equivalence argument rests on this identity.
+    const uint32_t lane = 13;
+    const uint64_t lane_base =
+        kRegionBase + static_cast<uint64_t>(lane) * kSlotBytes;
+    auto record = [&](simt::RecordingTracer &rec) {
+        rec.block(7, 42);
+        rec.load(lane_base, 16, 4, 4);        // full-slot scan
+        rec.load(lane_base + 60, 3, 4, 4);    // interior
+        rec.load(lane_base + kSlotBytes - 4, 1, 4, 4); // last word
+        rec.store(lane_base + 16, 2, 4, 4);   // store: never remapped
+        rec.load(0x7000'0000, 4, 4, 4);       // other region
+        rec.load(kRegionBase +
+                     static_cast<uint64_t>(kCohort) * kSlotBytes,
+                 2, 4, 4);                    // just past the region
+        rec.block(8, 5);
+    };
+
+    ThreadTrace post;
+    {
+        RecordingTracer rec(post);
+        record(rec);
+    }
+    transposeRegionLoads(post, kRegionBase, lane, kSlotBytes, kCohort);
+
+    ThreadTrace direct;
+    {
+        TransposingRecorder rec(direct, kRegionBase, lane, kSlotBytes,
+                                kCohort);
+        record(rec);
+    }
+
+    expectSameOps(direct, post);
+    ASSERT_EQ(direct.blocks.size(), post.blocks.size());
+    for (size_t i = 0; i < direct.blocks.size(); ++i) {
+        EXPECT_EQ(direct.blocks[i].blockId, post.blocks[i].blockId);
+        EXPECT_EQ(direct.blocks[i].instructions,
+                  post.blocks[i].instructions);
+        EXPECT_EQ(direct.blocks[i].memBegin, post.blocks[i].memBegin);
+        EXPECT_EQ(direct.blocks[i].memCount, post.blocks[i].memCount);
+    }
+}
+
+TEST(CohortBufferZeroCopy, SpillPreservesContentOnSlotOverflow)
+{
+    CohortBufferConfig cfg;
+    cfg.cohortSize = 4;
+    cfg.laneBytes = 64;
+    cfg.layout = BufferLayout::RowMajor;
+    cfg.padToWarpMax = false;
+    CohortBuffer buf(cfg);
+
+    simt::ThreadTrace t;
+    simt::RecordingTracer rec(t);
+    auto &w = buf.writer(1, rec);
+    const std::string long_text(100, 'x'); // 100 > 64: must spill
+    w.appendStatic(1, "head:");
+    w.appendDynamic(1, long_text);
+    w.appendStatic(1, ":tail");
+
+    EXPECT_TRUE(buf.spilled(1));
+    EXPECT_EQ(buf.content(1), "head:" + long_text + ":tail");
+    EXPECT_FALSE(buf.spilled(0));
+    EXPECT_EQ(buf.content(0), "");
+
+    // Patching a reservation works in the spilled representation too.
+    const size_t off = w.reserve(1, 4);
+    w.appendStatic(1, "!");
+    w.patch(off, "42");
+    const std::string_view c = buf.content(1);
+    EXPECT_EQ(c.substr(off, 5), "42  !");
+}
+
+TEST(CohortBufferZeroCopy, PatchNarrowerThanReservationKeepsSpaces)
+{
+    // The Content-Length back-patch (Section 4.3.2): the reservation is
+    // fixed-width, the patched value is often narrower, and the width
+    // of the value can change between cohorts reusing the buffer. The
+    // unpatched remainder must stay whitespace either way.
+    CohortBufferConfig cfg;
+    cfg.cohortSize = 2;
+    cfg.laneBytes = 256;
+    cfg.layout = BufferLayout::Transposed;
+    CohortBuffer buf(cfg);
+
+    simt::ThreadTrace t;
+    simt::RecordingTracer rec(t);
+    auto &w = buf.writer(0, rec);
+    // Odd-length prefix: the reservation starts mid-word, so the
+    // space fill and the patch both cross a 4-byte element boundary
+    // of the transposed layout.
+    w.appendStatic(1, "Len: ");
+    const size_t off = w.reserve(1, 10);
+    EXPECT_EQ(off, 5u);
+    w.appendStatic(1, "\r\n");
+    EXPECT_EQ(buf.content(0), "Len:           \r\n");
+
+    w.patch(off, "7");
+    EXPECT_EQ(buf.content(0), "Len: 7         \r\n");
+    // Re-patch with the full width (a 10-digit length).
+    w.patch(off, "1234567890");
+    EXPECT_EQ(buf.content(0), "Len: 1234567890\r\n");
+}
+
+TEST(CohortBufferZeroCopy, ResetRecyclesSlotsAndBumpsEpoch)
+{
+    CohortBufferConfig cfg;
+    cfg.cohortSize = 2;
+    cfg.laneBytes = 128;
+    CohortBuffer buf(cfg);
+    const uint64_t epoch0 = buf.arenaEpoch();
+
+    simt::ThreadTrace t;
+    simt::RecordingTracer rec(t);
+    buf.writer(0, rec).appendStatic(1, "first cohort content");
+    EXPECT_EQ(buf.content(0), "first cohort content");
+
+    buf.reset();
+    EXPECT_EQ(buf.arenaEpoch(), epoch0 + 1);
+    EXPECT_EQ(buf.content(0), "");
+
+    simt::ThreadTrace t2;
+    simt::RecordingTracer rec2(t2);
+    buf.writer(0, rec2).appendStatic(1, "second");
+    EXPECT_EQ(buf.content(0), "second");
+    EXPECT_FALSE(buf.overflowed());
 }
 
 } // namespace

@@ -118,7 +118,7 @@ struct ChatRig
           service(store), server(queue, device, service, config())
     {
         server.setResponseCallback([this](uint64_t client,
-                                          const std::string &response,
+                                          std::string_view response,
                                           des::Time) {
             responses.emplace_back(client, response);
         });

@@ -230,7 +230,7 @@ struct ExtensionRig
     {
         server.setStaticContent(&content);
         server.setResponseCallback([this](uint64_t client,
-                                          const std::string &response,
+                                          std::string_view response,
                                           des::Time) {
             responses.emplace_back(client, response);
         });

@@ -125,7 +125,7 @@ struct FaultRig
     {
         server.setFaultPlan(&plan);
         server.setResponseCallback(
-            [this](uint64_t client, const std::string &response,
+            [this](uint64_t client, std::string_view response,
                    des::Time) {
                 responses.emplace_back(client, response);
             });

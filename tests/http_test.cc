@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "http/http.hh"
 #include "http/parser.hh"
 #include "simt/trace.hh"
@@ -103,6 +105,79 @@ TEST(Parser, RejectsMalformed)
         req));
     EXPECT_FALSE(parseRequest(
         "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 0, gNull, req));
+}
+
+TEST(Parser, PostZeroLengthBodyParses)
+{
+    // "Content-Length: 0" is a legal POST with no body — the body scan
+    // must be skipped entirely (no body block, no params from the
+    // padding bytes that follow in a cohort slot).
+    Request req = mustParse(
+        "POST /bank/logout.php HTTP/1.1\r\nHost: h\r\n"
+        "Content-Length: 0\r\n\r\n");
+    EXPECT_EQ(req.method, Method::Post);
+    EXPECT_EQ(req.contentLength, 0u);
+    EXPECT_TRUE(req.params.empty());
+}
+
+TEST(Parser, PostBodyIgnoresTrailingSlotPadding)
+{
+    // Requests live in fixed-width cohort slots padded with whitespace
+    // (Section 4.3.2); only Content-Length bytes belong to the body,
+    // whatever follows in the slot must not leak into the params.
+    const std::string padded =
+        "POST /bank/login.php HTTP/1.1\r\nHost: h\r\n"
+        "Content-Length: 8\r\n\r\n"
+        "acct=101" +
+        std::string(24, ' ');
+    Request req = mustParse(padded);
+    ASSERT_EQ(req.params.size(), 1u);
+    EXPECT_EQ(req.param("acct"), "101");
+}
+
+TEST(Parser, ContentLengthWidthChangeAcrossPaddingBoundary)
+{
+    // Two same-shaped requests whose Content-Length differs in digit
+    // width (9 vs 10): the body start shifts by one byte, so the
+    // shorter header line carries one extra pad byte in a width-aligned
+    // slot. Both must parse to their exact bodies.
+    auto post = [](const std::string &body) {
+        return "POST /bank/pay.php HTTP/1.1\r\nHost: h\r\n"
+               "Content-Length: " +
+               std::to_string(body.size()) + "\r\n\r\n" + body;
+    };
+    const std::string nine(9, 'a');       // "Content-Length: 9"
+    const std::string ten = "k=" +        // "Content-Length: 10"
+                            std::string(8, 'b');
+    Request r9 = mustParse(post("k=" + nine.substr(2)));
+    Request r10 = mustParse(post(ten));
+    EXPECT_EQ(r9.contentLength, 9u);
+    EXPECT_EQ(r10.contentLength, 10u);
+    EXPECT_EQ(r9.param("k"), nine.substr(2));
+    EXPECT_EQ(r10.param("k"), std::string(8, 'b'));
+
+    // Width-aligned variant: pad both to one slot width; the value
+    // with the wider length header has one pad byte fewer.
+    const size_t slot = 96;
+    std::string s9 = post("k=" + nine.substr(2));
+    std::string s10 = post(ten);
+    s9.append(slot - s9.size(), ' ');
+    s10.append(slot - s10.size(), ' ');
+    ASSERT_EQ(s9.size(), s10.size());
+    EXPECT_EQ(mustParse(s9).param("k"), nine.substr(2));
+    EXPECT_EQ(mustParse(s10).param("k"), std::string(8, 'b'));
+}
+
+TEST(Parser, UrlDecodeTruncatedEscapeStaysLiteral)
+{
+    // A '%' not followed by two hex digits cannot decode; the parser
+    // keeps it literal rather than eating the tail. Also exercises the
+    // no-escape fast path ("plain") against the decoding slow path.
+    Request req = mustParse(
+        "GET /p.php?plain=hello&cut=ab%2&pct=100%25 HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(req.param("plain"), "hello");
+    EXPECT_EQ(req.param("cut"), "ab%2");
+    EXPECT_EQ(req.param("pct"), "100%");
 }
 
 TEST(Parser, RecordsTraceBlocks)

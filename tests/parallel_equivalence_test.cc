@@ -78,6 +78,14 @@ expectIdentical(const Fingerprint &serial, const Fingerprint &parallel,
     EXPECT_EQ(serial.trace, parallel.trace);
 }
 
+/** Which authentication traffic the banking run carries. */
+enum class AuthMode : uint8_t {
+    None,       //!< Browsing steady state (Login/Logout excluded).
+    LoginOnly,  //!< Every request is a Login (session-creating).
+    LogoutOnly, //!< Every request is a Logout (session-consuming).
+    Mixed,      //!< Browsing interleaved with Logins and Logouts.
+};
+
 /**
  * One rhythm_sim-shaped banking run (mixed browsing steady state) with
  * observability recording, so metrics and trace spans are captured.
@@ -87,9 +95,15 @@ expectIdentical(const Fingerprint &serial, const Fingerprint &parallel,
  *        fingerprint's metrics exclude the cache's own "profile_cache."
  *        meta-counters — those describe the cache, not the simulation,
  *        and are asserted separately via Fingerprint::cacheStats.
+ * @param auth Session-churning traffic mix: Login creates sessions and
+ *        Logout destroys them, so both mutate the shared session store
+ *        through the serial-stage path — the interleave of those
+ *        serial stages with the lane-parallel stages is exactly what
+ *        must stay canonical across thread counts.
  */
 Fingerprint
-runBanking(unsigned threads, size_t cache_entries = 0)
+runBanking(unsigned threads, size_t cache_entries = 0,
+           AuthMode auth = AuthMode::None)
 {
     util::setSimThreads(threads);
     obs::global().reset();
@@ -104,6 +118,13 @@ runBanking(unsigned threads, size_t cache_entries = 0)
             static_cast<uint32_t>(cache_entries);
     const uint64_t total = 4 * cfg.cohortSize;
     const uint64_t seed = 42;
+    const uint64_t users = 400;
+    if (auth != AuthMode::None) {
+        // Session-tree sizing for auth churn (mirrors rhythm_sim's
+        // --type=login/logout path).
+        cfg.sessionNodesPerBucket = static_cast<uint32_t>(
+            3 * total / std::min<uint64_t>(users, cfg.cohortSize) + 16);
+    }
 
     des::EventQueue queue;
     obs::global().enable(queue);
@@ -111,24 +132,47 @@ runBanking(unsigned threads, size_t cache_entries = 0)
     simt::Device device(queue, variant.device);
     if (cache_entries > 0)
         device.engine().setProfileCache(&cache);
-    backend::BankDb db(400, seed);
+    backend::BankDb db(users, seed);
     core::BankingService service(db);
     core::RhythmServer server(queue, device, service, cfg);
     specweb::WorkloadGenerator gen(db, seed * 31 + 7);
 
+    // Logout consumes one session per request, so the logout-bearing
+    // modes preload a full-size pool; Mixed draws logouts from the back
+    // of the pool (each destroyed once) while browsing reuses the
+    // front.
     auto sessions = server.sessions().populate(
-        std::min<uint64_t>(total, 8192), 400);
+        auth == AuthMode::LogoutOnly || auth == AuthMode::Mixed
+            ? total
+            : std::min<uint64_t>(total, 8192),
+        users);
     uint64_t issued = 0;
+    uint64_t logouts = 0;
     server.start([&]() -> std::optional<std::string> {
         if (issued >= total)
             return std::nullopt;
+        const uint64_t n = issued++;
+        if (auth == AuthMode::LoginOnly ||
+            (auth == AuthMode::Mixed && n % 5 == 2)) {
+            return gen.generate(specweb::RequestType::Login,
+                                gen.sampleUser(), 0)
+                .raw;
+        }
+        if (auth == AuthMode::LogoutOnly ||
+            (auth == AuthMode::Mixed && n % 11 == 7)) {
+            const auto &[sid, user] =
+                auth == AuthMode::LogoutOnly
+                    ? sessions[n]
+                    : sessions[sessions.size() - 1 - logouts++];
+            return gen.generate(specweb::RequestType::Logout, user, sid)
+                .raw;
+        }
         specweb::RequestType type;
         do {
             type = gen.sampleType();
         } while (type == specweb::RequestType::Login ||
                  type == specweb::RequestType::Logout);
-        const auto &[sid, user] = sessions[issued % sessions.size()];
-        ++issued;
+        const auto &[sid, user] = sessions[n % sessions.size()];
         return gen.generate(type, user, sid).raw;
     });
     queue.run();
@@ -291,6 +335,56 @@ TEST(ParallelEquivalenceTest, TinyCacheForcingEvictionsStaysIdentical)
         const Fingerprint parallel = runBanking(threads, 1);
         expectIdentical(off, parallel, threads);
         expectSameCacheStats(tiny.cacheStats, parallel.cacheStats,
+                             threads);
+    }
+}
+
+TEST(ParallelEquivalenceTest, LoginRunIsByteIdentical)
+{
+    // Login creates a session per request: every cohort ends in the
+    // session-store serial stage. The fork/join of lane-parallel stages
+    // around that serial stage must leave all outputs canonical.
+    const Fingerprint serial = runBanking(1, 0, AuthMode::LoginOnly);
+    ASSERT_GT(serial.responses, 0u);
+    ASSERT_EQ(serial.errors, 0u);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial,
+                        runBanking(threads, 0, AuthMode::LoginOnly),
+                        threads);
+}
+
+TEST(ParallelEquivalenceTest, LogoutRunIsByteIdentical)
+{
+    // Logout destroys a (distinct) session per request — the inverse
+    // serial-stage mutation of the session store.
+    const Fingerprint serial = runBanking(1, 0, AuthMode::LogoutOnly);
+    ASSERT_GT(serial.responses, 0u);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial,
+                        runBanking(threads, 0, AuthMode::LogoutOnly),
+                        threads);
+}
+
+TEST(ParallelEquivalenceTest, MixedAuthBrowsingRunIsByteIdentical)
+{
+    // Browsing cohorts (pure lane-parallel stages) interleaved with
+    // Login and Logout cohorts (serial session-store stages), with the
+    // profile cache both off and on: the full stage-major / serial
+    // stage mix of DESIGN.md Section 6f at every thread count.
+    const Fingerprint serial = runBanking(1, 0, AuthMode::Mixed);
+    ASSERT_GT(serial.responses, 0u);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runBanking(threads, 0, AuthMode::Mixed),
+                        threads);
+
+    const Fingerprint cached = runBanking(1, 4096, AuthMode::Mixed);
+    expectIdentical(serial, cached, 1);
+    EXPECT_GT(cached.cacheStats.insertions, 0u);
+    for (unsigned threads : kThreadCounts) {
+        const Fingerprint parallel =
+            runBanking(threads, 4096, AuthMode::Mixed);
+        expectIdentical(serial, parallel, threads);
+        expectSameCacheStats(cached.cacheStats, parallel.cacheStats,
                              threads);
     }
 }

@@ -24,7 +24,7 @@ struct TestRig
           service(db), server(queue, device, service, cfg), gen(db, 77)
     {
         server.setResponseCallback(
-            [this](uint64_t client, const std::string &response,
+            [this](uint64_t client, std::string_view response,
                    des::Time latency) {
                 responses.emplace_back(client, response);
                 latencies.push_back(latency);

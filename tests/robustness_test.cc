@@ -167,7 +167,7 @@ TEST(ServerRobustness, HostileStreamAllRequestsAnswered)
 
     uint64_t answered = 0;
     server.setResponseCallback(
-        [&](uint64_t, const std::string &, des::Time) { ++answered; });
+        [&](uint64_t, std::string_view, des::Time) { ++answered; });
 
     Rng rng(5);
     specweb::WorkloadGenerator gen(db, 9);

@@ -148,7 +148,7 @@ TEST_P(ServiceContract, ServesMixedTrafficWithoutDrops)
     core::RhythmServer server(queue, device, harness->service(), cfg);
 
     uint64_t answered = 0, errors = 0;
-    server.setResponseCallback([&](uint64_t, const std::string &response,
+    server.setResponseCallback([&](uint64_t, std::string_view response,
                                    des::Time) {
         ++answered;
         errors += response.find("HTTP/1.1 200") != 0;
