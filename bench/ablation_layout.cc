@@ -36,6 +36,9 @@ main(int argc, char **argv)
         {"row-major (no transpose)", false, false},
     };
 
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.recordConfig(report);
+
     TableWriter table({"layout", "KReqs/s", "avg latency ms",
                        "device util", "SIMD eff"});
     for (const Config &cfg : configs) {
@@ -46,6 +49,7 @@ main(int argc, char **argv)
         opts.cohorts = 10;
         opts.users = 2000;
         opts.laneSample = 128;
+        faults.apply(opts);
         platform::TypeRunResult r = platform::runIsolatedType(
             b, specweb::RequestType::AccountSummary, opts);
         table.addRow({cfg.name, bench::fmt(r.throughput / 1e3, 0),

@@ -27,6 +27,9 @@ main(int argc, char **argv)
     platform::IsolatedRunOptions opts;
     opts.cohorts = 6;
     opts.users = 1000;
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.apply(opts);
+    faults.recordConfig(report);
 
     TableWriter table({"lanes executed / cohort", "KReqs/s",
                        "latency ms", "throughput error %"});

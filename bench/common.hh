@@ -14,6 +14,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,8 +24,14 @@
 #include <sys/resource.h>
 #endif
 
+#include "des/time.hh"
+#include "fault/device_injector.hh"
+#include "fault/plan.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "platform/titan.hh"
+#include "rhythm/server.hh"
+#include "simt/device.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -208,6 +216,15 @@ class Reporter
             metric(prefix + key, value);
     }
 
+    /** Multi-prefix variant (see MetricsRegistry::flatten overload). */
+    void metricsFrom(const obs::MetricsRegistry &registry,
+                     const std::string &prefix,
+                     std::span<const std::string_view> exclude_prefixes)
+    {
+        for (auto &[key, value] : registry.flatten(exclude_prefixes))
+            metric(prefix + key, value);
+    }
+
     /** Turns on the "host" section of the document (see class docs). */
     void enableHostStats() { hostStats_ = true; }
 
@@ -290,6 +307,228 @@ class Reporter
     bool hostStats_ = false;
     std::chrono::steady_clock::time_point start_ =
         std::chrono::steady_clock::now();
+};
+
+/**
+ * Shared fault-injection / robustness flag vocabulary for the bench
+ * binaries — the same names rhythm_sim accepts, parsed from argv by
+ * prefix scan so every bench registers the whole family with one
+ * FaultFlags::parse call. Every knob defaults off: a bench invoked
+ * without fault flags produces byte-identical output to one that never
+ * supported them.
+ *
+ *   --fault-seed=N          fault plan seed (1)
+ *   --backend-fail=P        backend call failure probability
+ *   --backend-slow=P        backend brownout probability
+ *   --backend-slow-ms=X     mean brownout delay (5.0)
+ *   --pcie-corrupt=P        PCIe corruption probability
+ *   --pcie-degrade=P        PCIe degradation probability
+ *   --pcie-degrade-factor=X degradation slowdown (2.0)
+ *   --stall=P               stream stall probability
+ *   --stall-ms=X            mean stall duration (1.0)
+ *   --disconnect=P          client disconnect probability
+ *   --crash=P               backend crash probability (per mutation)
+ *   --torn=P                torn journal tail probability (per crash)
+ *   --hang=P                kernel hang probability (per cohort)
+ *   --hang-ms=X             mean injected hang stall (500)
+ *   --watchdog-ms=X         cohort watchdog timeout (0 = off)
+ *   --pcie-crc              PCIe frame CRC + bounded retransmit
+ *   --recovery              write-ahead-journaled backend
+ *   --checkpoint-interval=N journaled mutations per checkpoint (4096)
+ *   --retry-budget=N        backend retries per cohort
+ *   --backoff-us=X          retry backoff base (50)
+ *   --deadline-ms=X         per-request deadline
+ *   --shed-backlog=N        shed above this formation backlog
+ *   --shed-p99-ms=X         shed above this observed p99
+ */
+struct FaultFlags
+{
+    fault::FaultConfig config;
+    uint32_t retryBudget = 0;
+    des::Time retryBackoff = 50 * des::kMicrosecond;
+    des::Time deadline = 0;
+    uint32_t shedBacklog = 0;
+    des::Time shedP99 = 0;
+    des::Time watchdogTimeout = 0;
+    bool pcieCrc = false;
+    bool recovery = false;
+    uint64_t checkpointInterval = 4096;
+    bool anyGiven = false; //!< Any flag of the family was present.
+
+    /** Parses the family out of argv (unknown flags are ignored —
+     *  benches have their own vocabulary on top). */
+    static FaultFlags parse(int argc, char **argv)
+    {
+        FaultFlags f;
+        auto num = [&](std::string_view arg, std::string_view name,
+                       double &out) {
+            if (!arg.starts_with("--") ||
+                arg.substr(2, name.size()) != name ||
+                arg.size() <= 2 + name.size() ||
+                arg[2 + name.size()] != '=')
+                return false;
+            out = std::atof(
+                std::string(arg.substr(3 + name.size())).c_str());
+            f.anyGiven = true;
+            return true;
+        };
+        auto flag = [&](std::string_view arg, std::string_view name) {
+            if (arg.substr(2) != name)
+                return false;
+            f.anyGiven = true;
+            return true;
+        };
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            double v = 0.0;
+            if (num(arg, "fault-seed", v))
+                f.config.seed = static_cast<uint64_t>(v);
+            else if (num(arg, "backend-fail", v))
+                f.config.at(fault::Site::BackendFail).probability = v;
+            else if (num(arg, "backend-slow-ms", v))
+                f.config.at(fault::Site::BackendSlow).meanDelay =
+                    des::fromSeconds(v / 1e3);
+            else if (num(arg, "backend-slow", v))
+                f.config.at(fault::Site::BackendSlow).probability = v;
+            else if (num(arg, "pcie-corrupt", v))
+                f.config.at(fault::Site::PcieCorrupt).probability = v;
+            else if (num(arg, "pcie-degrade-factor", v))
+                f.config.at(fault::Site::PcieDegrade).factor = v;
+            else if (num(arg, "pcie-degrade", v))
+                f.config.at(fault::Site::PcieDegrade).probability = v;
+            else if (num(arg, "stall-ms", v))
+                f.config.at(fault::Site::StreamStall).meanDelay =
+                    des::fromSeconds(v / 1e3);
+            else if (num(arg, "stall", v))
+                f.config.at(fault::Site::StreamStall).probability = v;
+            else if (num(arg, "disconnect", v))
+                f.config.at(fault::Site::ClientDisconnect).probability =
+                    v;
+            else if (num(arg, "crash", v))
+                f.config.at(fault::Site::BackendCrash).probability = v;
+            else if (num(arg, "torn", v))
+                f.config.at(fault::Site::JournalTorn).probability = v;
+            else if (num(arg, "hang-ms", v))
+                f.config.at(fault::Site::KernelHang).meanDelay =
+                    des::fromSeconds(v / 1e3);
+            else if (num(arg, "hang", v))
+                f.config.at(fault::Site::KernelHang).probability = v;
+            else if (num(arg, "watchdog-ms", v))
+                f.watchdogTimeout = des::fromSeconds(v / 1e3);
+            else if (num(arg, "checkpoint-interval", v))
+                f.checkpointInterval = static_cast<uint64_t>(v);
+            else if (num(arg, "retry-budget", v))
+                f.retryBudget = static_cast<uint32_t>(v);
+            else if (num(arg, "backoff-us", v))
+                f.retryBackoff = des::fromSeconds(v / 1e6);
+            else if (num(arg, "deadline-ms", v))
+                f.deadline = des::fromSeconds(v / 1e3);
+            else if (num(arg, "shed-backlog", v))
+                f.shedBacklog = static_cast<uint32_t>(v);
+            else if (num(arg, "shed-p99-ms", v))
+                f.shedP99 = des::fromSeconds(v / 1e3);
+            else if (arg.starts_with("--") && flag(arg, "pcie-crc"))
+                f.pcieCrc = true;
+            else if (arg.starts_with("--") && flag(arg, "recovery"))
+                f.recovery = true;
+        }
+        return f;
+    }
+
+    /** True when no fault site fires (robustness knobs may still be
+     *  set). */
+    bool quiet() const { return config.allQuiet(); }
+
+    /** Overlays the robustness knobs onto a server config. */
+    void apply(core::RhythmConfig &cfg) const
+    {
+        if (retryBudget > 0)
+            cfg.backendRetryBudget = retryBudget;
+        if (retryBackoff != 50 * des::kMicrosecond)
+            cfg.retryBackoffBase = retryBackoff;
+        if (deadline > 0)
+            cfg.requestDeadline = deadline;
+        if (shedBacklog > 0)
+            cfg.shedBacklogLimit = shedBacklog;
+        if (shedP99 > 0)
+            cfg.shedLatencySlo = shedP99;
+        if (watchdogTimeout > 0)
+            cfg.watchdogTimeout = watchdogTimeout;
+    }
+
+    /** Overlays the link-model knob onto a device config. */
+    void apply(simt::DeviceConfig &cfg) const
+    {
+        if (pcieCrc)
+            cfg.pcieCrcEnabled = true;
+    }
+
+    /** Overlays everything onto an isolated-run options block (the
+     *  evaluateTitan/runIsolatedType path). */
+    void apply(platform::IsolatedRunOptions &opts) const
+    {
+        opts.faults = config;
+        opts.retryBudget = retryBudget;
+        opts.watchdogTimeout = watchdogTimeout;
+        opts.pcieFrameCrc = pcieCrc;
+        opts.recovery = recovery;
+        opts.checkpointInterval = checkpointInterval;
+    }
+
+    /**
+     * Arms a directly-driven server/device pair. @p plan is the
+     * caller's storage (declared next to the server so it outlives the
+     * run); it is engaged and installed only when the schedule is
+     * non-quiet.
+     */
+    void arm(core::RhythmServer &server, simt::Device &device,
+             des::EventQueue &queue,
+             std::optional<fault::FaultPlan> &plan) const
+    {
+        if (quiet())
+            return;
+        plan.emplace(config);
+        server.setFaultPlan(&*plan);
+        fault::installDeviceFaults(device, *plan, queue);
+    }
+
+    /**
+     * Records the fault-schedule metadata in the --json config section
+     * (only when any family flag was given, so default outputs stay
+     * byte-identical). check_bench.py requires these keys for
+     * fault-sweeping benches (ext_recovery).
+     */
+    void recordConfig(Reporter &rep) const
+    {
+        if (!anyGiven)
+            return;
+        rep.config("fault_seed", static_cast<double>(config.seed));
+        std::string schedule;
+        const auto add = [&](const char *name, fault::Site site) {
+            const auto &s = config.at(site);
+            if (s.probability <= 0.0)
+                return;
+            if (!schedule.empty())
+                schedule += ";";
+            schedule += std::string(name) + "=" +
+                        formatDouble(s.probability, 6);
+        };
+        add("backend-fail", fault::Site::BackendFail);
+        add("backend-slow", fault::Site::BackendSlow);
+        add("pcie-corrupt", fault::Site::PcieCorrupt);
+        add("pcie-degrade", fault::Site::PcieDegrade);
+        add("stall", fault::Site::StreamStall);
+        add("disconnect", fault::Site::ClientDisconnect);
+        add("crash", fault::Site::BackendCrash);
+        add("torn", fault::Site::JournalTorn);
+        add("hang", fault::Site::KernelHang);
+        rep.config("fault_schedule",
+                   schedule.empty() ? std::string("quiet") : schedule);
+        rep.config("recovery", recovery ? 1.0 : 0.0);
+        rep.config("watchdog_ms",
+                   des::toSeconds(watchdogTimeout) * 1e3);
+        rep.config("pcie_crc", pcieCrc ? 1.0 : 0.0);
+    }
 };
 
 } // namespace rhythm::bench

@@ -27,10 +27,13 @@ struct RunResult
 };
 
 RunResult
-runIsolated(chat::RoomStore &store, chat::PageType type, uint32_t cohorts)
+runIsolated(chat::RoomStore &store, chat::PageType type, uint32_t cohorts,
+            const bench::FaultFlags &faults)
 {
     des::EventQueue queue;
-    simt::Device device(queue, simt::DeviceConfig{});
+    simt::DeviceConfig dcfg;
+    faults.apply(dcfg);
+    simt::Device device(queue, dcfg);
     chat::ChatService service(store);
 
     core::RhythmConfig cfg;
@@ -40,7 +43,10 @@ runIsolated(chat::RoomStore &store, chat::PageType type, uint32_t cohorts)
     cfg.backendOnDevice = true; // Titan B
     cfg.networkOverPcie = false;
     cfg.laneSample = 128;
+    faults.apply(cfg);
     core::RhythmServer server(queue, device, service, cfg);
+    std::optional<fault::FaultPlan> plan;
+    faults.arm(server, device, queue, plan);
 
     chat::ChatGenerator gen(store, 29);
     const uint64_t total = static_cast<uint64_t>(cohorts) * cfg.cohortSize;
@@ -76,6 +82,9 @@ main(int argc, char **argv)
     bench::banner("Extension: the Chat workload on Rhythm (Titan B)",
                   "Section 8 future work (Search/Email/Chat on Rhythm)");
 
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.recordConfig(report);
+
     chat::RoomStore store(256, 40, 7);
 
     TableWriter table({"page type", "mix %", "KReqs/s", "latency ms",
@@ -83,8 +92,8 @@ main(int argc, char **argv)
     WeightedHarmonicMean whm;
     for (uint32_t t = 0; t < chat::kNumPageTypes; ++t) {
         const chat::PageTypeInfo &info = chat::pageTable()[t];
-        RunResult r =
-            runIsolated(store, static_cast<chat::PageType>(t), 8);
+        RunResult r = runIsolated(
+            store, static_cast<chat::PageType>(t), 8, faults);
         whm.add(info.mixPercent, r.throughput);
         const std::string key = bench::slug(info.name);
         report.metric(key + ".throughput", r.throughput);

@@ -50,6 +50,9 @@ main(int argc, char **argv)
     opts.cohorts = 10;
     opts.users = 2000;
     opts.laneSample = 128;
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.apply(opts);
+    faults.recordConfig(report);
 
     TableWriter table({"design", "MReqs/s", "latency ms", "dynamic W",
                        "reqs/J wall", "vs Titan C"});

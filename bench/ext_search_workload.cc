@@ -30,10 +30,12 @@ struct RunResult
 
 RunResult
 runIsolated(search::InvertedIndex &index, search::PageType type,
-            uint32_t cohorts)
+            uint32_t cohorts, const bench::FaultFlags &faults)
 {
     des::EventQueue queue;
-    simt::Device device(queue, simt::DeviceConfig{});
+    simt::DeviceConfig dcfg;
+    faults.apply(dcfg);
+    simt::Device device(queue, dcfg);
     search::SearchService service(index);
 
     core::RhythmConfig cfg;
@@ -43,7 +45,10 @@ runIsolated(search::InvertedIndex &index, search::PageType type,
     cfg.backendOnDevice = true; // Titan B
     cfg.networkOverPcie = false;
     cfg.laneSample = 128;
+    faults.apply(cfg);
     core::RhythmServer server(queue, device, service, cfg);
+    std::optional<fault::FaultPlan> plan;
+    faults.arm(server, device, queue, plan);
 
     search::QueryGenerator gen(index.corpus(), 11);
     const uint64_t total = static_cast<uint64_t>(cohorts) * cfg.cohortSize;
@@ -78,6 +83,9 @@ main(int argc, char **argv)
     bench::banner("Extension: the Search workload on Rhythm (Titan B)",
                   "Section 8 future work (Search/Email/Chat on Rhythm)");
 
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.recordConfig(report);
+
     std::cout << "Building corpus and inverted index...\n";
     search::Corpus corpus(4000, 4096, 7);
     search::InvertedIndex index(corpus);
@@ -87,8 +95,8 @@ main(int argc, char **argv)
     WeightedHarmonicMean whm;
     for (uint32_t t = 0; t < search::kNumPageTypes; ++t) {
         const search::PageTypeInfo &info = search::pageTable()[t];
-        RunResult r =
-            runIsolated(index, static_cast<search::PageType>(t), 8);
+        RunResult r = runIsolated(
+            index, static_cast<search::PageType>(t), 8, faults);
         whm.add(info.mixPercent, r.throughput);
         const std::string key = bench::slug(info.name);
         report.metric(key + ".throughput", r.throughput);

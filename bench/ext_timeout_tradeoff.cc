@@ -36,10 +36,13 @@ struct RunResult
 };
 
 RunResult
-runAtRate(double arrival_rate, des::Time timeout, uint64_t requests)
+runAtRate(double arrival_rate, des::Time timeout, uint64_t requests,
+          const bench::FaultFlags &faults)
 {
     des::EventQueue queue;
-    simt::Device device(queue, simt::DeviceConfig{});
+    simt::DeviceConfig dcfg;
+    faults.apply(dcfg);
+    simt::Device device(queue, dcfg);
     backend::BankDb db(2000, 5);
     core::BankingService service(db);
 
@@ -50,7 +53,10 @@ runAtRate(double arrival_rate, des::Time timeout, uint64_t requests)
     cfg.backendOnDevice = true; // Titan B
     cfg.networkOverPcie = false;
     cfg.laneSample = 64;
+    faults.apply(cfg);
     core::RhythmServer server(queue, device, service, cfg);
+    std::optional<fault::FaultPlan> plan;
+    faults.arm(server, device, queue, plan);
 
     specweb::WorkloadGenerator gen(db, 31);
     auto sessions = server.sessions().populate(8192, 2000);
@@ -107,6 +113,9 @@ main(int argc, char **argv)
     bench::banner("Extension: cohort timeout vs latency/efficiency",
                   "Sections 1/3.1 (delay requests to form cohorts)");
 
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.recordConfig(report);
+
     for (const auto &[label, prefix, rate, requests] :
          {std::tuple<const char *, const char *, double, uint64_t>{
               "LOW arrival rate (100K reqs/s)", "low", 100e3, 20000},
@@ -115,8 +124,9 @@ main(int argc, char **argv)
         TableWriter table({"timeout ms", "KReqs/s", "mean latency ms",
                            "p99 latency ms", "avg cohort fill"});
         for (double timeout_ms : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-            RunResult r = runAtRate(
-                rate, des::fromSeconds(timeout_ms / 1e3), requests);
+            RunResult r =
+                runAtRate(rate, des::fromSeconds(timeout_ms / 1e3),
+                          requests, faults);
             table.addRow({bench::fmt(timeout_ms, 2),
                           bench::fmt(r.throughput / 1e3, 0),
                           bench::fmt(r.meanLatencyMs, 2),

@@ -38,6 +38,9 @@ main(int argc, char **argv)
     opts.cohorts = 10;
     opts.users = 2000;
     opts.laneSample = 128;
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.apply(opts);
+    faults.recordConfig(report);
 
     TableWriter table({"request type", "resp KB / buffer KB",
                        "fit %", "norm throughput (vs i7-8w)",

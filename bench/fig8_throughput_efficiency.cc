@@ -51,6 +51,9 @@ main(int argc, char **argv)
     opts.cohorts = 10;
     opts.users = 2000;
     opts.laneSample = 128;
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.apply(opts);
+    faults.recordConfig(report);
     for (const auto &variant :
          {platform::titanA(), platform::titanB(), platform::titanC()}) {
         platform::TitanWorkloadResult r =

@@ -25,6 +25,9 @@ main(int argc, char **argv)
     opts.cohorts = 10;
     opts.users = 2000;
     opts.laneSample = 128;
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.apply(opts);
+    faults.recordConfig(report);
 
     TableWriter table({"request type", "achieved KReqs/s",
                        "PCIe bound KReqs/s", "achieved/bound %",

@@ -48,6 +48,9 @@ main(int argc, char **argv)
     opts.cohorts = 10;
     opts.users = 2000;
     opts.laneSample = 128;
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.apply(opts);
+    faults.recordConfig(report);
 
     TableWriter net({"platform", "KReqs/s", "network Gbps (paper)",
                      "with 80% HTML compression Gbps"});

@@ -20,6 +20,9 @@ main(int argc, char **argv)
     bench::banner("Section 6.4: cohort size sensitivity",
                   "Section 6.4 (4096 balances throughput vs memory)");
 
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.recordConfig(report);
+
     TableWriter table({"cohort size", "KReqs/s", "avg latency ms",
                        "device util", "pool memory MiB"});
     const uint32_t sizes[] = {256, 512, 1024, 2048, 4096, 8192};
@@ -30,6 +33,7 @@ main(int argc, char **argv)
         opts.cohorts = std::max<uint32_t>(6, 32768 / size);
         opts.users = 2000;
         opts.laneSample = std::min<uint32_t>(size, 128);
+        faults.apply(opts);
 
         platform::TypeRunResult r = platform::runIsolatedType(
             b, specweb::RequestType::AccountSummary, opts);

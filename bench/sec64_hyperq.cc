@@ -21,6 +21,9 @@ main(int argc, char **argv)
     bench::banner("Section 6.4: HyperQ ablation",
                   "Section 6.4 (single work queue vs 32 HyperQ queues)");
 
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.recordConfig(report);
+
     TableWriter table({"hardware queues", "KReqs/s", "avg latency ms",
                        "device util"});
     for (int queues : {1, 2, 4, 8, 16, 32}) {
@@ -31,6 +34,7 @@ main(int argc, char **argv)
         opts.cohorts = 24;
         opts.users = 2000;
         opts.laneSample = 128;
+        faults.apply(opts);
         platform::TypeRunResult r = platform::runIsolatedType(
             b, specweb::RequestType::CheckDetailHtml, opts);
         table.addRow({std::to_string(queues),

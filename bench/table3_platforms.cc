@@ -82,6 +82,9 @@ main(int argc, char **argv)
     opts.cohorts = 12;
     opts.users = 2000;
     opts.laneSample = 128;
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.apply(opts);
+    faults.recordConfig(report);
     const platform::TitanVariant variants[] = {
         platform::titanA(), platform::titanB(), platform::titanC()};
     for (size_t v = 0; v < 3; ++v) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace rhythm::backend {
@@ -319,6 +320,99 @@ BankDb::placeCheckOrder(uint64_t user_id, uint64_t order_id)
         }
     }
     return false;
+}
+
+namespace {
+
+/** Folds one length-prefixed string into both accumulators. */
+void
+hashString(util::Fnv1a64 &f, util::Mix64 &m, std::string_view s)
+{
+    f.update(s.size());
+    m.update(s.size());
+    uint64_t word = 0;
+    int shift = 0;
+    for (char c : s) {
+        word |= static_cast<uint64_t>(static_cast<uint8_t>(c)) << shift;
+        shift += 8;
+        if (shift == 64) {
+            f.update(word);
+            m.update(word);
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) {
+        f.update(word);
+        m.update(word);
+    }
+}
+
+void
+hashWord(util::Fnv1a64 &f, util::Mix64 &m, uint64_t word)
+{
+    f.update(word);
+    m.update(word);
+}
+
+} // namespace
+
+uint64_t
+BankDb::digest() const
+{
+    util::Fnv1a64 f;
+    util::Mix64 m;
+    hashWord(f, m, numUsers_);
+    hashWord(f, m, nextTxId_);
+    hashWord(f, m, nextPayeeId_);
+    hashWord(f, m, nextPaymentId_);
+    hashWord(f, m, nextOrderId_);
+    for (const UserData &u : users_) {
+        hashString(f, m, u.profile.name);
+        hashString(f, m, u.profile.address);
+        hashString(f, m, u.profile.email);
+        hashString(f, m, u.profile.phone);
+        hashString(f, m, u.profile.password);
+        for (const Account *a : {&u.checking, &u.savings}) {
+            hashWord(f, m, a->accountId);
+            hashWord(f, m, static_cast<uint64_t>(a->balanceCents));
+        }
+        hashWord(f, m, u.txs.size());
+        for (const Transaction &tx : u.txs) {
+            hashWord(f, m, tx.txId);
+            hashWord(f, m, tx.accountId);
+            hashWord(f, m, static_cast<uint64_t>(tx.amountCents));
+            hashWord(f, m, tx.date);
+            hashWord(f, m, tx.hasCheck ? 1 : 0);
+            hashString(f, m, tx.description);
+        }
+        hashWord(f, m, u.payees.size());
+        for (const Payee &p : u.payees) {
+            hashWord(f, m, p.payeeId);
+            hashWord(f, m, p.externalAccount);
+            hashString(f, m, p.name);
+            hashString(f, m, p.address);
+        }
+        hashWord(f, m, u.payments.size());
+        for (const BillPayment &p : u.payments) {
+            hashWord(f, m, p.paymentId);
+            hashWord(f, m, p.payeeId);
+            hashWord(f, m, static_cast<uint64_t>(p.amountCents));
+            hashWord(f, m, p.date);
+            hashWord(f, m, p.executed ? 1 : 0);
+        }
+        hashWord(f, m, u.orders.size());
+        for (const CheckOrder &o : u.orders) {
+            hashWord(f, m, o.orderId);
+            hashWord(f, m, o.style);
+            hashWord(f, m, o.quantity);
+            hashWord(f, m, o.placed ? 1 : 0);
+        }
+    }
+    // Fold the FNV digest into the mix chain so a collision needs to
+    // defeat both structurally independent accumulators at once.
+    m.update(f.digest());
+    return m.digest();
 }
 
 const CheckOrder *

@@ -173,6 +173,17 @@ class BankDb
     /** Returns a check order by id, or nullptr. */
     const CheckOrder *checkOrder(uint64_t order_id) const;
 
+    /**
+     * Order-sensitive fingerprint of the complete database state
+     * (profiles, balances, ledgers, payees, payments, orders and the
+     * id allocators). Two databases with equal digests went through
+     * the same mutation history; the recovery-equivalence harness
+     * compares digests between faulty and fault-free runs. BankDb is
+     * plainly copyable, so a crash-recovery snapshot is an ordinary
+     * copy and restore is copy-assignment.
+     */
+    uint64_t digest() const;
+
     /** Account id of a user's checking account. */
     static uint64_t checkingId(uint64_t user_id) { return user_id * 10 + 1; }
     /** Account id of a user's savings account. */

@@ -1,0 +1,180 @@
+#include "backend/journal.hh"
+
+#include <charconv>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace rhythm::backend {
+namespace {
+
+/** Formats a 64-bit checksum as 16 lowercase hex digits. */
+void
+appendHex16(std::string &out, uint64_t v)
+{
+    static const char kDigits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(kDigits[(v >> shift) & 0xf]);
+}
+
+/** Parses a decimal uint64 ending at '|'. @return false on junk. */
+bool
+parseU64Field(std::string_view data, size_t &pos, uint64_t &out)
+{
+    const size_t bar = data.find('|', pos);
+    if (bar == std::string_view::npos || bar == pos)
+        return false;
+    const char *first = data.data() + pos;
+    const char *last = data.data() + bar;
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{} || ptr != last)
+        return false;
+    pos = bar + 1;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+journalChecksum(std::string_view bytes)
+{
+    util::Fnv1a64 f;
+    util::Mix64 m;
+    uint64_t word = 0;
+    int shift = 0;
+    for (char c : bytes) {
+        word |= static_cast<uint64_t>(static_cast<uint8_t>(c)) << shift;
+        shift += 8;
+        if (shift == 64) {
+            f.update(word);
+            m.update(word);
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) {
+        f.update(word);
+        m.update(word);
+    }
+    f.update(bytes.size());
+    m.update(bytes.size());
+    m.update(f.digest());
+    return m.digest();
+}
+
+void
+Journal::append(const JournalRecord &record)
+{
+    lastRecordOffset_ = data_.size();
+    // The checksummed region runs from <kind> through <payload>.
+    std::string body;
+    body.reserve(record.payload.size() + 32);
+    body.push_back(record.kind);
+    body.push_back('|');
+    body += std::to_string(record.token);
+    body.push_back('|');
+    body += std::to_string(record.payload.size());
+    body.push_back('|');
+    body += record.payload;
+
+    data_ += "J|";
+    data_ += body;
+    data_.push_back('|');
+    appendHex16(data_, journalChecksum(body));
+    data_.push_back('\n');
+    ++records_;
+}
+
+void
+Journal::tearLastRecord()
+{
+    if (data_.empty())
+        return;
+    RHYTHM_ASSERT(lastRecordOffset_ < data_.size());
+    const size_t record_bytes = data_.size() - lastRecordOffset_;
+    data_.resize(lastRecordOffset_ + record_bytes / 2);
+}
+
+void
+Journal::clear()
+{
+    data_.clear();
+    records_ = 0;
+    lastRecordOffset_ = 0;
+}
+
+void
+Journal::setData(std::string data, uint64_t records)
+{
+    data_ = std::move(data);
+    records_ = records;
+    lastRecordOffset_ = 0;
+}
+
+Journal::ScanResult
+Journal::scan(std::string_view data)
+{
+    ScanResult result;
+    size_t pos = 0;
+    while (pos < data.size()) {
+        const size_t record_start = pos;
+        const auto torn = [&]() {
+            result.torn = true;
+            result.tornBytes = data.size() - record_start;
+            return result;
+        };
+
+        if (data.size() - pos < 4 || data[pos] != 'J' ||
+            data[pos + 1] != '|')
+            return torn();
+        pos += 2;
+        const size_t body_start = pos;
+
+        JournalRecord rec;
+        rec.kind = data[pos];
+        if ((rec.kind != 'B' && rec.kind != 'C' && rec.kind != 'D') ||
+            pos + 1 >= data.size() || data[pos + 1] != '|')
+            return torn();
+        pos += 2;
+
+        uint64_t len = 0;
+        if (!parseU64Field(data, pos, rec.token) ||
+            !parseU64Field(data, pos, len))
+            return torn();
+
+        // Payload + '|' + 16 hex digits + '\n'.
+        if (data.size() - pos < len + 18)
+            return torn();
+        rec.payload.assign(data.data() + pos, len);
+        pos += len;
+        if (data[pos] != '|')
+            return torn();
+        const size_t body_end = pos;
+        ++pos;
+
+        uint64_t sum = 0;
+        for (int i = 0; i < 16; ++i) {
+            const char c = data[pos + i];
+            uint64_t nibble;
+            if (c >= '0' && c <= '9')
+                nibble = static_cast<uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                nibble = static_cast<uint64_t>(c - 'a') + 10;
+            else
+                return torn();
+            sum = (sum << 4) | nibble;
+        }
+        pos += 16;
+        if (data[pos] != '\n')
+            return torn();
+        ++pos;
+
+        if (sum != journalChecksum(data.substr(body_start,
+                                               body_end - body_start)))
+            return torn();
+        result.records.push_back(std::move(rec));
+    }
+    return result;
+}
+
+} // namespace rhythm::backend

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Write-ahead command journal for the recoverable backend.
+ *
+ * The journal is the durability primitive of the crash-recovery layer
+ * (DESIGN §6g): every mutating backend operation and every session
+ * mutation is appended as one length-prefixed, checksummed record
+ * BEFORE its response is released (log-before-respond). A crash then
+ * loses at most the single record being written; replaying the journal
+ * on top of the last checkpoint reconstructs the exact pre-crash state.
+ *
+ * Record wire format (ASCII framing, binary-safe payload):
+ *
+ *     J|<kind>|<token>|<len>|<payload>|<sum16hex>\n
+ *
+ * where <kind> is one byte ('B' backend op, 'C' session create,
+ * 'D' session destroy), <token> is the decimal idempotency token,
+ * <len> is the decimal payload byte count (the payload may contain any
+ * byte, including '|' and '\n' — framing never scans it), and
+ * <sum16hex> is the 64-bit checksum of everything from <kind> through
+ * <payload> as 16 hex digits. The checksum pairs the repo's two
+ * structurally independent streaming hashers (util::Fnv1a64 and
+ * util::Mix64), the same construction the warp profile cache trusts
+ * for content equality.
+ *
+ * Torn writes: a crash mid-append leaves a prefix of the final record
+ * on disk. scan() detects this — any record that fails to parse or
+ * checksum at the tail is reported as torn and dropped; the client's
+ * retry (same idempotency token) re-executes the lost operation, so
+ * the end-to-end effect is still exactly-once.
+ */
+
+#ifndef RHYTHM_BACKEND_JOURNAL_HH
+#define RHYTHM_BACKEND_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rhythm::backend {
+
+/** One journal entry before framing / after parsing. */
+struct JournalRecord
+{
+    /** 'B' = backend op, 'C' = session create, 'D' = session destroy. */
+    char kind = 'B';
+    /** Idempotency token ('B') or session id ('C'/'D'). */
+    uint64_t token = 0;
+    /**
+     * 'B': wire request, '\x1f', wire response.
+     * 'C': decimal user id. 'D': empty.
+     */
+    std::string payload;
+};
+
+/** Checksum used by the record framing (exposed for tests). */
+uint64_t journalChecksum(std::string_view bytes);
+
+/**
+ * The in-memory journal "device". Append is the only mutation the
+ * serving path performs; clear() models checkpoint truncation and
+ * tearLastRecord() models the partial write a crash leaves behind.
+ */
+class Journal
+{
+  public:
+    /** Appends one framed record. */
+    void append(const JournalRecord &record);
+
+    /**
+     * Simulates a torn final write: keeps only the first half of the
+     * last appended record's bytes. No-op on an empty journal.
+     */
+    void tearLastRecord();
+
+    /** Records appended since the last clear(). */
+    uint64_t records() const { return records_; }
+
+    /** Journal size in bytes. */
+    uint64_t bytes() const { return data_.size(); }
+
+    /** Checkpoint truncation. */
+    void clear();
+
+    /** Raw journal bytes (what scan() parses). */
+    const std::string &data() const { return data_; }
+
+    /** Replaces the raw bytes (recovery drops a torn tail; tests build
+     *  corrupt journals directly). @p records is the parsed count of
+     *  the new image. */
+    void setData(std::string data, uint64_t records = 0);
+
+    /** Result of parsing a journal image. */
+    struct ScanResult
+    {
+        std::vector<JournalRecord> records;
+        /** True when the tail failed to parse/checksum (dropped). */
+        bool torn = false;
+        /** Bytes of the dropped tail. */
+        uint64_t tornBytes = 0;
+    };
+
+    /**
+     * Parses a journal image into records. Parsing stops at the first
+     * record that is incomplete or fails its checksum; everything from
+     * that point on is reported as the torn tail (after an
+     * undetectable boundary nothing downstream can be trusted).
+     */
+    static ScanResult scan(std::string_view data);
+
+  private:
+    std::string data_;
+    uint64_t records_ = 0;
+    size_t lastRecordOffset_ = 0;
+};
+
+} // namespace rhythm::backend
+
+#endif // RHYTHM_BACKEND_JOURNAL_HH

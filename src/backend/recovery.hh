@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Crash recovery for the backend: checkpoint + write-ahead journal +
+ * idempotency-token memo (DESIGN §6g).
+ *
+ * RecoverableBackend wraps a BackendService/BankDb pair and gives the
+ * pipeline exactly-once semantics for mutating operations under three
+ * conditions the base service cannot survive:
+ *
+ *  - **Crashes** (fault::Site::BackendCrash): all in-memory state is
+ *    lost. Recovery restores the last checkpoint and re-executes the
+ *    journal; because BankDb and SessionArray are deterministic, the
+ *    rebuilt state is bit-identical to the pre-crash state.
+ *  - **Torn writes** (fault::Site::JournalTorn): the crash interrupts
+ *    the final journal append. scan() drops the unparsable tail; the
+ *    in-flight operation is simply lost — and because its response was
+ *    never released (log-before-respond), the client retry with the
+ *    same idempotency token re-executes it, applying it exactly once.
+ *  - **Duplicate delivery** (watchdog-hedged cohorts, client retries):
+ *    every mutating operation carries an idempotency token; a token
+ *    already in the memo returns the recorded response without
+ *    touching the database.
+ *
+ * The memo is checkpointed with the database and rebuilt from the
+ * journal on recovery, so a hedge replay arriving after a crash (or
+ * after a checkpoint truncated the journal) still deduplicates. Reads
+ * are not journaled or memoized — they are side-effect free and
+ * re-execute deterministically.
+ *
+ * Session state (the device-resident session array) is part of the
+ * crash domain: its mutations are journaled through the hooks
+ * installed by core::attachSessionRecovery, and replay re-executes
+ * create() against the restored array + RNG state, reproducing the
+ * original session ids exactly.
+ *
+ * Cost model: journal appends and memo lookups are host-side bookkeeping
+ * off the request's critical path (a real deployment writes the journal
+ * from a separate flusher thread), so they charge nothing to the trace
+ * recorder — with faults off, a recovery-wrapped backend produces
+ * byte-identical simulated output to a bare one.
+ */
+
+#ifndef RHYTHM_BACKEND_RECOVERY_HH
+#define RHYTHM_BACKEND_RECOVERY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "backend/journal.hh"
+#include "backend/service.hh"
+#include "des/time.hh"
+#include "fault/plan.hh"
+#include "simt/trace.hh"
+
+namespace rhythm::backend {
+
+/** Recovery layer tuning. */
+struct RecoveryConfig
+{
+    /**
+     * Journaled records between automatic checkpoints (0 = only
+     * explicit checkpoint() calls). Each checkpoint deep-copies the
+     * database + session array and truncates the journal, bounding
+     * replay time after a crash.
+     */
+    uint64_t checkpointInterval = 4096;
+};
+
+/** Counters for reports and the chaos harness. */
+struct RecoveryStats
+{
+    uint64_t journaledRecords = 0;
+    uint64_t memoHits = 0;
+    uint64_t crashes = 0;
+    uint64_t tornRecords = 0;
+    uint64_t replayedRecords = 0;
+    /** Replayed records whose re-execution disagreed with the journal
+     *  (always 0 for a deterministic backend; a nonzero value means
+     *  the recovery contract is broken). */
+    uint64_t replayMismatches = 0;
+    uint64_t checkpoints = 0;
+    /** Torn-tail operations re-executed by the client retry path. */
+    uint64_t reexecutions = 0;
+};
+
+/**
+ * Session-array participation in the crash domain. The backend layer
+ * cannot see core::SessionArray (it links the other way), so the
+ * rhythm layer injects closures: checkpoint/restore capture and
+ * reinstate the array state, replayCreate/replayDestroy re-execute
+ * journaled mutations during recovery.
+ */
+struct SessionHooks
+{
+    std::function<void()> checkpoint;
+    std::function<void()> restore;
+    /** Re-executes a create for @p user_id; returns the session id. */
+    std::function<uint64_t(uint64_t user_id)> replayCreate;
+    std::function<bool(uint64_t session_id)> replayDestroy;
+};
+
+/**
+ * The recoverable backend. Not thread safe (single-threaded event
+ * loop, like everything it wraps).
+ */
+class RecoverableBackend
+{
+  public:
+    /**
+     * Wraps a service and its database. Takes an immediate checkpoint
+     * of @p db as the recovery baseline — construct (or call
+     * checkpoint()) only after deterministic population is done.
+     */
+    RecoverableBackend(BackendService &service, BankDb &db,
+                       RecoveryConfig config = {});
+
+    /**
+     * Installs the fault plan consulted for Site::BackendCrash (once
+     * per journaled mutating operation) and Site::JournalTorn (once
+     * per fired crash). nullptr disarms.
+     */
+    void setFaultPlan(fault::FaultPlan *plan,
+                      std::function<des::Time()> clock = nullptr);
+
+    /** Brings a session array into the crash domain (see SessionHooks).
+     *  Re-checkpoints so the baseline includes the sessions. */
+    void setSessionHooks(SessionHooks hooks);
+
+    /**
+     * Executes one wire request with exactly-once semantics for
+     * mutating operations (keyed by @p token). Read-only requests pass
+     * straight through.
+     */
+    std::string execute(std::string_view request, uint64_t token,
+                        simt::TraceRecorder &rec);
+
+    /** Journals a session create (called via the array's mutation
+     *  hook; ignored while recovery itself is replaying). */
+    void journalSessionCreate(uint64_t session_id, uint64_t user_id);
+
+    /** Journals a session destroy. */
+    void journalSessionDestroy(uint64_t session_id);
+
+    /** Deep-copies db + sessions + memo and truncates the journal. */
+    void checkpoint();
+
+    /**
+     * Simulates a crash-restart: discards all live state, restores the
+     * last checkpoint and replays the journal. @p torn additionally
+     * tears the final journal record first (the partial write a real
+     * crash leaves). Exposed for tests; the serving path triggers it
+     * from the fault plan.
+     */
+    void crashAndRecover(bool torn);
+
+    /** True while crashAndRecover is replaying the journal. */
+    bool replaying() const { return replaying_; }
+
+    const RecoveryStats &stats() const { return stats_; }
+    const Journal &journal() const { return journal_; }
+
+    /** True for operations that mutate database state (and are
+     *  therefore journaled + memoized). */
+    static bool isMutating(Op op);
+
+  private:
+    void appendRecord(char kind, uint64_t token, std::string payload);
+    void maybeCheckpoint();
+
+    BackendService &service_;
+    BankDb &db_;
+    RecoveryConfig config_;
+    fault::FaultPlan *faultPlan_ = nullptr;
+    std::function<des::Time()> clock_;
+    SessionHooks sessionHooks_;
+
+    Journal journal_;
+    std::unordered_map<uint64_t, std::string> memo_;
+    /** Checkpointed state: database copy + memo at checkpoint time
+     *  (session state is captured inside the hooks' closures). */
+    std::unique_ptr<BankDb> dbCheckpoint_;
+    std::unordered_map<uint64_t, std::string> memoCheckpoint_;
+
+    RecoveryStats stats_;
+    bool replaying_ = false;
+};
+
+} // namespace rhythm::backend
+
+#endif // RHYTHM_BACKEND_RECOVERY_HH

@@ -75,6 +75,15 @@ class BackendService
     /** Requests answered "ERR|unavailable" by the installed plan. */
     uint64_t faultsInjected() const { return faultsInjected_; }
 
+    /** The installed fault plan (nullptr when disarmed). The recovery
+     *  layer disarms it around journal replay — replayed operations
+     *  already passed injection once and must reproduce their recorded
+     *  outcome, not roll new faults. */
+    fault::FaultPlan *faultPlan() const { return faultPlan_; }
+
+    /** The clock installed alongside the fault plan. */
+    const std::function<des::Time()> &faultClock() const { return clock_; }
+
   private:
     BankDb &db_;
     uint64_t requestsServed_ = 0;

@@ -11,14 +11,22 @@ installDeviceFaults(simt::Device &device, FaultPlan &plan,
         const Decision d = plan.at(Site::StreamStall, queue.now());
         return d.fire ? d.delay : 0;
     };
-    hooks.copyExtra = [&plan, &queue](bool, uint64_t,
-                                      des::Time nominal) -> des::Time {
+    // With the frame-CRC link model on, Site::PcieCorrupt is consulted
+    // per frame through frameCorrupt; the legacy whole-transfer replay
+    // path must then NOT consult it again, or one corruption schedule
+    // would be drawn twice per copy.
+    const bool frame_crc = device.config().pcieCrcEnabled;
+    hooks.copyExtra = [&plan, &queue, frame_crc](
+                          bool, uint64_t, des::Time nominal) -> des::Time {
         des::Time extra = 0;
-        const Decision corrupt = plan.at(Site::PcieCorrupt, queue.now());
-        if (corrupt.fire) {
-            // Corruption is detected by the link-layer LCRC and the
-            // transfer replays: the payload crosses the wire twice.
-            extra += nominal;
+        if (!frame_crc) {
+            const Decision corrupt =
+                plan.at(Site::PcieCorrupt, queue.now());
+            if (corrupt.fire) {
+                // Corruption is detected by the link-layer LCRC and the
+                // transfer replays: the payload crosses the wire twice.
+                extra += nominal;
+            }
         }
         const Decision degrade = plan.at(Site::PcieDegrade, queue.now());
         if (degrade.fire && degrade.factor > 1.0) {
@@ -27,6 +35,11 @@ installDeviceFaults(simt::Device &device, FaultPlan &plan,
         }
         return extra;
     };
+    if (frame_crc) {
+        hooks.frameCorrupt = [&plan, &queue](bool) -> bool {
+            return plan.at(Site::PcieCorrupt, queue.now()).fire;
+        };
+    }
     device.setFaultHooks(std::move(hooks));
 }
 

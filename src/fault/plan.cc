@@ -27,6 +27,9 @@ siteName(Site site)
       case Site::PcieDegrade:      return "pcie-degrade";
       case Site::StreamStall:      return "stream-stall";
       case Site::ClientDisconnect: return "client-disconnect";
+      case Site::BackendCrash:     return "backend-crash";
+      case Site::JournalTorn:      return "journal-torn";
+      case Site::KernelHang:       return "kernel-hang";
     }
     return "unknown";
 }

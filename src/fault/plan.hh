@@ -55,10 +55,24 @@ enum class Site : uint32_t {
     /** The client disconnects mid-pipeline; the response cannot be
      *  delivered. Consulted once per accepted request. */
     ClientDisconnect,
+    /** The backend process crashes and restarts, losing all in-memory
+     *  state; the recovery layer restores the last checkpoint and
+     *  replays its journal. Consulted once per journaled mutating
+     *  backend operation. */
+    BackendCrash,
+    /** The crash tears the final journal record (a partial write hit
+     *  the disk): replay must detect and drop it. Consulted once per
+     *  fired BackendCrash, as a sub-decision. */
+    JournalTorn,
+    /** A cohort's kernel wedges (infinite-loop-equivalent straggler):
+     *  the stream makes no progress until the hang resolves; the
+     *  watchdog hedges the cohort instead of waiting. Consulted once
+     *  per cohort launch when a plan is armed. */
+    KernelHang,
 };
 
 /** Number of distinct injection sites. */
-inline constexpr size_t kNumSites = 6;
+inline constexpr size_t kNumSites = 9;
 
 /** Printable site name. */
 std::string_view siteName(Site site);

@@ -203,9 +203,22 @@ MetricsRegistry::writeJson(JsonWriter &w) const
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::flatten(std::string_view exclude_prefix) const
 {
+    if (exclude_prefix.empty())
+        return flatten(std::span<const std::string_view>{});
+    return flatten(std::span<const std::string_view>(&exclude_prefix, 1));
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::flatten(
+    std::span<const std::string_view> exclude_prefixes) const
+{
     const auto excluded = [&](const std::string &name) {
-        return !exclude_prefix.empty() &&
-               std::string_view(name).starts_with(exclude_prefix);
+        const std::string_view sv(name);
+        for (const std::string_view prefix : exclude_prefixes) {
+            if (sv.starts_with(prefix))
+                return true;
+        }
+        return false;
     };
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::pair<std::string, double>> out;

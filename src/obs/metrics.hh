@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,20 @@
 #include "obs/json.hh"
 
 namespace rhythm::obs {
+
+/**
+ * Metric-name prefixes excluded from baseline-gated outputs. Each
+ * family exists only when an off-by-default feature is on (profile
+ * cache, crash recovery, watchdog hedging, PCIe frame CRC), and the
+ * outputs the equivalence/bench gates byte-compare must be identical
+ * whether the feature ran or not.
+ */
+inline constexpr std::string_view kBaselineExcludedPrefixes[] = {
+    "profile_cache.",
+    "recovery.",
+    "watchdog.",
+    "pcie.crc.",
+};
 
 /** A monotonically increasing counter (thread-safe). */
 class Counter
@@ -173,6 +188,14 @@ class MetricsRegistry
      */
     std::vector<std::pair<std::string, double>>
     flatten(std::string_view exclude_prefix = {}) const;
+
+    /**
+     * Multi-prefix variant: omits metrics whose name starts with ANY
+     * of @p exclude_prefixes (pass kBaselineExcludedPrefixes for the
+     * canonical baseline-gated set).
+     */
+    std::vector<std::pair<std::string, double>>
+    flatten(std::span<const std::string_view> exclude_prefixes) const;
 
   private:
     mutable std::mutex mutex_; //!< Guards the three name maps.

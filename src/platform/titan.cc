@@ -1,8 +1,12 @@
 #include "platform/titan.hh"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "backend/protocol.hh"
+#include "backend/recovery.hh"
+#include "fault/device_injector.hh"
 #include "obs/obs.hh"
 #include "rhythm/banking_service.hh"
 #include "specweb/workload.hh"
@@ -84,16 +88,33 @@ runIsolatedType(const TitanVariant &variant, specweb::RequestType type,
     if (options.profileCacheEntries > 0)
         cfg.traceTemplateCacheEntries = options.profileCacheEntries;
 
+    // Fault/robustness overlay (quiet by default: the healthy run's
+    // configuration and outputs are untouched).
+    if (options.retryBudget > 0)
+        cfg.backendRetryBudget = options.retryBudget;
+    if (options.watchdogTimeout > 0)
+        cfg.watchdogTimeout = options.watchdogTimeout;
+    simt::DeviceConfig device_cfg = variant.device;
+    if (options.pcieFrameCrc)
+        device_cfg.pcieCrcEnabled = true;
+
     des::EventQueue queue;
     simt::ProfileCache profile_cache(
         std::max<size_t>(options.profileCacheEntries, 1));
-    simt::Device device(queue, variant.device);
+    simt::Device device(queue, device_cfg);
     if (options.profileCacheEntries > 0)
         device.engine().setProfileCache(&profile_cache);
     backend::BankDb db(options.users, options.seed);
     core::BankingService service(db);
     core::RhythmServer server(queue, device, service, cfg);
     specweb::WorkloadGenerator gen(db, options.seed * 977 + 13);
+
+    std::optional<fault::FaultPlan> plan;
+    if (!options.faults.allQuiet()) {
+        plan.emplace(options.faults);
+        server.setFaultPlan(&*plan);
+        fault::installDeviceFaults(device, *plan, queue);
+    }
 
     // Pre-populate sessions (the paper's isolation methodology): logout
     // consumes a fresh session per request, the rest reuse a pool.
@@ -106,6 +127,24 @@ runIsolatedType(const TitanVariant &variant, specweb::RequestType type,
     } else if (type != specweb::RequestType::Login) {
         sessions = server.sessions().populate(
             std::min<uint64_t>(total_requests, 8192), options.users);
+    }
+
+    // Crash-recovery layer: journals backend mutations and session
+    // create/destroy with exactly-once idempotency semantics. Attached
+    // after pre-population so the populated sessions live inside the
+    // baseline checkpoint.
+    std::unique_ptr<backend::RecoverableBackend> recoverable;
+    if (options.recovery) {
+        backend::RecoveryConfig rcfg;
+        rcfg.checkpointInterval = options.checkpointInterval;
+        recoverable = std::make_unique<backend::RecoverableBackend>(
+            service.backendService(), db, rcfg);
+        if (plan) {
+            recoverable->setFaultPlan(
+                &*plan, [&queue]() { return queue.now(); });
+        }
+        core::attachSessionRecovery(*recoverable, server.sessions());
+        service.setRecovery(recoverable.get());
     }
 
     uint64_t issued = 0;

@@ -17,6 +17,7 @@
 #include <array>
 #include <string>
 
+#include "fault/plan.hh"
 #include "rhythm/server.hh"
 #include "simt/kernel.hh"
 #include "specweb/types.hh"
@@ -100,6 +101,31 @@ struct IsolatedRunOptions
      * contract), only host wall-clock changes.
      */
     uint32_t profileCacheEntries = 0;
+
+    // ---- Fault / robustness overlay (all off by default, keeping the
+    // ---- healthy paper-exact run) ----------------------------------
+
+    /**
+     * Fault schedule. When non-quiet, the run arms a fresh
+     * FaultPlan(faults) on both the server sites and the device
+     * injector, so every isolated type run draws an identical
+     * schedule.
+     */
+    fault::FaultConfig faults;
+    /** Overrides RhythmConfig::backendRetryBudget when non-zero. */
+    uint32_t retryBudget = 0;
+    /** Overrides RhythmConfig::watchdogTimeout when non-zero. */
+    des::Time watchdogTimeout = 0;
+    /** Turns on the PCIe frame-CRC/retransmit link model. */
+    bool pcieFrameCrc = false;
+    /**
+     * Attaches a write-ahead-journaled RecoverableBackend (with
+     * session recovery) so backend mutations apply exactly once across
+     * injected crashes and watchdog hedges.
+     */
+    bool recovery = false;
+    /** Journaled mutations per recovery checkpoint. */
+    uint64_t checkpointInterval = 4096;
 };
 
 /**

@@ -1,6 +1,10 @@
 #include "rhythm/banking_service.hh"
 
+#include <memory>
+
 #include "backend/protocol.hh"
+#include "backend/recovery.hh"
+#include "rhythm/session_array.hh"
 #include "specweb/quickpay.hh"
 
 namespace rhythm::core {
@@ -47,6 +51,49 @@ BankingService::executeBackend(std::string_view request,
                                simt::TraceRecorder &rec)
 {
     return backend_.execute(request, rec);
+}
+
+std::string
+BankingService::executeBackend(std::string_view request, uint64_t token,
+                               simt::TraceRecorder &rec)
+{
+    if (recovery_)
+        return recovery_->execute(request, token, rec);
+    return backend_.execute(request, rec);
+}
+
+void
+attachSessionRecovery(backend::RecoverableBackend &recovery,
+                      SessionArray &sessions)
+{
+    sessions.setMutationHook(
+        [&recovery](bool created, uint64_t sid, uint64_t user) {
+            if (created)
+                recovery.journalSessionCreate(sid, user);
+            else
+                recovery.journalSessionDestroy(sid);
+        });
+
+    backend::SessionHooks hooks;
+    // The captured snapshot lives in the closures; checkpoint()
+    // overwrites it, restore() reinstates it.
+    auto snap =
+        std::make_shared<SessionArray::Snapshot>(sessions.snapshot());
+    hooks.checkpoint = [&sessions, snap]() { *snap = sessions.snapshot(); };
+    hooks.restore = [&sessions, snap]() { sessions.restore(*snap); };
+    // Replay re-executes create() against the restored array + RNG
+    // state, which deterministically reproduces the original probe
+    // sequence — and therefore the original session id, which the
+    // recovery layer asserts against the journaled one.
+    hooks.replayCreate = [&sessions](uint64_t user) -> uint64_t {
+        simt::NullTracer null;
+        return sessions.create(user, null);
+    };
+    hooks.replayDestroy = [&sessions](uint64_t sid) -> bool {
+        simt::NullTracer null;
+        return sessions.destroy(sid, null);
+    };
+    recovery.setSessionHooks(std::move(hooks));
 }
 
 uint32_t

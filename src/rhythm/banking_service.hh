@@ -13,7 +13,13 @@
 #include "rhythm/service.hh"
 #include "specweb/banking.hh"
 
+namespace rhythm::backend {
+class RecoverableBackend;
+}
+
 namespace rhythm::core {
+
+class SessionArray;
 
 /** Banking on Rhythm. */
 class BankingService : public Service
@@ -57,6 +63,23 @@ class BankingService : public Service
     std::string executeBackend(std::string_view request,
                                simt::TraceRecorder &rec) override;
 
+    std::string executeBackend(std::string_view request, uint64_t token,
+                               simt::TraceRecorder &rec) override;
+
+    bool backendExactlyOnce() const override { return recovery_ != nullptr; }
+
+    /**
+     * Routes backend execution through a crash-recovery layer (not
+     * owned; nullptr detaches). With a layer attached, mutating
+     * operations are journaled and deduplicated by idempotency token —
+     * backendExactlyOnce() turns true and the pipeline's watchdog may
+     * hedge cohorts safely.
+     */
+    void setRecovery(backend::RecoverableBackend *recovery)
+    {
+        recovery_ = recovery;
+    }
+
     uint32_t backendRequestSlotBytes() const override;
     uint32_t backendResponseSlotBytes() const override;
 
@@ -71,7 +94,18 @@ class BankingService : public Service
   private:
     specweb::BankingApp app_;
     backend::BackendService backend_;
+    backend::RecoverableBackend *recovery_ = nullptr;
 };
+
+/**
+ * Brings a SessionArray into @p recovery's crash domain: installs the
+ * array's mutation hook (journaling every create/destroy) and the
+ * snapshot/restore/replay closures recovery uses to rebuild session
+ * state after a crash. Call after any pre-population (populate draws
+ * from the array's RNG and must be inside the baseline checkpoint).
+ */
+void attachSessionRecovery(backend::RecoverableBackend &recovery,
+                           SessionArray &sessions);
 
 } // namespace rhythm::core
 

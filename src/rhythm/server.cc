@@ -32,6 +32,12 @@ constexpr uint64_t kMinSloSamples = 64;
 /** Instruction weight per thread of a transpose kernel element loop. */
 constexpr uint32_t kTransposeInstsPerThread = 96;
 
+/** Idempotency-token slot widths: token = ((cohort launch ordinal ×
+ *  stage slots + stage) × lane slots + lane) + 1, so tokens are unique
+ *  per logical backend call and stable across retries and hedges. */
+constexpr uint64_t kTokenStageSlots = 64;
+constexpr uint64_t kTokenLaneSlots = 65536;
+
 simt::NullTracer gNull;
 
 /** Scales a kernel profile's totals by a sampling factor. */
@@ -71,9 +77,21 @@ struct RhythmServer::CohortRun
         simt::KernelCost cost;
         uint64_t bytes = 0;
         des::Time delay = 0;
+        /** Injected kernel hang (excised from hedge sequences). */
+        bool hang = false;
+    };
+
+    /** One logical backend call, recorded for hedge replay. */
+    struct BackendCall
+    {
+        uint64_t token = 0;
+        std::string request;
+        std::string response;
     };
 
     std::vector<Cmd> sequence;
+    /** Launch ordinal (seeds this cohort's idempotency tokens). */
+    uint64_t seq = 0;
     /** Simulated time the cohort entered the pipeline. */
     des::Time launchedAt = 0;
     /**
@@ -96,6 +114,23 @@ struct RhythmServer::CohortRun
     size_t responseBeginIdx = 0;
     bool processClosed = false;  //!< Process span already emitted.
     des::Time responseStart = 0; //!< Response-stage span start.
+
+    // ---- Watchdog / hedged execution -------------------------------
+    /** Responses delivered (first-completion-wins guard tripped). */
+    bool delivered = false;
+    /** A hedged re-execution is (or was) in flight. */
+    bool hedged = false;
+    /** Pending watchdog timer; disarmed (cancelled) on delivery so an
+     *  idle timer never extends the simulated run. */
+    des::EventId watchdogEvent;
+    bool watchdogArmed = false;
+    /** Successful backend round trips, recorded only when the watchdog
+     *  is armed so a hedge can replay them through the idempotency
+     *  filter. */
+    std::vector<BackendCall> backendCalls;
+    /** Hedge command sequence (primary's minus injected hangs). */
+    std::vector<Cmd> hedgeSequence;
+    size_t hedgeNextCmd = 0;
 };
 
 RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
@@ -111,6 +146,14 @@ RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
     cohortStreams_.reserve(config_.cohortContexts);
     for (uint32_t i = 0; i < config_.cohortContexts; ++i)
         cohortStreams_.push_back(device_.createStream());
+    if (config_.watchdogTimeout > 0) {
+        // Hedges ride their own streams so a wedged primary cannot
+        // serialize its own rescue. Created only when the watchdog is
+        // armed: the default stream layout stays identical.
+        hedgeStreams_.reserve(config_.cohortContexts);
+        for (uint32_t i = 0; i < config_.cohortContexts; ++i)
+            hedgeStreams_.push_back(device_.createStream());
+    }
 }
 
 RhythmServer::~RhythmServer() = default;
@@ -740,6 +783,7 @@ RhythmServer::launchCohort(CohortContext &ctx)
     ctx.markBusy();
     ++stats_.cohortsLaunched;
     auto run = std::make_shared<CohortRun>();
+    run->seq = cohortSeq_++;
     run->launchedAt = queue_.now();
     if (OBS_ENABLED()) {
         const uint32_t tr = obs::track::kCohortBase + ctx.id();
@@ -753,7 +797,43 @@ RhythmServer::launchCohort(CohortContext &ctx)
         OBS_COUNTER_ADD("server.cohorts_launched", 1);
     }
     executeCohort(ctx, *run);
+    maybeInjectHang(*run, /*hedge=*/false);
     enqueueCohortPipeline(ctx, std::move(run));
+}
+
+void
+RhythmServer::maybeInjectHang(CohortRun &run, bool hedge)
+{
+    std::vector<CohortRun::Cmd> &sequence =
+        hedge ? run.hedgeSequence : run.sequence;
+    if (!faultPlan_)
+        return;
+    const fault::Decision hang =
+        faultPlan_->at(fault::Site::KernelHang, queue_.now());
+    if (!hang.fire)
+        return;
+    ++stats_.kernelHangs;
+    ++stats_.faultsInjected;
+    OBS_COUNTER_ADD("watchdog.kernel_hangs", 1);
+    OBS_INSTANT(obs::track::kEvents, "kernel-hang", "fault",
+                {"cohort", run.seq});
+    // The cohort's first kernel wedges: model it as a huge-but-finite
+    // stall at the front of the command sequence, so the DES always
+    // drains even with the watchdog off. The schedule's delay sets the
+    // stall; a zero-delay schedule stalls long past any plausible
+    // watchdog so the hedge always wins.
+    des::Time stall = hang.delay;
+    if (stall == 0) {
+        stall = config_.watchdogTimeout > 0 ? 8 * config_.watchdogTimeout
+                                            : des::kSecond;
+    }
+    CohortRun::Cmd cmd;
+    cmd.kind = CohortRun::Cmd::Kind::HostDelay;
+    cmd.delay = stall;
+    cmd.hang = true;
+    sequence.insert(sequence.begin(), cmd);
+    if (!hedge)
+        ++run.responseBeginIdx;
 }
 
 void
@@ -767,6 +847,8 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
     run.scale = static_cast<double>(n) / sample;
 
     const int stages = service_.numStages(type);
+    RHYTHM_ASSERT(static_cast<uint64_t>(stages) <= kTokenStageSlots);
+    RHYTHM_ASSERT(sample <= kTokenLaneSlots);
     const uint32_t lane_bytes = service_.responseBufferBytes(type);
 
     CohortBufferConfig buf_cfg;
@@ -806,7 +888,7 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
     // plan is armed. A self-injecting BackendService produces the same
     // "ERR|unavailable" wire response, so both host- and device-path
     // failures funnel through the retry loop below.
-    auto call_backend = [&](const std::string &request,
+    auto call_backend = [&](const std::string &request, uint64_t token,
                             simt::TraceRecorder &rec) -> std::string {
         if (faultPlan_ &&
             faultPlan_->at(fault::Site::BackendFail, queue_.now()).fire) {
@@ -815,8 +897,12 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
             return backend::response::error(
                 backend::response::kUnavailableReason);
         }
-        return service_.executeBackend(request, rec);
+        return service_.executeBackend(request, token, rec);
     };
+
+    // Record successful backend round trips only when the watchdog may
+    // need to replay them — the default path allocates nothing.
+    const bool record_backend_calls = config_.watchdogTimeout > 0;
 
     // Lanes whose backend calls exhausted the retry budget answer a
     // canned 503 instead of their buffer content.
@@ -867,15 +953,24 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
         }
         if (s >= stages - 1)
             return false;
+        // Idempotency token for this logical call: unique across
+        // (cohort launch, stage, lane), stable across retry attempts
+        // and hedge replays. Slot widths bound real configurations
+        // (stages ≤ 16, cohortSize ≤ 64K).
+        const uint64_t token =
+            (run.seq * kTokenStageSlots + static_cast<uint64_t>(s)) *
+                kTokenLaneSlots +
+            lane + 1;
         simt::CountingTracer counter;
         uint32_t attempts = 0;
-        std::string resp = call_backend(hctx.backendRequest, counter);
+        std::string resp = call_backend(hctx.backendRequest, token,
+                                        counter);
         while (backend::response::isUnavailable(resp) &&
                retry_budget > 0) {
             --retry_budget;
             ++attempts;
             ++stats_.backendRetries;
-            resp = call_backend(hctx.backendRequest, counter);
+            resp = call_backend(hctx.backendRequest, token, counter);
         }
         backend_insts += counter.instructions();
         backend_calls += 1 + attempts;
@@ -890,6 +985,8 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
             ++stats_.backendFailedLanes;
             return false;
         }
+        if (record_backend_calls)
+            run.backendCalls.push_back({token, hctx.backendRequest, resp});
         hctx.backendResponse = std::move(resp);
         hctx.backendRequest.clear();
         return true;
@@ -1105,10 +1202,36 @@ RhythmServer::enqueueCohortPipeline(CohortContext &ctx,
 {
     const int stream =
         cohortStreams_[ctx.id() % cohortStreams_.size()];
+    if (config_.watchdogTimeout > 0) {
+        // DES-clock watchdog: if the cohort has not delivered by
+        // launch + timeout, hedge it. The context reference stays
+        // valid for the server's lifetime; a stale firing (cohort
+        // already delivered, context possibly recycled) is a no-op
+        // through the delivered/hedged guards.
+        run->watchdogEvent =
+            queue_.scheduleAfter(config_.watchdogTimeout,
+                                 [this, &ctx, run]() {
+                                     run->watchdogArmed = false;
+                                     if (!run->delivered && !run->hedged)
+                                         hedgeCohort(ctx, run);
+                                 });
+        run->watchdogArmed = true;
+    }
+    startCohortExec(ctx, std::move(run), stream, /*hedge=*/false);
+}
+
+void
+RhythmServer::startCohortExec(CohortContext &ctx,
+                              std::shared_ptr<CohortRun> run, int stream,
+                              bool hedge)
+{
     auto step = std::make_shared<std::function<void()>>();
-    *step = [this, &ctx, run, stream, step]() {
-        if (OBS_ENABLED() && !run->processClosed &&
-            run->nextCmd == run->responseBeginIdx) {
+    *step = [this, &ctx, run, stream, step, hedge]() {
+        const std::vector<CohortRun::Cmd> &seq =
+            hedge ? run->hedgeSequence : run->sequence;
+        size_t &next = hedge ? run->hedgeNextCmd : run->nextCmd;
+        if (!hedge && !run->delivered && OBS_ENABLED() &&
+            !run->processClosed && next == run->responseBeginIdx) {
             // All process-stage commands have completed; the remaining
             // commands (if any) are the response path.
             run->processClosed = true;
@@ -1120,11 +1243,11 @@ RhythmServer::enqueueCohortPipeline(CohortContext &ctx,
                  static_cast<uint64_t>(run->responseBeginIdx)},
                 {"lanes", static_cast<uint64_t>(run->executedLanes)});
         }
-        if (run->nextCmd >= run->sequence.size()) {
-            cohortCompleted(ctx, run);
+        if (next >= seq.size()) {
+            execCompleted(ctx, run, hedge);
             return;
         }
-        const CohortRun::Cmd &cmd = run->sequence[run->nextCmd++];
+        const CohortRun::Cmd &cmd = seq[next++];
         switch (cmd.kind) {
           case CohortRun::Cmd::Kind::Kernel:
             device_.launchKernel(stream, cmd.cost, *step);
@@ -1141,6 +1264,86 @@ RhythmServer::enqueueCohortPipeline(CohortContext &ctx,
         }
     };
     (*step)();
+}
+
+void
+RhythmServer::execCompleted(CohortContext &ctx,
+                            const std::shared_ptr<CohortRun> &run,
+                            bool hedge)
+{
+    if (run->delivered) {
+        // The other execution won. Canonical cancellation: the loser
+        // stops here without touching the context or buffer — both
+        // were released at delivery and may already serve a new
+        // cohort.
+        ++stats_.hedgeCancelled;
+        OBS_COUNTER_ADD("watchdog.hedge_cancelled", 1);
+        OBS_INSTANT(obs::track::kEvents,
+                    hedge ? "hedge-cancelled" : "primary-cancelled",
+                    "watchdog", {"cohort", run->seq});
+        return;
+    }
+    run->delivered = true;
+    if (run->watchdogArmed) {
+        // Disarm like a real watchdog: the timer dies with the cohort
+        // instead of idling in the queue past the end of the run.
+        queue_.cancel(run->watchdogEvent);
+        run->watchdogArmed = false;
+    }
+    if (hedge) {
+        ++stats_.hedgeWins;
+        OBS_COUNTER_ADD("watchdog.hedge_wins", 1);
+    }
+    cohortCompleted(ctx, run);
+}
+
+void
+RhythmServer::hedgeCohort(CohortContext &ctx,
+                          const std::shared_ptr<CohortRun> &run)
+{
+    run->hedged = true;
+    ++stats_.watchdogFires;
+    OBS_COUNTER_ADD("watchdog.fires", 1);
+    OBS_INSTANT(obs::track::kEvents, "watchdog-hedge", "watchdog",
+                {"cohort", run->seq},
+                {"ctx", static_cast<uint64_t>(ctx.id())});
+
+    // Exactly-once backend replay: with an idempotency layer attached,
+    // re-issuing the recorded calls is safe — mutating operations
+    // deduplicate against their journaled responses (no double-apply,
+    // no retry-budget spend) and guarantee the hedge observes the
+    // primary's outcomes even if the backend crashed and recovered in
+    // between. Reads simply re-execute; a mismatch against the
+    // primary's response is counted but never delivered (the primary's
+    // buffer is the one that ships). Without the layer the device-side
+    // re-execution alone is hedged and the backend is left untouched.
+    if (service_.backendExactlyOnce()) {
+        for (const CohortRun::BackendCall &call : run->backendCalls) {
+            const std::string resp =
+                service_.executeBackend(call.request, call.token, gNull);
+            ++stats_.hedgeReplayedCalls;
+            OBS_COUNTER_ADD("watchdog.replayed_calls", 1);
+            if (resp != call.response) {
+                ++stats_.hedgeReplayMismatches;
+                OBS_COUNTER_ADD("watchdog.replay_mismatches", 1);
+            }
+        }
+    }
+
+    // Device-side re-execution: the primary's sequence minus any
+    // injected hang, on the context's dedicated hedge stream. The
+    // hedge draws its own hang decision — a hedge can hang too; the
+    // primary then usually finishes first and the hedge is cancelled.
+    run->hedgeSequence.clear();
+    run->hedgeSequence.reserve(run->sequence.size());
+    for (const CohortRun::Cmd &cmd : run->sequence) {
+        if (!cmd.hang)
+            run->hedgeSequence.push_back(cmd);
+    }
+    maybeInjectHang(*run, /*hedge=*/true);
+    run->hedgeNextCmd = 0;
+    const int stream = hedgeStreams_[ctx.id() % hedgeStreams_.size()];
+    startCohortExec(ctx, run, stream, /*hedge=*/true);
 }
 
 void

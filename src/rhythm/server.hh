@@ -131,6 +131,17 @@ struct RhythmConfig
     des::Time shedLatencySlo = 0;
     /** Completions considered by the latency shedder. */
     uint32_t sloWindow = 512;
+    /**
+     * Straggler watchdog (0 = off). A cohort still in flight this long
+     * after launch is hedged: its command sequence re-executes on a
+     * dedicated hedge stream (any injected kernel hang excised) and the
+     * first execution to finish delivers; the loser is cancelled
+     * without side effects. When the service reports
+     * backendExactlyOnce(), the hedge also re-issues the cohort's
+     * backend calls through the idempotency filter so a crash-lost
+     * primary cannot strand journaled state.
+     */
+    des::Time watchdogTimeout = 0;
 };
 
 /**
@@ -194,6 +205,21 @@ struct RhythmStats
     uint64_t faultsInjected = 0;
     /** Simulated time spent in degraded (shedding) mode. */
     des::Time degradedTime = 0;
+
+    // ---- Watchdog / hedged execution -------------------------------
+    /** Injected kernel hangs (fault::Site::KernelHang fires). */
+    uint64_t kernelHangs = 0;
+    /** Watchdog expirations that launched a hedged re-execution. */
+    uint64_t watchdogFires = 0;
+    /** Hedged executions that finished first and delivered. */
+    uint64_t hedgeWins = 0;
+    /** Losing executions cancelled after the winner delivered. */
+    uint64_t hedgeCancelled = 0;
+    /** Backend calls a hedge re-issued through the idempotency layer. */
+    uint64_t hedgeReplayedCalls = 0;
+    /** Hedge-replayed calls whose response differed from the primary's
+     *  (non-memoized reads racing later mutations; never delivered). */
+    uint64_t hedgeReplayMismatches = 0;
 };
 
 /**
@@ -330,6 +356,19 @@ class RhythmServer
     void executeCohort(CohortContext &ctx, CohortRun &run);
     void enqueueCohortPipeline(CohortContext &ctx,
                                std::shared_ptr<CohortRun> run);
+    /** Steps one execution (primary or hedge) of a run on a stream. */
+    void startCohortExec(CohortContext &ctx,
+                         std::shared_ptr<CohortRun> run, int stream,
+                         bool hedge);
+    /** First-completion-wins delivery guard for primary and hedge. */
+    void execCompleted(CohortContext &ctx,
+                       const std::shared_ptr<CohortRun> &run, bool hedge);
+    /** Watchdog expiry: launch the hedged re-execution of a run. */
+    void hedgeCohort(CohortContext &ctx,
+                     const std::shared_ptr<CohortRun> &run);
+    /** Consults fault::Site::KernelHang; on fire, prepends a hang
+     *  stall to @p run's primary or hedge command sequence. */
+    void maybeInjectHang(CohortRun &run, bool hedge);
     void cohortCompleted(CohortContext &ctx,
                          const std::shared_ptr<CohortRun> &run);
 
@@ -360,7 +399,11 @@ class RhythmServer
     const specweb::StaticContent *staticContent_ = nullptr;
 
     std::vector<int> cohortStreams_; //!< Stream per cohort context.
+    /** Hedge stream per context (created only with the watchdog on). */
+    std::vector<int> hedgeStreams_;
     int parserStream_ = -1;
+    /** Monotonic cohort launch counter; seeds idempotency tokens. */
+    uint64_t cohortSeq_ = 0;
 
     bool timeoutScanScheduled_ = false;
 

@@ -84,6 +84,30 @@ class Service
     virtual std::string executeBackend(std::string_view request,
                                        simt::TraceRecorder &rec) = 0;
 
+    /**
+     * Token-carrying variant: @p token is the pipeline's idempotency
+     * token for this logical backend call — stable across retries and
+     * watchdog-hedged re-executions of the same cohort, unique across
+     * logical calls. Services with a recovery/idempotency layer key
+     * their exactly-once filter on it; the default ignores it.
+     */
+    virtual std::string executeBackend(std::string_view request,
+                                       uint64_t token,
+                                       simt::TraceRecorder &rec)
+    {
+        (void)token;
+        return executeBackend(request, rec);
+    }
+
+    /**
+     * True when repeated executeBackend calls carrying one token apply
+     * the operation exactly once (an idempotency layer is attached).
+     * The pipeline's watchdog only replays a hedged cohort's backend
+     * calls when this holds — without the filter a replayed mutation
+     * would apply twice.
+     */
+    virtual bool backendExactlyOnce() const { return false; }
+
     /** Wire slot bytes reserved per backend request. */
     virtual uint32_t backendRequestSlotBytes() const { return 1024; }
 

@@ -1,5 +1,6 @@
 #include "rhythm/session_array.hh"
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace rhythm::core {
@@ -76,8 +77,11 @@ SessionArray::create(uint64_t user_id, simt::TraceRecorder &rec)
             ++live_;
             if (i > 0)
                 ++collisions_;
-            return static_cast<uint64_t>(bucket) * nodesPerBucket_ + node +
-                   1;
+            const uint64_t sid =
+                static_cast<uint64_t>(bucket) * nodesPerBucket_ + node + 1;
+            if (mutationHook_)
+                mutationHook_(true, sid, user_id);
+            return sid;
         }
     }
     return 0; // bucket full
@@ -109,7 +113,55 @@ SessionArray::destroy(uint64_t session_id, simt::TraceRecorder &rec)
     slot.userId = 0;
     rec.store(nodeAddr(bucket, node), 1, 0, 8);
     --live_;
+    if (mutationHook_)
+        mutationHook_(false, session_id, 0);
     return true;
+}
+
+SessionArray::Snapshot
+SessionArray::snapshot() const
+{
+    Snapshot snap;
+    snap.userIds.reserve(nodes_.size());
+    for (const Node &n : nodes_)
+        snap.userIds.push_back(n.userId);
+    snap.live = live_;
+    snap.collisions = collisions_;
+    snap.rngState = rng_.state();
+    return snap;
+}
+
+void
+SessionArray::restore(const Snapshot &snap)
+{
+    RHYTHM_ASSERT(snap.userIds.size() == nodes_.size(),
+                  "session snapshot geometry mismatch");
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i].userId = snap.userIds[i];
+    live_ = snap.live;
+    collisions_ = snap.collisions;
+    rng_.setState(snap.rngState);
+}
+
+uint64_t
+SessionArray::digest() const
+{
+    util::Fnv1a64 f;
+    util::Mix64 m;
+    for (const Node &n : nodes_) {
+        f.update(n.userId);
+        m.update(n.userId);
+    }
+    f.update(live_);
+    m.update(live_);
+    f.update(collisions_);
+    m.update(collisions_);
+    for (uint64_t w : rng_.state()) {
+        f.update(w);
+        m.update(w);
+    }
+    m.update(f.digest());
+    return m.digest();
 }
 
 std::vector<std::pair<uint64_t, uint64_t>>

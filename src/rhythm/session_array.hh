@@ -17,7 +17,9 @@
 #ifndef RHYTHM_RHYTHM_SESSION_ARRAY_HH
 #define RHYTHM_RHYTHM_SESSION_ARRAY_HH
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "specweb/context.hh"
@@ -79,6 +81,45 @@ class SessionArray : public specweb::SessionProvider
     std::vector<std::pair<uint64_t, uint64_t>> populate(uint64_t count,
                                                         uint64_t max_user_id);
 
+    /**
+     * Deep snapshot of the array for crash-recovery checkpoints: node
+     * contents, live/collision counters and — critically — the probe
+     * RNG state, so that replaying the journaled create() sequence
+     * from a restored snapshot draws the exact same probe starts and
+     * reproduces the original session ids.
+     */
+    struct Snapshot
+    {
+        std::vector<uint64_t> userIds;
+        uint64_t live = 0;
+        uint64_t collisions = 0;
+        std::array<uint64_t, 4> rngState{};
+    };
+
+    /** Captures the full mutable state. */
+    Snapshot snapshot() const;
+
+    /** Restores state captured with snapshot(). */
+    void restore(const Snapshot &snap);
+
+    /** Order-sensitive fingerprint of occupancy + counters + RNG. */
+    uint64_t digest() const;
+
+    /**
+     * Observer invoked after every successful create (created=true,
+     * with the new session id and user) and destroy (created=false,
+     * user=0). The recovery layer uses it to journal session mutations
+     * into the backend's write-ahead log; unset by default, adding
+     * zero work to the unjournaled path.
+     */
+    void setMutationHook(
+        std::function<void(bool created, uint64_t session_id,
+                           uint64_t user_id)>
+            hook)
+    {
+        mutationHook_ = std::move(hook);
+    }
+
   private:
     struct Node
     {
@@ -96,6 +137,7 @@ class SessionArray : public specweb::SessionProvider
     std::vector<Node> nodes_; //!< bucket-major.
     uint64_t live_ = 0;
     uint64_t collisions_ = 0;
+    std::function<void(bool, uint64_t, uint64_t)> mutationHook_;
 };
 
 } // namespace rhythm::core

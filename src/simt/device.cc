@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/obs.hh"
+#include "simt/pcie.hh"
 #include "util/logging.hh"
 
 namespace rhythm::simt {
@@ -146,10 +147,41 @@ Device::startCopy(CopyEngine &engine, PendingCopy copy)
         static_cast<double>(copy.bytes) / (config_.pcieBandwidthGBs * 1e9);
     const des::Time nominal =
         config_.pcieLatency + des::fromSeconds(transfer_seconds);
+    des::Time base = nominal;
+    if (config_.pcieCrcEnabled) {
+        // Frame-level CRC + bounded retransmit (simt/pcie.hh). The
+        // per-frame corruption oracle is the installed hook; without
+        // one no frame ever corrupts, but framing overhead still rides
+        // on the wire — CRC protection costs bandwidth even when
+        // nothing goes wrong, and the §6.3 accounting must show that.
+        const PcieLink link(config_);
+        const PcieTransfer xfer = link.transfer(
+            copy.bytes, [this, &copy]() {
+                return faultHooks_.frameCorrupt &&
+                       faultHooks_.frameCorrupt(copy.toDevice);
+            });
+        base = xfer.duration;
+        stats_.pcieFrames += xfer.frames;
+        stats_.pcieWireBytes += xfer.wireBytes;
+        stats_.pcieCrcErrors += xfer.crcErrors;
+        stats_.pcieRetransmittedBytes += xfer.retransmittedBytes;
+        stats_.pcieRetrains += xfer.retrains;
+        if (OBS_ENABLED()) {
+            OBS_COUNTER_ADD("pcie.crc.frames", xfer.frames);
+            OBS_COUNTER_ADD("pcie.crc.wire_bytes", xfer.wireBytes);
+            if (xfer.crcErrors > 0)
+                OBS_COUNTER_ADD("pcie.crc.errors", xfer.crcErrors);
+            if (xfer.retransmittedBytes > 0)
+                OBS_COUNTER_ADD("pcie.crc.retransmitted_bytes",
+                                xfer.retransmittedBytes);
+            if (xfer.retrains > 0)
+                OBS_COUNTER_ADD("pcie.crc.retrains", xfer.retrains);
+        }
+    }
     des::Time extra = 0;
     if (faultHooks_.copyExtra)
         extra = faultHooks_.copyExtra(copy.toDevice, copy.bytes, nominal);
-    const des::Time duration = nominal + extra;
+    const des::Time duration = base + extra;
     engine.busySeconds += des::toSeconds(duration);
     if (OBS_ENABLED()) {
         const uint32_t tr =

@@ -55,6 +55,15 @@ struct DeviceFaultHooks
     std::function<des::Time(bool to_device, uint64_t bytes,
                             des::Time nominal)>
         copyExtra;
+    /**
+     * Consulted once per link frame transmission when the CRC link
+     * model is enabled (DeviceConfig::pcieCrcEnabled); true = the
+     * frame arrives corrupted and is retransmitted. When the CRC model
+     * is on, the injector routes Site::PcieCorrupt here instead of
+     * through copyExtra, so a corruption decision is never consulted
+     * twice for one transfer.
+     */
+    std::function<bool(bool to_device)> frameCorrupt;
 };
 
 /**
@@ -115,6 +124,12 @@ class Device
         double kernelBusySeconds = 0.0;
         double h2dBusySeconds = 0.0;
         double d2hBusySeconds = 0.0;
+        /** CRC link model accounting (all 0 with pcieCrcEnabled off). */
+        uint64_t pcieFrames = 0;
+        uint64_t pcieWireBytes = 0;
+        uint64_t pcieCrcErrors = 0;
+        uint64_t pcieRetransmittedBytes = 0;
+        uint64_t pcieRetrains = 0;
     };
 
     /** Returns utilization statistics up to the current simulated time. */

@@ -59,6 +59,21 @@ struct DeviceConfig
     double pcieBandwidthGBs = 12.0;
     /** PCIe per-transfer latency. */
     des::Time pcieLatency = 8 * des::kMicrosecond;
+    /**
+     * Frame-level CRC + bounded retransmit on the PCIe link model
+     * (simt/pcie.hh). Off by default: the legacy model treats an
+     * injected corruption as one whole-transfer link-layer replay,
+     * and the default path must stay byte-identical to it.
+     */
+    bool pcieCrcEnabled = false;
+    /** Link frame payload bytes — the CRC/retransmit granularity. */
+    uint32_t pcieFrameBytes = 4096;
+    /** CRC + sequence overhead bytes carried per frame on the wire. */
+    uint32_t pcieFrameOverheadBytes = 8;
+    /** Retransmit attempts per frame before the link retrains. */
+    uint32_t pcieMaxRetransmits = 4;
+    /** Retrain penalty once a frame exhausts its retransmit budget. */
+    des::Time pcieRetrainTime = 50 * des::kMicrosecond;
     /** Device DRAM capacity in bytes (GTX Titan: 6 GiB). */
     uint64_t memoryBytes = 6ull << 30;
 

@@ -10,6 +10,7 @@
 #ifndef RHYTHM_UTIL_RNG_HH
 #define RHYTHM_UTIL_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 #include "util/logging.hh"
@@ -47,6 +48,24 @@ class Rng
      * @param mean Mean of the distribution; must be positive.
      */
     double nextExponential(double mean);
+
+    /**
+     * Raw generator state, for snapshot/restore (crash-recovery
+     * checkpoints must capture every deterministic input, and session
+     * id probing draws from an Rng). A restored generator continues
+     * the exact variate stream of the captured one.
+     */
+    std::array<uint64_t, 4> state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restores state captured with state(). */
+    void setState(const std::array<uint64_t, 4> &s)
+    {
+        for (size_t i = 0; i < 4; ++i)
+            state_[i] = s[i];
+    }
 
   private:
     uint64_t state_[4];

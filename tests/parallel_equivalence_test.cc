@@ -17,8 +17,10 @@
  */
 
 #include <algorithm>
+#include <span>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -186,7 +188,9 @@ runBanking(unsigned threads, size_t cache_entries = 0,
     fp.engineLaunches = device.engine().launches();
     fp.engineWarps = device.engine().warps();
     fp.sms = device.engine().smCounters();
-    fp.metrics = obs::global().metrics().flatten("profile_cache.");
+    fp.metrics = obs::global().metrics().flatten(
+        std::span<const std::string_view>(
+            obs::kBaselineExcludedPrefixes));
     std::ostringstream trace;
     obs::global().tracer().writeChromeTrace(trace);
     fp.trace = trace.str();

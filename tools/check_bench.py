@@ -31,6 +31,12 @@ are gated with a separate, much wider band (--host-tolerance, default
 side is a note, never a failure (the section is opt-in and machines
 differ).
 
+The ext_recovery document additionally must carry its fault-schedule
+metadata (fault_seed, fault_schedule, recovery, watchdog_ms, pcie_crc)
+in "config", report acceptance_pass = 1, and keep
+overhead.goodput_ratio inside the recovery overhead band — the
+resilience stack is allowed to cost a few percent, never tens.
+
 Exit code: 0 when every pair passes, 1 otherwise. The simulation is a
 deterministic DES, so checked-in baselines are machine-independent;
 only the optional host section varies between machines.
@@ -97,6 +103,57 @@ def load(path):
                 f"(got {type(value).__name__}: {value!r})"
             )
     return doc
+
+
+# The recovery chaos harness (bench/ext_recovery.cc) gets extra schema
+# and band checks on top of the generic baseline comparison: its whole
+# point is an acceptance verdict plus a bounded overhead, so a document
+# that drops the fault-schedule metadata (which run was this, exactly?)
+# or drifts outside the overhead band is a gate failure even when every
+# baseline-relative delta is within tolerance.
+RECOVERY_BENCH = "ext_recovery"
+RECOVERY_CONFIG_KEYS = (
+    "fault_seed",
+    "fault_schedule",
+    "recovery",
+    "watchdog_ms",
+    "pcie_crc",
+)
+RECOVERY_OVERHEAD_BAND = (0.90, 1.02)
+
+
+def validate_recovery(doc, path):
+    """ext_recovery-specific checks; returns failure messages."""
+    failures = []
+    config = doc.get("config", {})
+    for key in RECOVERY_CONFIG_KEYS:
+        if key not in config:
+            failures.append(
+                f"{RECOVERY_BENCH}: {path} missing fault-schedule "
+                f"metadata '{key}' in config — the run is not "
+                "reproducible without it"
+            )
+    metrics = doc["metrics"]
+    ratio = metrics.get("overhead.goodput_ratio")
+    if ratio is None:
+        failures.append(
+            f"{RECOVERY_BENCH}: {path} missing metric "
+            "'overhead.goodput_ratio'"
+        )
+    else:
+        lo, hi = RECOVERY_OVERHEAD_BAND
+        if not lo <= ratio <= hi:
+            failures.append(
+                f"{RECOVERY_BENCH}: overhead.goodput_ratio {ratio:g} "
+                f"outside the recovery overhead band [{lo:g}, {hi:g}]"
+            )
+    if metrics.get("acceptance_pass") != 1:
+        failures.append(
+            f"{RECOVERY_BENCH}: {path} acceptance_pass is "
+            f"{metrics.get('acceptance_pass')!r}, expected 1 — a chaos "
+            "schedule was not byte-equivalent to fault-free"
+        )
+    return failures
 
 
 def compare_section(bench, base, meas, tolerance, label, missing_fails):
@@ -231,6 +288,8 @@ def main():
             base_path,
             meas_path,
         )
+        if meas_doc["bench"] == RECOVERY_BENCH:
+            failures.extend(validate_recovery(meas_doc, meas_path))
         checked += len(base_doc["metrics"])
         for msg in notes:
             print(f"note: {msg}")

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "backend/bankdb.hh"
+#include "backend/recovery.hh"
 #include "bench/common.hh"
 #include "chat/store.hh"
 #include "chat/service.hh"
@@ -87,6 +88,23 @@ usage(const std::string &error)
            "  --stall=P                   stream stall probability\n"
            "  --stall-ms=X                mean stall duration (1.0)\n"
            "  --disconnect=P              client disconnect probability\n"
+           "  --crash=P                   backend crash-restart "
+           "probability\n"
+           "  --torn=P                    tear the final journal record "
+           "on crash\n"
+           "  --hang=P                    kernel hang probability\n"
+           "  --hang-ms=X                 injected hang duration (0 = "
+           "derived)\n"
+           "crash recovery & stragglers (all off by default):\n"
+           "  --watchdog-ms=X             cohort watchdog timeout; hedge "
+           "stragglers\n"
+           "  --pcie-crc                  frame CRC + bounded retransmit "
+           "on PCIe\n"
+           "  --recovery                  write-ahead journal + "
+           "checkpointed backend\n"
+           "                              (banking workload only)\n"
+           "  --checkpoint-interval=N     journaled records between "
+           "checkpoints (4096)\n"
            "graceful degradation (all off by default):\n"
            "  --retry-budget=N            backend retries per cohort\n"
            "  --backoff-us=X              retry backoff base (50)\n"
@@ -103,7 +121,8 @@ usage(const std::string &error)
  * seed output.
  */
 void
-faultReport(const core::RhythmStats &stats, const fault::FaultPlan *plan)
+faultReport(const core::RhythmStats &stats, const fault::FaultPlan *plan,
+            const backend::RecoverableBackend *recovery)
 {
     TableWriter t({"robustness metric", "value"});
     t.addRow({"requests shed (503)", withCommas(stats.requestsShed)});
@@ -116,6 +135,22 @@ faultReport(const core::RhythmStats &stats, const fault::FaultPlan *plan)
     t.addRow({"degraded-mode time",
               formatDouble(des::toMillis(stats.degradedTime), 2) +
                   " ms"});
+    t.addRow({"kernel hangs injected", withCommas(stats.kernelHangs)});
+    t.addRow({"watchdog fires", withCommas(stats.watchdogFires)});
+    t.addRow({"hedge wins / cancelled",
+              withCommas(stats.hedgeWins) + " / " +
+                  withCommas(stats.hedgeCancelled)});
+    t.addRow({"hedge backend replays",
+              withCommas(stats.hedgeReplayedCalls)});
+    if (recovery) {
+        const backend::RecoveryStats &rs = recovery->stats();
+        t.addRow({"backend crashes", withCommas(rs.crashes)});
+        t.addRow({"journaled records", withCommas(rs.journaledRecords)});
+        t.addRow({"journal replays", withCommas(rs.replayedRecords)});
+        t.addRow({"torn records dropped", withCommas(rs.tornRecords)});
+        t.addRow({"idempotency memo hits", withCommas(rs.memoHits)});
+        t.addRow({"checkpoints", withCommas(rs.checkpoints)});
+    }
     if (plan) {
         uint64_t injected = plan->totalInjected();
         // Server-side consultations (BackendFail/BackendSlow/
@@ -131,7 +166,8 @@ report(const core::RhythmServer &server, const simt::Device &device,
        const des::EventQueue &queue, const platform::TitanPowerModel &pm,
        const fault::FaultPlan *plan = nullptr, bool robust = false,
        bench::Reporter *rep = nullptr,
-       const simt::ProfileCache *cache = nullptr)
+       const simt::ProfileCache *cache = nullptr,
+       const backend::RecoverableBackend *recovery = nullptr)
 {
     const core::RhythmStats &stats = server.stats();
     const simt::Device::Stats dstats = device.stats();
@@ -205,7 +241,7 @@ report(const core::RhythmServer &server, const simt::Device &device,
                   server.memoryFootprintBytes()))});
     t.printAscii(std::cout);
     if (plan || robust)
-        faultReport(stats, plan);
+        faultReport(stats, plan, recovery);
 
     // Human-readable cache summary (stdout only: the --json document
     // must stay byte-identical with the cache on or off, so these
@@ -273,13 +309,16 @@ report(const core::RhythmServer &server, const simt::Device &device,
                             sms[s].stats.globalTransactions));
         }
         // The instrumentation counters/histograms ride along under an
-        // "obs." prefix when recording was on for this run. Cache
-        // meta-metrics ("profile_cache.*") are excluded: they differ
-        // between cache-on and cache-off runs whose simulated outputs
-        // the equivalence gate byte-compares.
+        // "obs." prefix when recording was on for this run. Feature
+        // meta-metrics (profile cache, recovery, watchdog, PCIe CRC)
+        // are excluded: they differ between feature-on and feature-off
+        // runs whose simulated outputs the equivalence gate
+        // byte-compares.
         if (obs::global().enabled())
-            rep->metricsFrom(obs::global().metrics(), "obs.",
-                             "profile_cache.");
+            rep->metricsFrom(
+                obs::global().metrics(), "obs.",
+                std::span<const std::string_view>(
+                    obs::kBaselineExcludedPrefixes));
     }
 }
 
@@ -326,9 +365,12 @@ main(int argc, char **argv)
              "padding", "seed", "help", "fault-seed", "backend-fail",
              "backend-slow", "backend-slow-ms", "pcie-corrupt",
              "pcie-degrade", "pcie-degrade-factor", "stall", "stall-ms",
-             "disconnect", "retry-budget", "backoff-us", "deadline-ms",
-             "shed-backlog", "shed-p99-ms", "json", "trace-out",
-             "sim-threads", "profile-cache", "profile-cache-entries"}))
+             "disconnect", "crash", "torn", "hang", "hang-ms",
+             "watchdog-ms", "pcie-crc", "recovery",
+             "checkpoint-interval", "retry-budget", "backoff-us",
+             "deadline-ms", "shed-backlog", "shed-p99-ms", "json",
+             "trace-out", "sim-threads", "profile-cache",
+             "profile-cache-entries"}))
         return usage(flags.error());
 
     // Host-side parallelism of the execution engine. Applied before any
@@ -359,6 +401,8 @@ main(int argc, char **argv)
         flags.getDouble("pcie-gbs", variant.device.pcieBandwidthGBs);
     variant.device.hardwareQueues = static_cast<int>(flags.getU64(
         "queues", static_cast<uint64_t>(variant.device.hardwareQueues)));
+    if (flags.getBool("pcie-crc", false))
+        variant.device.pcieCrcEnabled = true;
 
     core::RhythmConfig cfg = variant.server;
     cfg.cohortSize =
@@ -385,6 +429,8 @@ main(int argc, char **argv)
         static_cast<uint32_t>(flags.getU64("shed-backlog", 0));
     cfg.shedLatencySlo =
         des::fromSeconds(flags.getDouble("shed-p99-ms", 0.0) / 1e3);
+    cfg.watchdogTimeout =
+        des::fromSeconds(flags.getDouble("watchdog-ms", 0.0) / 1e3);
 
     fault::FaultConfig fcfg;
     fcfg.seed = flags.getU64("fault-seed", 1);
@@ -406,6 +452,14 @@ main(int argc, char **argv)
         des::fromSeconds(flags.getDouble("stall-ms", 1.0) / 1e3);
     fcfg.at(fault::Site::ClientDisconnect).probability =
         flags.getDouble("disconnect", 0.0);
+    fcfg.at(fault::Site::BackendCrash).probability =
+        flags.getDouble("crash", 0.0);
+    fcfg.at(fault::Site::JournalTorn).probability =
+        flags.getDouble("torn", 0.0);
+    fcfg.at(fault::Site::KernelHang).probability =
+        flags.getDouble("hang", 0.0);
+    fcfg.at(fault::Site::KernelHang).meanDelay =
+        des::fromSeconds(flags.getDouble("hang-ms", 0.0) / 1e3);
     for (const auto &site : fcfg.sites) {
         if (site.probability < 0.0 || site.probability > 1.0)
             return usage("fault probabilities must be in [0, 1]");
@@ -413,9 +467,11 @@ main(int argc, char **argv)
             return usage("--pcie-degrade-factor must be >= 1");
     }
     const bool faults_on = !fcfg.allQuiet();
+    const bool recovery_on = flags.getBool("recovery", false);
     const bool robust = faults_on || cfg.backendRetryBudget ||
                         cfg.requestDeadline || cfg.shedBacklogLimit ||
-                        cfg.shedLatencySlo;
+                        cfg.shedLatencySlo || cfg.watchdogTimeout ||
+                        recovery_on;
 
     const uint64_t seed = flags.getU64("seed", 42);
     const uint32_t cohorts =
@@ -499,6 +555,21 @@ main(int argc, char **argv)
                 ? total
                 : std::min<uint64_t>(total, 8192),
             users);
+        // Recovery wraps the populated baseline: the constructor takes
+        // the first checkpoint, so it must run after populate().
+        std::unique_ptr<backend::RecoverableBackend> recoverable;
+        if (recovery_on) {
+            backend::RecoveryConfig rcfg;
+            rcfg.checkpointInterval =
+                flags.getU64("checkpoint-interval", 4096);
+            recoverable = std::make_unique<backend::RecoverableBackend>(
+                service.backendService(), db, rcfg);
+            if (faults_on)
+                recoverable->setFaultPlan(
+                    &plan, [&queue]() { return queue.now(); });
+            core::attachSessionRecovery(*recoverable, server.sessions());
+            service.setRecovery(recoverable.get());
+        }
         uint64_t issued = 0;
         server.start([&]() -> std::optional<std::string> {
             if (issued >= total)
@@ -529,9 +600,12 @@ main(int argc, char **argv)
         queue.run();
         report(server, device, queue, variant.power,
                faults_on ? &plan : nullptr, robust, &json_report,
-               pc_on ? &profile_cache : nullptr);
+               pc_on ? &profile_cache : nullptr, recoverable.get());
         return finish(json_report, trace_path);
     }
+
+    if (recovery_on)
+        return usage("--recovery supports the banking workload only");
 
     if (workload == "chat") {
         chat::RoomStore store(256, 40, seed);

@@ -234,5 +234,78 @@ class SchemaValidationTest(GateHarness):
         self.assertIn("baseline is 0", out)
 
 
+def recovery_doc(**overrides):
+    """A minimal valid ext_recovery --json document."""
+    d = {
+        "bench": "ext_recovery",
+        "config": {
+            "fault_seed": 1,
+            "fault_schedule": "crash=0.005;torn=0.5",
+            "recovery": 1,
+            "watchdog_ms": 250,
+            "pcie_crc": 1,
+        },
+        "metrics": {
+            "overhead.goodput_ratio": 0.998,
+            "acceptance_pass": 1,
+            "resilient.goodput_krps": 300.0,
+        },
+    }
+    d.update(overrides)
+    return d
+
+
+class RecoveryGateTest(GateHarness):
+    """ext_recovery-specific schema and overhead-band checks."""
+
+    def test_valid_recovery_document_passes(self):
+        base = recovery_doc()
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0)
+
+    def test_missing_fault_metadata_fails(self):
+        base = recovery_doc()
+        meas = recovery_doc()
+        meas["config"] = {k: v for k, v in meas["config"].items()
+                          if k != "fault_schedule"}
+        code, out = self.gate(base, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("missing fault-schedule metadata 'fault_schedule'",
+                      out)
+
+    def test_every_metadata_key_is_required(self):
+        for key in ("fault_seed", "recovery", "watchdog_ms", "pcie_crc"):
+            meas = recovery_doc()
+            meas["config"] = {k: v for k, v in meas["config"].items()
+                              if k != key}
+            code, out = self.gate(recovery_doc(), meas)
+            self.assertEqual(code, 1, key)
+            self.assertIn(f"'{key}'", out)
+
+    def test_overhead_outside_band_fails(self):
+        meas = recovery_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               **{"overhead.goodput_ratio": 0.7})
+        # Baseline uses the same (bad) value so the generic relative
+        # comparison passes — only the absolute band catches it.
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("outside the recovery overhead band", out)
+
+    def test_failed_acceptance_fails_gate(self):
+        meas = recovery_doc()
+        meas["metrics"] = dict(meas["metrics"], acceptance_pass=0)
+        code, out = self.gate(recovery_doc(), meas)
+        self.assertEqual(code, 1)
+        self.assertIn("acceptance_pass", out)
+
+    def test_metadata_not_required_for_other_benches(self):
+        # The schema requirement is scoped to ext_recovery: ordinary
+        # benches carry no fault metadata and must keep passing.
+        base = doc(metrics={"throughput": 100.0})
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0)
+
+
 if __name__ == "__main__":
     unittest.main()
