@@ -38,6 +38,9 @@ main(int argc, char **argv)
 
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.recordConfig(report);
 
     TableWriter table({"layout", "KReqs/s", "avg latency ms",
                        "device util", "SIMD eff"});
@@ -50,6 +53,7 @@ main(int argc, char **argv)
         opts.users = 2000;
         opts.laneSample = 128;
         faults.apply(opts);
+        overlap.apply(opts);
         platform::TypeRunResult r = platform::runIsolatedType(
             b, specweb::RequestType::AccountSummary, opts);
         table.addRow({cfg.name, bench::fmt(r.throughput / 1e3, 0),

@@ -30,6 +30,10 @@ main(int argc, char **argv)
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.apply(opts);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.apply(opts);
+    overlap.recordConfig(report);
 
     TableWriter table({"lanes executed / cohort", "KReqs/s",
                        "latency ms", "throughput error %"});

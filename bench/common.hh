@@ -531,6 +531,108 @@ struct FaultFlags
     }
 };
 
+/**
+ * Shared transfer/compute-overlap flag vocabulary for the bench
+ * binaries — the same names rhythm_sim accepts (DESIGN.md 6h). Every
+ * knob defaults off, so a bench invoked without overlap flags produces
+ * byte-identical output to one that never supported them.
+ *
+ *   --overlap=on|off    pipelined parser/dispatch + scissored transfers
+ *                       (on also defaults copy engines/chunking below)
+ *   --copy-engines=N    modeled DMA copy engines per direction
+ *   --copy-chunk-kb=N   chunk granularity of overlapped transfers
+ */
+struct OverlapFlags
+{
+    /** Default engines / chunk size implied by --overlap=on alone. */
+    static constexpr int kDefaultEngines = 4;
+    static constexpr uint32_t kDefaultChunkBytes = 256 * 1024;
+
+    bool overlap = false;
+    int copyEngines = 0;        //!< 0 = mode default.
+    uint32_t copyChunkBytes = 0; //!< 0 = mode default.
+    bool anyGiven = false;       //!< Any flag of the family was present.
+
+    static OverlapFlags parse(int argc, char **argv)
+    {
+        OverlapFlags f;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--overlap=", 0) == 0) {
+                f.overlap = arg.substr(10) == "on";
+                f.anyGiven = true;
+            } else if (arg.rfind("--copy-engines=", 0) == 0) {
+                f.copyEngines =
+                    std::atoi(std::string(arg.substr(15)).c_str());
+                f.anyGiven = true;
+            } else if (arg.rfind("--copy-chunk-kb=", 0) == 0) {
+                f.copyChunkBytes = static_cast<uint32_t>(
+                    std::atoi(std::string(arg.substr(16)).c_str()) *
+                    1024);
+                f.anyGiven = true;
+            }
+        }
+        return f;
+    }
+
+    /** Engines actually configured (--overlap=on implies a pool). */
+    int effectiveEngines() const
+    {
+        if (copyEngines > 0)
+            return copyEngines;
+        return overlap ? kDefaultEngines : 1;
+    }
+
+    /** Chunk bytes actually configured (--overlap=on implies chunking). */
+    uint32_t effectiveChunkBytes() const
+    {
+        if (copyChunkBytes > 0)
+            return copyChunkBytes;
+        return overlap ? kDefaultChunkBytes : 0;
+    }
+
+    /** Overlays the copy-engine knobs onto a device config. */
+    void apply(simt::DeviceConfig &cfg) const
+    {
+        if (!anyGiven)
+            return;
+        cfg.copyEngines = effectiveEngines();
+        cfg.copyChunkBytes = effectiveChunkBytes();
+    }
+
+    /** Overlays the pipeline knob onto a server config. */
+    void apply(core::RhythmConfig &cfg) const
+    {
+        if (overlap)
+            cfg.overlapPipeline = true;
+    }
+
+    /** Overlays everything onto an isolated-run options block. */
+    void apply(platform::IsolatedRunOptions &opts) const
+    {
+        if (!anyGiven)
+            return;
+        opts.overlapPipeline = overlap;
+        opts.copyEngines = effectiveEngines();
+        opts.copyChunkBytes = effectiveChunkBytes();
+    }
+
+    /**
+     * Records the overlap configuration in the --json config section
+     * (only when any family flag was given). check_bench.py requires
+     * these keys for the overlap acceptance bench (ext_overlap).
+     */
+    void recordConfig(Reporter &rep) const
+    {
+        if (!anyGiven)
+            return;
+        rep.config("overlap", overlap ? 1.0 : 0.0);
+        rep.config("copy_engines",
+                   static_cast<double>(effectiveEngines()));
+        rep.config("copy_chunk_kb", effectiveChunkBytes() / 1024.0);
+    }
+};
+
 } // namespace rhythm::bench
 
 #endif // RHYTHM_BENCH_COMMON_HH

@@ -28,11 +28,13 @@ struct RunResult
 
 RunResult
 runIsolated(chat::RoomStore &store, chat::PageType type, uint32_t cohorts,
-            const bench::FaultFlags &faults)
+            const bench::FaultFlags &faults,
+            const bench::OverlapFlags &overlap)
 {
     des::EventQueue queue;
     simt::DeviceConfig dcfg;
     faults.apply(dcfg);
+    overlap.apply(dcfg);
     simt::Device device(queue, dcfg);
     chat::ChatService service(store);
 
@@ -44,6 +46,7 @@ runIsolated(chat::RoomStore &store, chat::PageType type, uint32_t cohorts,
     cfg.networkOverPcie = false;
     cfg.laneSample = 128;
     faults.apply(cfg);
+    overlap.apply(cfg);
     core::RhythmServer server(queue, device, service, cfg);
     std::optional<fault::FaultPlan> plan;
     faults.arm(server, device, queue, plan);
@@ -84,6 +87,9 @@ main(int argc, char **argv)
 
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.recordConfig(report);
 
     chat::RoomStore store(256, 40, 7);
 
@@ -93,7 +99,7 @@ main(int argc, char **argv)
     for (uint32_t t = 0; t < chat::kNumPageTypes; ++t) {
         const chat::PageTypeInfo &info = chat::pageTable()[t];
         RunResult r = runIsolated(
-            store, static_cast<chat::PageType>(t), 8, faults);
+            store, static_cast<chat::PageType>(t), 8, faults, overlap);
         whm.add(info.mixPercent, r.throughput);
         const std::string key = bench::slug(info.name);
         report.metric(key + ".throughput", r.throughput);

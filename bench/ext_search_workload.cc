@@ -30,11 +30,13 @@ struct RunResult
 
 RunResult
 runIsolated(search::InvertedIndex &index, search::PageType type,
-            uint32_t cohorts, const bench::FaultFlags &faults)
+            uint32_t cohorts, const bench::FaultFlags &faults,
+            const bench::OverlapFlags &overlap)
 {
     des::EventQueue queue;
     simt::DeviceConfig dcfg;
     faults.apply(dcfg);
+    overlap.apply(dcfg);
     simt::Device device(queue, dcfg);
     search::SearchService service(index);
 
@@ -46,6 +48,7 @@ runIsolated(search::InvertedIndex &index, search::PageType type,
     cfg.networkOverPcie = false;
     cfg.laneSample = 128;
     faults.apply(cfg);
+    overlap.apply(cfg);
     core::RhythmServer server(queue, device, service, cfg);
     std::optional<fault::FaultPlan> plan;
     faults.arm(server, device, queue, plan);
@@ -85,6 +88,9 @@ main(int argc, char **argv)
 
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.recordConfig(report);
 
     std::cout << "Building corpus and inverted index...\n";
     search::Corpus corpus(4000, 4096, 7);
@@ -96,7 +102,7 @@ main(int argc, char **argv)
     for (uint32_t t = 0; t < search::kNumPageTypes; ++t) {
         const search::PageTypeInfo &info = search::pageTable()[t];
         RunResult r = runIsolated(
-            index, static_cast<search::PageType>(t), 8, faults);
+            index, static_cast<search::PageType>(t), 8, faults, overlap);
         whm.add(info.mixPercent, r.throughput);
         const std::string key = bench::slug(info.name);
         report.metric(key + ".throughput", r.throughput);

@@ -37,11 +37,13 @@ struct RunResult
 
 RunResult
 runAtRate(double arrival_rate, des::Time timeout, uint64_t requests,
-          const bench::FaultFlags &faults)
+          const bench::FaultFlags &faults,
+          const bench::OverlapFlags &overlap)
 {
     des::EventQueue queue;
     simt::DeviceConfig dcfg;
     faults.apply(dcfg);
+    overlap.apply(dcfg);
     simt::Device device(queue, dcfg);
     backend::BankDb db(2000, 5);
     core::BankingService service(db);
@@ -54,6 +56,7 @@ runAtRate(double arrival_rate, des::Time timeout, uint64_t requests,
     cfg.networkOverPcie = false;
     cfg.laneSample = 64;
     faults.apply(cfg);
+    overlap.apply(cfg);
     core::RhythmServer server(queue, device, service, cfg);
     std::optional<fault::FaultPlan> plan;
     faults.arm(server, device, queue, plan);
@@ -115,6 +118,9 @@ main(int argc, char **argv)
 
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.recordConfig(report);
 
     for (const auto &[label, prefix, rate, requests] :
          {std::tuple<const char *, const char *, double, uint64_t>{
@@ -126,7 +132,7 @@ main(int argc, char **argv)
         for (double timeout_ms : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
             RunResult r =
                 runAtRate(rate, des::fromSeconds(timeout_ms / 1e3),
-                          requests, faults);
+                          requests, faults, overlap);
             table.addRow({bench::fmt(timeout_ms, 2),
                           bench::fmt(r.throughput / 1e3, 0),
                           bench::fmt(r.meanLatencyMs, 2),

@@ -54,6 +54,10 @@ main(int argc, char **argv)
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.apply(opts);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.apply(opts);
+    overlap.recordConfig(report);
     for (const auto &variant :
          {platform::titanA(), platform::titanB(), platform::titanC()}) {
         platform::TitanWorkloadResult r =

@@ -28,10 +28,15 @@ main(int argc, char **argv)
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.apply(opts);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.apply(opts);
+    overlap.recordConfig(report);
 
     TableWriter table({"request type", "achieved KReqs/s",
                        "PCIe bound KReqs/s", "achieved/bound %",
-                       "PCIe bytes/req", "copy engine util"});
+                       "h2d B/req", "d2h B/req", "h2d util", "d2h util",
+                       "overlap"});
     double min_ratio = 1.0, max_ratio = 0.0;
     for (size_t i = 0; i < specweb::kNumRequestTypes; ++i) {
         const auto &info = specweb::typeTable()[i];
@@ -45,12 +50,28 @@ main(int argc, char **argv)
         report.metric(key + ".throughput", r.throughput);
         report.metric(key + ".bound_ratio", ratio);
         report.metric(key + ".p99_latency_ms", r.p99LatencyMs);
+        // Per-type PCIe utilization and wire-byte breakdown (each DMA
+        // direction separately, not just the aggregate).
+        report.metric(key + ".pcie_h2d_util", r.h2dUtilization);
+        report.metric(key + ".pcie_d2h_util", r.d2hUtilization);
+        report.metric(key + ".pcie_h2d_bytes_per_req",
+                      static_cast<double>(r.h2dBytesPerRequest));
+        report.metric(key + ".pcie_d2h_bytes_per_req",
+                      static_cast<double>(r.d2hBytesPerRequest));
+        report.metric(key + ".pcie_bytes_per_req",
+                      static_cast<double>(r.pcieBytesPerRequest));
+        report.metric(key + ".pcie_wire_bytes_per_req",
+                      static_cast<double>(r.pcieWireBytesPerRequest));
+        report.metric(key + ".overlap_fraction", r.overlapFraction);
         table.addRow({std::string(info.name),
                       bench::fmt(r.throughput / 1e3, 1),
                       bench::fmt(bound / 1e3, 1),
                       bench::fmt(ratio * 100.0, 1),
-                      std::to_string(r.pcieBytesPerRequest),
-                      bench::fmt(r.copyUtilization, 2)});
+                      std::to_string(r.h2dBytesPerRequest),
+                      std::to_string(r.d2hBytesPerRequest),
+                      bench::fmt(r.h2dUtilization, 2),
+                      bench::fmt(r.d2hUtilization, 2),
+                      bench::fmt(r.overlapFraction, 2)});
     }
     table.printAscii(std::cout);
     std::cout << "Achieved/bound range: " << bench::fmt(min_ratio * 100, 1)

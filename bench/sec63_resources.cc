@@ -51,6 +51,10 @@ main(int argc, char **argv)
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.apply(opts);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.apply(opts);
+    overlap.recordConfig(report);
 
     TableWriter net({"platform", "KReqs/s", "network Gbps (paper)",
                      "with 80% HTML compression Gbps"});

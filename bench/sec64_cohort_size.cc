@@ -22,6 +22,9 @@ main(int argc, char **argv)
 
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.recordConfig(report);
 
     TableWriter table({"cohort size", "KReqs/s", "avg latency ms",
                        "device util", "pool memory MiB"});
@@ -34,6 +37,7 @@ main(int argc, char **argv)
         opts.users = 2000;
         opts.laneSample = std::min<uint32_t>(size, 128);
         faults.apply(opts);
+        overlap.apply(opts);
 
         platform::TypeRunResult r = platform::runIsolatedType(
             b, specweb::RequestType::AccountSummary, opts);

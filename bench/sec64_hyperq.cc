@@ -23,6 +23,9 @@ main(int argc, char **argv)
 
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.recordConfig(report);
 
     TableWriter table({"hardware queues", "KReqs/s", "avg latency ms",
                        "device util"});
@@ -35,6 +38,7 @@ main(int argc, char **argv)
         opts.users = 2000;
         opts.laneSample = 128;
         faults.apply(opts);
+        overlap.apply(opts);
         platform::TypeRunResult r = platform::runIsolatedType(
             b, specweb::RequestType::CheckDetailHtml, opts);
         table.addRow({std::to_string(queues),

@@ -85,6 +85,10 @@ main(int argc, char **argv)
     const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
     faults.apply(opts);
     faults.recordConfig(report);
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    overlap.apply(opts);
+    overlap.recordConfig(report);
     const platform::TitanVariant variants[] = {
         platform::titanA(), platform::titanB(), platform::titanC()};
     for (size_t v = 0; v < 3; ++v) {

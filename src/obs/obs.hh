@@ -45,6 +45,10 @@ inline constexpr uint32_t kHwqBase = 300;
 /** PCIe DMA engine tracks. */
 inline constexpr uint32_t kPcieH2D = 500;
 inline constexpr uint32_t kPcieD2H = 501;
+/** Per-copy-engine tracks (overlapped copy model, DESIGN.md 6h):
+ *  kPcieH2DEngineBase + engine index / kPcieD2HEngineBase + index. */
+inline constexpr uint32_t kPcieH2DEngineBase = 510;
+inline constexpr uint32_t kPcieD2HEngineBase = 550;
 /** Instant events: faults, shedding, degradation transitions. */
 inline constexpr uint32_t kEvents = 600;
 } // namespace track

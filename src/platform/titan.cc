@@ -97,6 +97,12 @@ runIsolatedType(const TitanVariant &variant, specweb::RequestType type,
     simt::DeviceConfig device_cfg = variant.device;
     if (options.pcieFrameCrc)
         device_cfg.pcieCrcEnabled = true;
+    if (options.overlapPipeline)
+        cfg.overlapPipeline = true;
+    if (options.copyEngines > 0)
+        device_cfg.copyEngines = options.copyEngines;
+    if (options.copyChunkBytes > 0)
+        device_cfg.copyChunkBytes = options.copyChunkBytes;
 
     des::EventQueue queue;
     simt::ProfileCache profile_cache(
@@ -210,6 +216,19 @@ runIsolatedType(const TitanVariant &variant, specweb::RequestType type,
         result.requests ? static_cast<double>(stats.responseBytes) /
                               static_cast<double>(result.requests)
                         : 0.0;
+    if (elapsed > 0.0) {
+        result.h2dUtilization = dstats.h2dBusySeconds / elapsed;
+        result.d2hUtilization = dstats.d2hBusySeconds / elapsed;
+    }
+    if (result.requests) {
+        result.h2dBytesPerRequest = dstats.bytesToDevice / result.requests;
+        result.d2hBytesPerRequest = dstats.bytesToHost / result.requests;
+        result.pcieWireBytesPerRequest =
+            dstats.pcieWireBytes / result.requests;
+    }
+    if (dstats.copyBusySeconds > 0.0)
+        result.overlapFraction =
+            dstats.overlapSeconds / dstats.copyBusySeconds;
 
     const TitanPowerModel &pm = variant.power;
     const double activity =

@@ -81,6 +81,15 @@ struct TypeRunResult
     double reqsPerJouleWall = 0.0;
     uint64_t pcieBytesPerRequest = 0;
     double responseBytesPerRequest = 0.0;
+    // ---- PCIe breakdown (Fig. 9 diagnostics; DESIGN.md 6h) ----------
+    double h2dUtilization = 0.0; //!< host→device link occupancy
+    double d2hUtilization = 0.0; //!< device→host link occupancy
+    uint64_t h2dBytesPerRequest = 0;
+    uint64_t d2hBytesPerRequest = 0;
+    /** CRC-framed wire bytes per request (0 with the CRC model off). */
+    uint64_t pcieWireBytesPerRequest = 0;
+    /** Fraction of copy-busy time hidden under kernel execution. */
+    double overlapFraction = 0.0;
 };
 
 /** Parameters of an isolated run. */
@@ -126,6 +135,15 @@ struct IsolatedRunOptions
     bool recovery = false;
     /** Journaled mutations per recovery checkpoint. */
     uint64_t checkpointInterval = 4096;
+
+    // ---- Transfer/compute overlap (DESIGN.md 6h) --------------------
+
+    /** Turns on RhythmConfig::overlapPipeline. */
+    bool overlapPipeline = false;
+    /** Overrides DeviceConfig::copyEngines when > 0. */
+    int copyEngines = 0;
+    /** Overrides DeviceConfig::copyChunkBytes when > 0. */
+    uint32_t copyChunkBytes = 0;
 };
 
 /**

@@ -154,6 +154,8 @@ RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
         for (uint32_t i = 0; i < config_.cohortContexts; ++i)
             hedgeStreams_.push_back(device_.createStream());
     }
+    if (config_.overlapPipeline)
+        parserStream2_ = device_.createStream();
 }
 
 RhythmServer::~RhythmServer() = default;
@@ -181,7 +183,7 @@ bool
 RhythmServer::injectRequest(std::string raw, uint64_t client_id)
 {
     if (forming_ && forming_->entries.size() >= config_.cohortSize &&
-        parserBusy_) {
+        parserSaturated()) {
         ++stats_.readerDrops;
         OBS_COUNTER_ADD("server.reader_drops", 1);
         return false; // reader stall: both buffers occupied
@@ -312,17 +314,17 @@ RhythmServer::pump()
 void
 RhythmServer::maybeLaunchBatch(bool force)
 {
-    if (parserBusy_ || !forming_ || forming_->entries.empty())
+    if (parserSaturated() || !forming_ || forming_->entries.empty())
         return;
     if (!force && forming_->entries.size() < config_.cohortSize)
         return;
     std::unique_ptr<ReaderBatch> batch = std::move(forming_);
-    parserBusy_ = true;
-    parseBatch(std::move(batch));
+    ++parserInFlight_;
+    parseBatch(std::move(batch), parseSeqNext_++);
 }
 
 void
-RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
+RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch, uint64_t seq)
 {
     ++stats_.parserBatches;
     const uint32_t n = static_cast<uint32_t>(batch->entries.size());
@@ -334,6 +336,20 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
                       batch->firstArrival, queue_.now(),
                       {"requests", static_cast<uint64_t>(n)});
     const des::Time parse_start = queue_.now();
+
+    // Scissored upload (overlapPipeline): ship the bytes the requests
+    // actually occupy in their slots instead of the full slot array.
+    // Must be summed here — the raw strings move into the parsed
+    // entries below.
+    uint64_t upload_bytes =
+        static_cast<uint64_t>(n) * config_.requestSlotBytes;
+    if (config_.overlapPipeline && config_.networkOverPcie) {
+        uint64_t occupied = 0;
+        for (const RawEntry &e : batch->entries)
+            occupied += std::min<uint64_t>(e.raw.size(),
+                                           config_.requestSlotBytes);
+        upload_bytes = occupied;
+    }
 
     // Parse every request (dispatch needs the results); record traces
     // for the sampled lanes to cost the parser kernel. Each lane
@@ -461,20 +477,26 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
     tracePool_.release(std::move(traces));
 
     // Device chain: [H2D copy] → [request transpose] → [parser kernel].
-    auto after_parse = [this, parsed, parse_start, n, sample]() {
+    // With overlapPipeline the two in-flight batches alternate parser
+    // streams, so chain k+1 never serializes behind chain k's commands.
+    const int pstream = (config_.overlapPipeline && (seq & 1))
+                            ? parserStream2_
+                            : parserStream_;
+    auto after_parse = [this, parsed, parse_start, n, sample, seq]() {
         OBS_SPAN_COMPLETE(obs::track::kParser, "parse", "stage",
                           parse_start, queue_.now(),
                           {"requests", static_cast<uint64_t>(n)},
                           {"sampled_lanes", static_cast<uint64_t>(sample)});
-        parserBusy_ = false;
-        dispatchParsed(std::move(*parsed));
+        RHYTHM_ASSERT(parserInFlight_ > 0);
+        --parserInFlight_;
+        parsedReady(seq, std::move(*parsed));
         maybeLaunchBatch(false);
         pump();
     };
-    auto launch_parser = [this, parser_cost, after_parse]() {
-        device_.launchKernel(parserStream_, parser_cost, after_parse);
+    auto launch_parser = [this, pstream, parser_cost, after_parse]() {
+        device_.launchKernel(pstream, parser_cost, after_parse);
     };
-    auto launch_transpose = [this, n, launch_parser]() {
+    auto launch_transpose = [this, pstream, n, launch_parser]() {
         if (!config_.transposeBuffers) {
             launch_parser();
             return;
@@ -482,17 +504,33 @@ RhythmServer::parseBatch(std::unique_ptr<ReaderBatch> batch)
         simt::KernelProfile tp = simt::KernelProfile::streaming(
             n, 2ull * n * config_.requestSlotBytes,
             kTransposeInstsPerThread, config_.warpModel, "req-transpose");
-        device_.launchKernel(parserStream_,
+        device_.launchKernel(pstream,
                              computeKernelCost(tp, device_.config()),
                              launch_parser);
     };
     if (config_.networkOverPcie) {
-        device_.copyToDevice(parserStream_,
-                             static_cast<uint64_t>(n) *
-                                 config_.requestSlotBytes,
-                             launch_transpose);
+        device_.copyToDevice(pstream, upload_bytes, launch_transpose);
     } else {
         launch_transpose();
+    }
+}
+
+void
+RhythmServer::parsedReady(uint64_t seq, std::vector<CohortEntry> parsed)
+{
+    // Parse chains on distinct streams may complete out of batch order;
+    // dispatch must not. Queue completions and drain strictly in
+    // sequence so cohort formation and every backend/session mutation
+    // happen in the same canonical order as the serial pipeline — the
+    // responses are then byte-identical with overlap on or off.
+    parsedReorder_.emplace(seq, std::move(parsed));
+    while (!parsedReorder_.empty() &&
+           parsedReorder_.begin()->first == parseDispatchNext_) {
+        std::vector<CohortEntry> next =
+            std::move(parsedReorder_.begin()->second);
+        parsedReorder_.erase(parsedReorder_.begin());
+        ++parseDispatchNext_;
+        dispatchParsed(std::move(next));
     }
 }
 
@@ -1185,10 +1223,18 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
     if (config_.networkOverPcie) {
         // The paper ships the full power-of-two response buffer across
         // PCIe (26.4 KB per request on average, Section 6.1.1) — the
-        // loose-fit buffer overhead visible in Figures 9 and 10.
-        run.sequence.push_back(Cmd{Cmd::Kind::CopyToHost, {},
-                                   static_cast<uint64_t>(lane_bytes) * n,
-                                   0});
+        // loose-fit buffer overhead visible in Figures 9 and 10. With
+        // overlapPipeline the chunked DMA engines gather-scissor the
+        // download to the bytes actually occupied (content plus warp-max
+        // padding); the delivered responses are the same either way.
+        const uint64_t loose_fit = static_cast<uint64_t>(lane_bytes) * n;
+        const uint64_t ship_bytes =
+            config_.overlapPipeline
+                ? std::min(run.responseContentBytes + run.paddingBytes,
+                           loose_fit)
+                : loose_fit;
+        run.sequence.push_back(
+            Cmd{Cmd::Kind::CopyToHost, {}, ship_bytes, 0});
     }
 
     // The stage profiles are value copies; recycle the trace storage.

@@ -142,6 +142,25 @@ struct RhythmConfig
      * primary cannot strand journaled state.
      */
     des::Time watchdogTimeout = 0;
+
+    // ---- Transfer/compute overlap (off by default, so a default
+    // ---- config reproduces the paper's figures exactly) -------------
+
+    /**
+     * Pipeline the host stages against device execution (DESIGN.md 6h):
+     * two parser batches may be in flight at once (Reader/Parser of
+     * cohort k+1 runs under Process of cohort k, each parser chain on
+     * its own stream), and Titan A's network transfers are scissored to
+     * occupied bytes — the parser upload ships the bytes requests
+     * actually occupy in their slots and the response download ships
+     * content + padding instead of the full loose-fit buffer. Parsed
+     * batches dispatch strictly in batch order through a reorder
+     * buffer, so cohort formation, backend mutation order and response
+     * bytes are identical to the serial pipeline. Pair with
+     * DeviceConfig::copyEngines/copyChunkBytes so the chunked uploads
+     * and downloads actually interleave on the link.
+     */
+    bool overlapPipeline = false;
 };
 
 /**
@@ -338,7 +357,10 @@ class RhythmServer
     /** Post-acceptance bookkeeping (client-disconnect injection). */
     void noteAccepted(uint64_t client_id);
     void maybeLaunchBatch(bool force);
-    void parseBatch(std::unique_ptr<ReaderBatch> batch);
+    void parseBatch(std::unique_ptr<ReaderBatch> batch, uint64_t seq);
+    /** Batch-order hand-off: queues out-of-order parse completions and
+     *  dispatches in-order ones (the overlap determinism contract). */
+    void parsedReady(uint64_t seq, std::vector<CohortEntry> parsed);
     void dispatchParsed(std::vector<CohortEntry> parsed);
     void drainDispatch();
     /** routeEntry outcome: Blocked means the caller keeps the entry. */
@@ -384,7 +406,18 @@ class RhythmServer
     ResponseCallback responseCb_;
 
     std::unique_ptr<ReaderBatch> forming_;
-    bool parserBusy_ = false;
+    /** Parser batches in flight (limit 1; 2 with overlapPipeline). */
+    uint32_t parserInFlight_ = 0;
+    /** True when no further parser batch may launch right now. */
+    bool parserSaturated() const
+    {
+        return parserInFlight_ >= (config_.overlapPipeline ? 2u : 1u);
+    }
+    /** Next parse sequence number to assign / to dispatch. */
+    uint64_t parseSeqNext_ = 0;
+    uint64_t parseDispatchNext_ = 0;
+    /** Parse completions waiting for their turn (batch order). */
+    std::map<uint64_t, std::vector<CohortEntry>> parsedReorder_;
     uint64_t inflightRequests_ = 0;
     uint64_t nextClientId_ = 1;
     std::deque<CohortEntry> pendingDispatch_;
@@ -402,6 +435,11 @@ class RhythmServer
     /** Hedge stream per context (created only with the watchdog on). */
     std::vector<int> hedgeStreams_;
     int parserStream_ = -1;
+    /** Second parser stream (overlapPipeline only; batches alternate
+     *  streams so chain k+1 is independent of chain k on the device).
+     *  Created after the hedge streams, keeping the default stream-id
+     *  layout identical. */
+    int parserStream2_ = -1;
     /** Monotonic cohort launch counter; seeds idempotency tokens. */
     uint64_t cohortSeq_ = 0;
 

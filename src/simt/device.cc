@@ -25,7 +25,14 @@ Device::Device(des::EventQueue &queue, DeviceConfig config)
 {
     RHYTHM_ASSERT(config_.hardwareQueues >= 1);
     RHYTHM_ASSERT(config_.numSms >= 1);
+    RHYTHM_ASSERT(config_.copyEngines >= 1);
     hwQueues_.resize(static_cast<size_t>(config_.hardwareQueues));
+    h2dPool_.toDevice = true;
+    d2hPool_.toDevice = false;
+    const size_t engines = static_cast<size_t>(config_.copyEngines);
+    h2dPool_.engines.resize(engines);
+    d2hPool_.engines.resize(engines);
+    overlapLast_ = queue.now();
 }
 
 int
@@ -97,10 +104,16 @@ Device::startCommand(int queue_index)
     }
     switch (cmd.type) {
       case CommandType::CopyH2D:
-        startCopy(h2d_, PendingCopy{cmd.bytes, true, queue_index});
+        if (pooledCopies())
+            assignEngine(h2dPool_, PendingCopy{cmd.bytes, true, queue_index});
+        else
+            startCopy(h2d_, PendingCopy{cmd.bytes, true, queue_index});
         break;
       case CommandType::CopyD2H:
-        startCopy(d2h_, PendingCopy{cmd.bytes, false, queue_index});
+        if (pooledCopies())
+            assignEngine(d2hPool_, PendingCopy{cmd.bytes, false, queue_index});
+        else
+            startCopy(d2h_, PendingCopy{cmd.bytes, false, queue_index});
         break;
       case CommandType::Kernel:
         // Model the fixed launch overhead as serial latency before the
@@ -136,6 +149,8 @@ Device::startCopy(CopyEngine &engine, PendingCopy copy)
         return;
     }
     engine.busy = true;
+    accrueCopyOverlap();
+    ++activeCopies_;
     if (copy.toDevice) {
         ++stats_.copiesToDevice;
         stats_.bytesToDevice += copy.bytes;
@@ -209,12 +224,202 @@ Device::startCopy(CopyEngine &engine, PendingCopy copy)
 void
 Device::copyFinished(CopyEngine &engine)
 {
+    accrueCopyOverlap();
+    --activeCopies_;
     engine.busy = false;
     if (!engine.waiting.empty()) {
         PendingCopy next = engine.waiting.front();
         engine.waiting.pop_front();
         startCopy(engine, next);
     }
+}
+
+void
+Device::accrueCopyOverlap()
+{
+    const des::Time now = queue_.now();
+    const double dt = des::toSeconds(now - overlapLast_);
+    overlapLast_ = now;
+    if (dt <= 0.0 || activeCopies_ == 0)
+        return;
+    copyBusySeconds_ += dt;
+    if (!pool_.empty())
+        overlapSeconds_ += dt;
+}
+
+void
+Device::assignEngine(CopyDirection &dir, PendingCopy copy)
+{
+    // Lowest free index keeps engine assignment deterministic under any
+    // --sim-threads setting (assignment happens on the DES thread in
+    // canonical event order).
+    int idx = -1;
+    for (size_t i = 0; i < dir.engines.size(); ++i) {
+        if (!dir.engines[i].busy) {
+            idx = static_cast<int>(i);
+            break;
+        }
+    }
+    if (idx < 0) {
+        dir.waiting.push_back(copy);
+        return;
+    }
+    accrueCopyOverlap();
+    ++activeCopies_;
+    DmaEngine &eng = dir.engines[static_cast<size_t>(idx)];
+    eng.busy = true;
+    eng.assignedAt = queue_.now();
+    eng.bytesLeft = copy.bytes;
+    eng.totalBytes = copy.bytes;
+    eng.queueIndex = copy.queueIndex;
+    eng.extra = 0;
+    if (dir.toDevice) {
+        ++stats_.copiesToDevice;
+        stats_.bytesToDevice += copy.bytes;
+    } else {
+        ++stats_.copiesToHost;
+        stats_.bytesToHost += copy.bytes;
+    }
+    const double transfer_seconds =
+        static_cast<double>(copy.bytes) / (config_.pcieBandwidthGBs * 1e9);
+    const des::Time nominal =
+        config_.pcieLatency + des::fromSeconds(transfer_seconds);
+    // The copyExtra fault hook is consulted exactly once per transfer
+    // (same contract as the legacy path); the penalty lands on the
+    // final chunk so the transfer still completes as one unit.
+    if (faultHooks_.copyExtra)
+        eng.extra = faultHooks_.copyExtra(dir.toDevice, copy.bytes, nominal);
+    if (OBS_ENABLED()) {
+        OBS_COUNTER_ADD(dir.toDevice ? "device.pcie_bytes_h2d"
+                                     : "device.pcie_bytes_d2h",
+                        copy.bytes);
+        if (eng.extra > 0) {
+            OBS_INSTANT(obs::track::kEvents, "pcie-fault", "fault",
+                        {"extra_us", des::toMicros(eng.extra)},
+                        {"bytes", copy.bytes});
+            OBS_COUNTER_ADD("device.pcie_faults", 1);
+        }
+    }
+    // DMA setup / per-transfer link latency: engines pay it
+    // concurrently, then arbitrate for the serial wire chunk by chunk.
+    queue_.scheduleAfter(config_.pcieLatency, [this, &dir, idx]() {
+        engineReady(dir, idx);
+    });
+}
+
+void
+Device::engineReady(CopyDirection &dir, int engine_index)
+{
+    dir.ready.push_back(engine_index);
+    if (!dir.linkBusy)
+        startNextChunk(dir);
+}
+
+void
+Device::startNextChunk(CopyDirection &dir)
+{
+    if (dir.linkBusy || dir.ready.empty())
+        return;
+    const int idx = dir.ready.front();
+    dir.ready.pop_front();
+    DmaEngine &eng = dir.engines[static_cast<size_t>(idx)];
+    const uint64_t chunk =
+        config_.copyChunkBytes == 0
+            ? eng.bytesLeft
+            : std::min<uint64_t>(config_.copyChunkBytes, eng.bytesLeft);
+    des::Time duration = 0;
+    if (config_.pcieCrcEnabled) {
+        // Chunks carry the same frame/CRC/retransmit accounting as a
+        // whole legacy transfer; only the per-transfer latency is
+        // excluded (charged once in the engine setup phase).
+        const PcieLink link(config_);
+        const PcieTransfer xfer = link.transferChunk(
+            chunk, [this, &dir]() {
+                return faultHooks_.frameCorrupt &&
+                       faultHooks_.frameCorrupt(dir.toDevice);
+            });
+        duration = xfer.duration;
+        stats_.pcieFrames += xfer.frames;
+        stats_.pcieWireBytes += xfer.wireBytes;
+        stats_.pcieCrcErrors += xfer.crcErrors;
+        stats_.pcieRetransmittedBytes += xfer.retransmittedBytes;
+        stats_.pcieRetrains += xfer.retrains;
+        if (OBS_ENABLED()) {
+            OBS_COUNTER_ADD("pcie.crc.frames", xfer.frames);
+            OBS_COUNTER_ADD("pcie.crc.wire_bytes", xfer.wireBytes);
+            if (xfer.crcErrors > 0)
+                OBS_COUNTER_ADD("pcie.crc.errors", xfer.crcErrors);
+            if (xfer.retransmittedBytes > 0)
+                OBS_COUNTER_ADD("pcie.crc.retransmitted_bytes",
+                                xfer.retransmittedBytes);
+            if (xfer.retrains > 0)
+                OBS_COUNTER_ADD("pcie.crc.retrains", xfer.retrains);
+        }
+    } else {
+        const double seconds = static_cast<double>(chunk) /
+                               (config_.pcieBandwidthGBs * 1e9);
+        duration = des::fromSeconds(seconds);
+    }
+    if (chunk >= eng.bytesLeft && eng.extra > 0)
+        duration += eng.extra;
+    dir.linkBusy = true;
+    dir.linkBusySeconds += des::toSeconds(duration);
+    if (dir.toDevice)
+        ++stats_.copyChunksH2D;
+    else
+        ++stats_.copyChunksD2H;
+    if (OBS_ENABLED()) {
+        const uint32_t tr =
+            (dir.toDevice ? obs::track::kPcieH2DEngineBase
+                          : obs::track::kPcieD2HEngineBase) +
+            static_cast<uint32_t>(idx);
+        OBS_TRACK_NAME(tr, (dir.toDevice ? "pcie h2d ce" : "pcie d2h ce") +
+                               std::to_string(idx));
+        OBS_SPAN_COMPLETE(tr, dir.toDevice ? "chunk h2d" : "chunk d2h",
+                          "pcie", queue_.now(), queue_.now() + duration,
+                          {"bytes", chunk},
+                          {"transfer_bytes", eng.totalBytes});
+    }
+    queue_.scheduleAfter(duration, [this, &dir, idx, chunk]() {
+        chunkDone(dir, idx, chunk, 0);
+    });
+}
+
+void
+Device::chunkDone(CopyDirection &dir, int engine_index, uint64_t chunk,
+                  des::Time /*wire*/)
+{
+    dir.linkBusy = false;
+    DmaEngine &eng = dir.engines[static_cast<size_t>(engine_index)];
+    RHYTHM_ASSERT(chunk <= eng.bytesLeft);
+    eng.bytesLeft -= chunk;
+    if (eng.bytesLeft > 0) {
+        // More chunks to go: rejoin the round-robin service order.
+        dir.ready.push_back(engine_index);
+    } else {
+        accrueCopyOverlap();
+        --activeCopies_;
+        eng.busy = false;
+        eng.busySeconds += des::toSeconds(queue_.now() - eng.assignedAt);
+        const int qi = eng.queueIndex;
+        if (OBS_ENABLED()) {
+            const uint32_t tr =
+                dir.toDevice ? obs::track::kPcieH2D : obs::track::kPcieD2H;
+            OBS_TRACK_NAME(tr, dir.toDevice ? "pcie h2d" : "pcie d2h");
+            OBS_SPAN_COMPLETE(tr,
+                              dir.toDevice ? "copy h2d" : "copy d2h",
+                              "pcie", eng.assignedAt, queue_.now(),
+                              {"bytes", eng.totalBytes},
+                              {"engine", static_cast<uint64_t>(engine_index)});
+        }
+        if (!dir.waiting.empty()) {
+            PendingCopy next = dir.waiting.front();
+            dir.waiting.pop_front();
+            assignEngine(dir, next);
+        }
+        commandFinished(qi);
+    }
+    startNextChunk(dir);
 }
 
 void
@@ -239,6 +444,9 @@ Device::kernelAdmitted(KernelCost cost, int queue_index)
 void
 Device::advancePool()
 {
+    // Pool membership is about to change; settle the copy/kernel
+    // overlap integral against the old membership first.
+    accrueCopyOverlap();
     const des::Time now = queue_.now();
     const double dt = des::toSeconds(now - poolLastUpdate_);
     poolLastUpdate_ = now;
@@ -359,6 +567,36 @@ Device::stats() const
     }
     s.h2dBusySeconds = h2d_.busySeconds;
     s.d2hBusySeconds = d2h_.busySeconds;
+    if (pooledCopies()) {
+        // Pooled path: direction busy time is serial link occupancy
+        // (the legacy single-engine analog); per-engine busy time spans
+        // assignment → completion, with open intervals folded in.
+        s.h2dBusySeconds = h2dPool_.linkBusySeconds;
+        s.d2hBusySeconds = d2hPool_.linkBusySeconds;
+        const des::Time now = queue_.now();
+        auto fold = [now](const CopyDirection &dir) {
+            std::vector<double> busy;
+            busy.reserve(dir.engines.size());
+            for (const auto &eng : dir.engines) {
+                double secs = eng.busySeconds;
+                if (eng.busy)
+                    secs += des::toSeconds(now - eng.assignedAt);
+                busy.push_back(secs);
+            }
+            return busy;
+        };
+        s.engineBusySecondsH2D = fold(h2dPool_);
+        s.engineBusySecondsD2H = fold(d2hPool_);
+    }
+    s.copyBusySeconds = copyBusySeconds_;
+    s.overlapSeconds = overlapSeconds_;
+    // Fold the open copy-busy interval without mutating the integrals.
+    const double odt = des::toSeconds(queue_.now() - overlapLast_);
+    if (odt > 0.0 && activeCopies_ > 0) {
+        s.copyBusySeconds += odt;
+        if (!pool_.empty())
+            s.overlapSeconds += odt;
+    }
     return s;
 }
 

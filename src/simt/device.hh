@@ -130,6 +130,20 @@ class Device
         uint64_t pcieCrcErrors = 0;
         uint64_t pcieRetransmittedBytes = 0;
         uint64_t pcieRetrains = 0;
+        // ---- Overlapped copy model (DESIGN.md 6h) ------------------
+        /** Wall time with at least one transfer in flight (either
+         *  direction; includes the latency phase). */
+        double copyBusySeconds = 0.0;
+        /** Wall time with a transfer in flight AND a kernel running —
+         *  transfer latency hidden under compute. */
+        double overlapSeconds = 0.0;
+        /** Chunks transmitted per direction (0 on the legacy path). */
+        uint64_t copyChunksH2D = 0;
+        uint64_t copyChunksD2H = 0;
+        /** Per-engine busy time, assignment → completion (empty on the
+         *  legacy path). */
+        std::vector<double> engineBusySecondsH2D;
+        std::vector<double> engineBusySecondsD2H;
     };
 
     /** Returns utilization statistics up to the current simulated time. */
@@ -178,12 +192,56 @@ class Device
         std::deque<PendingCopy> waiting;
     };
 
+    /**
+     * One DMA engine of the pooled (overlapped) copy model. An engine
+     * holds at most one transfer at a time; chunks of concurrent
+     * transfers share the link round robin (DESIGN.md 6h).
+     */
+    struct DmaEngine
+    {
+        bool busy = false;
+        double busySeconds = 0.0;      //!< Assignment → completion.
+        des::Time assignedAt = 0;      //!< For busySeconds + spans.
+        uint64_t bytesLeft = 0;        //!< Payload not yet on the wire.
+        uint64_t totalBytes = 0;       //!< Whole transfer (for tracing).
+        des::Time extra = 0;           //!< copyExtra fault, paid on the
+                                       //!< final chunk.
+        int queueIndex = 0;            //!< HW queue to release on finish.
+    };
+
+    /** The pooled copy model's per-direction state. */
+    struct CopyDirection
+    {
+        bool toDevice = false;
+        std::vector<DmaEngine> engines;
+        /** Transfers waiting for a free engine (FIFO). */
+        std::deque<PendingCopy> waiting;
+        /** Engines with bytes ready for the link, in service order. */
+        std::deque<int> ready;
+        bool linkBusy = false;
+        double linkBusySeconds = 0.0;
+    };
+
     void enqueue(int stream, Command cmd);
     void startCommand(int queue_index);
     void commandFinished(int queue_index);
 
     void startCopy(CopyEngine &engine, PendingCopy copy);
     void copyFinished(CopyEngine &engine);
+
+    // ---- Pooled (overlapped) copy path ---------------------------------
+    /** True when the multi-engine/chunked model is configured. */
+    bool pooledCopies() const
+    {
+        return config_.copyEngines > 1 || config_.copyChunkBytes > 0;
+    }
+    void assignEngine(CopyDirection &dir, PendingCopy copy);
+    void engineReady(CopyDirection &dir, int engine_index);
+    void startNextChunk(CopyDirection &dir);
+    void chunkDone(CopyDirection &dir, int engine_index, uint64_t chunk,
+                   des::Time wire);
+    /** Accrues copy-busy / copy-kernel-overlap wall time up to now. */
+    void accrueCopyOverlap();
 
     void kernelAdmitted(KernelCost cost, int queue_index);
     void advancePool();
@@ -201,6 +259,15 @@ class Device
 
     CopyEngine h2d_;
     CopyEngine d2h_;
+
+    CopyDirection h2dPool_;
+    CopyDirection d2hPool_;
+    /** Transfers currently in flight across both directions (pooled and
+     *  legacy paths; drives the overlap accounting). */
+    int activeCopies_ = 0;
+    des::Time overlapLast_ = 0;
+    double overlapSeconds_ = 0.0;
+    double copyBusySeconds_ = 0.0;
 
     std::vector<RunningKernel> pool_;
     des::Time poolLastUpdate_ = 0;

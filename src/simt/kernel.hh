@@ -74,6 +74,24 @@ struct DeviceConfig
     uint32_t pcieMaxRetransmits = 4;
     /** Retrain penalty once a frame exhausts its retransmit budget. */
     des::Time pcieRetrainTime = 50 * des::kMicrosecond;
+    /**
+     * Modeled DMA copy engines per direction. 1 (the default) keeps the
+     * legacy single-engine serial copy model bit for bit. With more
+     * engines (or a non-zero chunk size) the device switches to the
+     * overlapped copy model (DESIGN.md Section 6h): each transfer's
+     * per-transfer latency phase runs on its own engine concurrently
+     * with other transfers, while the shared link wire transmits one
+     * chunk at a time at full bandwidth, round-robin over the engines
+     * with data ready.
+     */
+    int copyEngines = 1;
+    /**
+     * Chunk granularity of overlapped transfers in bytes (0 = whole
+     * transfer). Smaller chunks interleave concurrent transfers more
+     * finely on the wire; the chunk size never changes total wire time,
+     * only how transfers share it.
+     */
+    uint32_t copyChunkBytes = 0;
     /** Device DRAM capacity in bytes (GTX Titan: 6 GiB). */
     uint64_t memoryBytes = 6ull << 30;
 

@@ -87,7 +87,21 @@ class PcieLink
     PcieTransfer transfer(uint64_t bytes,
                           const std::function<bool()> &frame_corrupt) const;
 
+    /**
+     * Plans one CRC-protected *chunk* of a larger transfer: identical
+     * frame/CRC/retransmit accounting to transfer(), but the duration
+     * excludes the per-transfer latency — the overlapped copy model
+     * charges that once per transfer in the engine's setup phase, while
+     * chunks pay pure wire occupancy (plus any retrain penalties).
+     */
+    PcieTransfer transferChunk(
+        uint64_t bytes, const std::function<bool()> &frame_corrupt) const;
+
   private:
+    PcieTransfer plan(uint64_t bytes,
+                      const std::function<bool()> &frame_corrupt,
+                      bool include_latency) const;
+
     const DeviceConfig *config_;
 };
 

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Copy-engine scheduling corners of the overlapped transfer model
+ * (DESIGN.md Section 6h).
+ *
+ * Device level: chunk boundaries landing exactly on transfer edges,
+ * engine starvation with fewer engines than transfers, per-transfer
+ * setup latency hiding across engines, round-robin link arbitration,
+ * CRC retransmits inside a chunked transfer, and the busy/overlap
+ * accounting behind fig9's overlap_fraction. Server level: the
+ * pipelined (double-buffered) server must produce the same completed
+ * requests and response bytes as the serial pipeline under any thread
+ * count, with watchdog hedges firing while downloads are in flight,
+ * and under CRC-detected link corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hh"
+#include "fault/plan.hh"
+#include "platform/titan.hh"
+#include "simt/device.hh"
+#include "util/thread_pool.hh"
+
+namespace rhythm::simt {
+namespace {
+
+constexpr uint64_t kMiB = 1048576;
+
+DeviceConfig
+pooledConfig(int engines, uint32_t chunk)
+{
+    DeviceConfig cfg;
+    cfg.launchOverhead = 0;
+    cfg.pcieLatency = 0;
+    cfg.pcieBandwidthGBs = 1.0; // 1 byte per ns: easy arithmetic
+    cfg.copyEngines = engines;
+    cfg.copyChunkBytes = chunk;
+    return cfg;
+}
+
+KernelCost
+kernelOf(double seconds)
+{
+    KernelCost c;
+    c.deviceSeconds = seconds;
+    c.maxShare = 1.0;
+    return c;
+}
+
+TEST(OverlapDevice, PooledWholeTransferMatchesLegacyTiming)
+{
+    // Multiple engines but no chunking: a lone transfer costs exactly
+    // the legacy latency + bytes/bandwidth and ships as one chunk.
+    des::EventQueue eq;
+    Device dev(eq, pooledConfig(4, 0));
+    int s = dev.createStream();
+    bool done = false;
+    dev.copyToDevice(s, 1000000, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-3, 1e-9);
+    EXPECT_EQ(dev.stats().copyChunksH2D, 1u);
+    EXPECT_EQ(dev.stats().copiesToDevice, 1u);
+}
+
+TEST(OverlapDevice, ChunkCountExactAtSlotBoundary)
+{
+    // A transfer that is an exact multiple of the chunk size must ship
+    // exactly bytes/chunk chunks — no trailing zero-byte chunk.
+    {
+        des::EventQueue eq;
+        Device dev(eq, pooledConfig(1, 262144));
+        dev.copyToDevice(dev.createStream(), 4 * 262144, nullptr);
+        eq.run();
+        EXPECT_EQ(dev.stats().copyChunksH2D, 4u);
+        EXPECT_NEAR(des::toSeconds(eq.now()), 4 * 262144e-9, 1e-9);
+    }
+    // Exactly one chunk when bytes == chunk...
+    {
+        des::EventQueue eq;
+        Device dev(eq, pooledConfig(1, 262144));
+        dev.copyToDevice(dev.createStream(), 262144, nullptr);
+        eq.run();
+        EXPECT_EQ(dev.stats().copyChunksH2D, 1u);
+    }
+    // ...and one byte past the boundary rounds up to two.
+    {
+        des::EventQueue eq;
+        Device dev(eq, pooledConfig(1, 262144));
+        dev.copyToDevice(dev.createStream(), 262145, nullptr);
+        eq.run();
+        EXPECT_EQ(dev.stats().copyChunksH2D, 2u);
+    }
+}
+
+TEST(OverlapDevice, ChunkingPreservesTotalWireTime)
+{
+    // The chunk size changes how concurrent transfers share the wire,
+    // never how long one transfer's bytes occupy it.
+    double whole = 0, chunked = 0;
+    {
+        des::EventQueue eq;
+        Device dev(eq, pooledConfig(2, 0));
+        dev.copyToDevice(dev.createStream(), 1000000, nullptr);
+        eq.run();
+        whole = des::toSeconds(eq.now());
+    }
+    {
+        des::EventQueue eq;
+        Device dev(eq, pooledConfig(2, 4096));
+        dev.copyToDevice(dev.createStream(), 1000000, nullptr);
+        eq.run();
+        chunked = des::toSeconds(eq.now());
+    }
+    EXPECT_NEAR(whole, 1e-3, 1e-9);
+    EXPECT_NEAR(chunked, whole, 1e-9);
+}
+
+TEST(OverlapDevice, SingleEngineStarvationSerializes)
+{
+    // One engine, two transfers: the second starves until the first
+    // completes, so both its setup latency and its wire time land
+    // strictly after the first transfer — 2 × (latency + wire).
+    des::EventQueue eq;
+    DeviceConfig cfg = pooledConfig(1, 65536);
+    cfg.pcieLatency = 10 * des::kMicrosecond;
+    Device dev(eq, cfg);
+    int s1 = dev.createStream();
+    int s2 = dev.createStream();
+    std::vector<int> order;
+    dev.copyToDevice(s1, kMiB, [&] { order.push_back(1); });
+    dev.copyToDevice(s2, kMiB, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_NEAR(des::toSeconds(eq.now()), 2 * (1e-5 + kMiB * 1e-9), 1e-9);
+    // The lone engine was busy for both assignment→completion spans.
+    const Device::Stats s = dev.stats();
+    ASSERT_EQ(s.engineBusySecondsH2D.size(), 1u);
+    EXPECT_NEAR(s.engineBusySecondsH2D[0], 2 * (1e-5 + kMiB * 1e-9), 1e-9);
+}
+
+TEST(OverlapDevice, MultiEngineHidesSetupLatency)
+{
+    // Two engines: both transfers pay their per-transfer latency
+    // concurrently, then share the serial wire — one latency total
+    // instead of two.
+    des::EventQueue eq;
+    DeviceConfig cfg = pooledConfig(2, 65536);
+    cfg.pcieLatency = 10 * des::kMicrosecond;
+    Device dev(eq, cfg);
+    dev.copyToDevice(dev.createStream(), kMiB, nullptr);
+    dev.copyToDevice(dev.createStream(), kMiB, nullptr);
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), 1e-5 + 2 * kMiB * 1e-9, 1e-9);
+}
+
+TEST(OverlapDevice, RoundRobinInterleavesConcurrentTransfers)
+{
+    // Two 2-chunk transfers on two engines alternate chunks on the
+    // wire: A1 B1 A2 B2 — so A completes after 3 chunk times and B
+    // after 4, and neither transfer monopolizes the link.
+    des::EventQueue eq;
+    Device dev(eq, pooledConfig(2, 524288));
+    const double c = 524288e-9;
+    double done_a = 0, done_b = 0;
+    dev.copyToDevice(dev.createStream(), kMiB,
+                     [&] { done_a = des::toSeconds(eq.now()); });
+    dev.copyToDevice(dev.createStream(), kMiB,
+                     [&] { done_b = des::toSeconds(eq.now()); });
+    eq.run();
+    EXPECT_NEAR(done_a, 3 * c, 1e-9);
+    EXPECT_NEAR(done_b, 4 * c, 1e-9);
+    const Device::Stats s = dev.stats();
+    EXPECT_EQ(s.copyChunksH2D, 4u);
+    // Engine busy spans assignment → completion; the link was occupied
+    // back to back for all four chunks.
+    ASSERT_EQ(s.engineBusySecondsH2D.size(), 2u);
+    EXPECT_NEAR(s.engineBusySecondsH2D[0], 3 * c, 1e-9);
+    EXPECT_NEAR(s.engineBusySecondsH2D[1], 4 * c, 1e-9);
+    EXPECT_NEAR(s.h2dBusySeconds, 4 * c, 1e-9);
+    EXPECT_NEAR(s.copyBusySeconds, 4 * c, 1e-9);
+    // No kernels ran, so nothing was hidden under compute.
+    EXPECT_NEAR(s.overlapSeconds, 0.0, 1e-12);
+}
+
+TEST(OverlapDevice, EngineStarvationBacklogDrains)
+{
+    // More transfers than engines: the excess wait in FIFO order and
+    // are assigned as engines free up; every transfer completes.
+    des::EventQueue eq;
+    Device dev(eq, pooledConfig(2, 262144));
+    int completions = 0;
+    for (int i = 0; i < 5; ++i)
+        dev.copyToDevice(dev.createStream(), 262144,
+                         [&] { ++completions; });
+    eq.run();
+    EXPECT_EQ(completions, 5);
+    EXPECT_EQ(dev.stats().copiesToDevice, 5u);
+    EXPECT_EQ(dev.stats().copyChunksH2D, 5u);
+    EXPECT_NEAR(des::toSeconds(eq.now()), 5 * 262144e-9, 1e-9);
+    EXPECT_TRUE(dev.idle());
+}
+
+TEST(OverlapDevice, OppositeDirectionsOverlapOnPooledPath)
+{
+    // H2D and D2H have independent engine pools and wires: a download
+    // in flight never delays an upload (and vice versa).
+    des::EventQueue eq;
+    Device dev(eq, pooledConfig(2, 262144));
+    dev.copyToDevice(dev.createStream(), kMiB, nullptr);
+    dev.copyToHost(dev.createStream(), kMiB, nullptr);
+    eq.run();
+    EXPECT_NEAR(des::toSeconds(eq.now()), kMiB * 1e-9, 1e-9);
+    EXPECT_EQ(dev.stats().copyChunksH2D, 4u);
+    EXPECT_EQ(dev.stats().copyChunksD2H, 4u);
+}
+
+TEST(OverlapDevice, CrcRetransmitMidOverlappedTransfer)
+{
+    // Frame CRC on the chunked path, with a kernel running throughout:
+    // one corrupted frame deep inside the transfer is retransmitted,
+    // the transfer still completes as one unit, the wire/retransmit
+    // accounting is exact, and the whole copy is hidden under compute.
+    des::EventQueue eq;
+    DeviceConfig cfg = pooledConfig(2, 65536);
+    cfg.pcieCrcEnabled = true; // frame 4096 B + 8 B overhead defaults
+    Device dev(eq, cfg);
+    uint64_t frame_calls = 0;
+    DeviceFaultHooks hooks;
+    hooks.frameCorrupt = [&](bool /*to_device*/) {
+        return ++frame_calls == 100; // corrupt exactly one transmission
+    };
+    dev.setFaultHooks(hooks);
+    int sk = dev.createStream();
+    int sc = dev.createStream();
+    dev.launchKernel(sk, kernelOf(2e-3), nullptr);
+    double copy_done = 0;
+    dev.copyToDevice(sc, kMiB, [&] { copy_done = des::toSeconds(eq.now()); });
+    eq.run();
+
+    const Device::Stats s = dev.stats();
+    EXPECT_EQ(s.copyChunksH2D, 16u); // 1 MiB / 64 KiB chunks
+    EXPECT_EQ(s.pcieCrcErrors, 1u);
+    EXPECT_EQ(s.pcieRetrains, 0u);
+    EXPECT_EQ(s.pcieRetransmittedBytes, 4096u + 8u);
+    // 256 frames of payload+overhead, plus the one replayed frame.
+    EXPECT_EQ(s.pcieWireBytes, kMiB + 256 * 8 + 4104);
+    const double copy_seconds = static_cast<double>(s.pcieWireBytes) * 1e-9;
+    EXPECT_NEAR(copy_done, copy_seconds, 1e-9);
+    // The copy (retransmit included) ran entirely under the kernel.
+    EXPECT_NEAR(s.copyBusySeconds, copy_seconds, 1e-9);
+    EXPECT_NEAR(s.overlapSeconds, copy_seconds, 1e-9);
+    EXPECT_NEAR(des::toSeconds(eq.now()), 2e-3, 1e-6);
+}
+
+TEST(OverlapDevice, LegacyDefaultsBypassPooledPath)
+{
+    // copyEngines == 1 and copyChunkBytes == 0 is the paper-exact
+    // serial model: no chunk accounting, no per-engine vectors.
+    des::EventQueue eq;
+    Device dev(eq, pooledConfig(1, 0));
+    dev.copyToDevice(dev.createStream(), 1000000, nullptr);
+    eq.run();
+    const Device::Stats s = dev.stats();
+    EXPECT_EQ(s.copyChunksH2D, 0u);
+    EXPECT_TRUE(s.engineBusySecondsH2D.empty());
+    EXPECT_TRUE(s.engineBusySecondsD2H.empty());
+    EXPECT_NEAR(s.h2dBusySeconds, 1e-3, 1e-9);
+}
+
+} // namespace
+} // namespace rhythm::simt
+
+namespace rhythm {
+namespace {
+
+/** One small isolated banking run; restores serial mode afterwards. */
+platform::TypeRunResult
+runType(specweb::RequestType type, const platform::IsolatedRunOptions &opts,
+        unsigned threads)
+{
+    util::setSimThreads(threads);
+    platform::TypeRunResult r =
+        platform::runIsolatedType(platform::titanA(), type, opts);
+    util::setSimThreads(1);
+    return r;
+}
+
+platform::IsolatedRunOptions
+smallRun()
+{
+    platform::IsolatedRunOptions opts;
+    opts.cohorts = 4;
+    opts.users = 400;
+    opts.laneSample = 64;
+    return opts;
+}
+
+platform::IsolatedRunOptions
+overlapped(platform::IsolatedRunOptions opts)
+{
+    opts.overlapPipeline = true;
+    opts.copyEngines = 4;
+    opts.copyChunkBytes = 262144;
+    return opts;
+}
+
+TEST(OverlapServer, ResponsesIdenticalAcrossModesAndThreads)
+{
+    // The double-buffered pipeline reorders simulation work, never
+    // results: completed requests and client-visible response bytes
+    // must match the serial pipeline at any thread count.
+    for (specweb::RequestType type :
+         {specweb::RequestType::PostPayee, specweb::RequestType::Logout}) {
+        const platform::TypeRunResult off = runType(type, smallRun(), 1);
+        ASSERT_GT(off.requests, 0u);
+        for (unsigned threads : {1u, 8u}) {
+            const platform::TypeRunResult off_t =
+                runType(type, smallRun(), threads);
+            const platform::TypeRunResult on_t =
+                runType(type, overlapped(smallRun()), threads);
+            EXPECT_EQ(off_t.requests, off.requests);
+            EXPECT_EQ(on_t.requests, off.requests);
+            EXPECT_EQ(off_t.responseBytesPerRequest,
+                      off.responseBytesPerRequest);
+            EXPECT_EQ(on_t.responseBytesPerRequest,
+                      off.responseBytesPerRequest);
+            // Determinism within a mode: the threaded run reproduces
+            // the serial run bit for bit.
+            EXPECT_EQ(off_t.elapsedSeconds, off.elapsedSeconds);
+        }
+    }
+}
+
+TEST(OverlapServer, HedgeDuringOverlappedDownloadsKeepsResponses)
+{
+    // Kernel hangs with a tight watchdog: hedged cohorts re-execute
+    // while chunked downloads of neighbouring cohorts are in flight.
+    // Exactly-once delivery must hold — same requests, same response
+    // bytes as the fault-free serial run — with only timing changed.
+    platform::IsolatedRunOptions faulty = smallRun();
+    faulty.faults.at(fault::Site::KernelHang).probability = 0.5;
+    faulty.faults.at(fault::Site::KernelHang).meanDelay =
+        des::fromSeconds(5e-3);
+    faulty.watchdogTimeout = des::fromSeconds(2e-3);
+    faulty.recovery = true;
+
+    const specweb::RequestType type = specweb::RequestType::PostPayee;
+    const platform::TypeRunResult healthy = runType(type, smallRun(), 1);
+    const platform::TypeRunResult off = runType(type, faulty, 1);
+    const platform::TypeRunResult on = runType(type, overlapped(faulty), 1);
+    const platform::TypeRunResult on8 = runType(type, overlapped(faulty), 8);
+
+    EXPECT_EQ(off.requests, healthy.requests);
+    EXPECT_EQ(on.requests, healthy.requests);
+    EXPECT_EQ(off.responseBytesPerRequest, healthy.responseBytesPerRequest);
+    EXPECT_EQ(on.responseBytesPerRequest, healthy.responseBytesPerRequest);
+    // The faults actually fired: hangs + hedges cost simulated time.
+    EXPECT_NE(on.elapsedSeconds, healthy.elapsedSeconds);
+    // And the faulted overlapped run is itself thread-invariant.
+    EXPECT_EQ(on8.elapsedSeconds, on.elapsedSeconds);
+    EXPECT_EQ(on8.requests, on.requests);
+}
+
+TEST(OverlapServer, CrcCorruptionUnderOverlapKeepsResponses)
+{
+    // Frame CRC with injected corruption on the chunked path: every
+    // corrupted frame is retransmitted, so responses never change —
+    // only wire bytes and timing do.
+    platform::IsolatedRunOptions faulty = smallRun();
+    faulty.pcieFrameCrc = true;
+    faulty.faults.at(fault::Site::PcieCorrupt).probability = 0.05;
+
+    const specweb::RequestType type = specweb::RequestType::PostPayee;
+    const platform::TypeRunResult healthy = runType(type, smallRun(), 1);
+    const platform::TypeRunResult off = runType(type, faulty, 1);
+    const platform::TypeRunResult on = runType(type, overlapped(faulty), 1);
+
+    EXPECT_EQ(off.requests, healthy.requests);
+    EXPECT_EQ(on.requests, healthy.requests);
+    EXPECT_EQ(off.responseBytesPerRequest, healthy.responseBytesPerRequest);
+    EXPECT_EQ(on.responseBytesPerRequest, healthy.responseBytesPerRequest);
+    // CRC framing put more bytes on the wire than the payload needs.
+    EXPECT_GT(on.pcieWireBytesPerRequest, 0u);
+    EXPECT_GE(on.pcieWireBytesPerRequest, on.pcieBytesPerRequest);
+}
+
+} // namespace
+} // namespace rhythm

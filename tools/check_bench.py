@@ -37,6 +37,12 @@ in "config", report acceptance_pass = 1, and keep
 overhead.goodput_ratio inside the recovery overhead band — the
 resilience stack is allowed to cost a few percent, never tens.
 
+The ext_overlap document must carry the overlap configuration
+(overlap, copy_engines, copy_chunk_kb) in "config", report
+acceptance_pass = 1, and keep every "*.speedup" metric at or above the
+1.2x floor — the transfer/compute overlap claim is an absolute bar,
+not merely a no-regression band.
+
 Exit code: 0 when every pair passes, 1 otherwise. The simulation is a
 deterministic DES, so checked-in baselines are machine-independent;
 only the optional host section varies between machines.
@@ -152,6 +158,53 @@ def validate_recovery(doc, path):
             f"{RECOVERY_BENCH}: {path} acceptance_pass is "
             f"{metrics.get('acceptance_pass')!r}, expected 1 — a chaos "
             "schedule was not byte-equivalent to fault-free"
+        )
+    return failures
+
+
+# The transfer/compute overlap bench (bench/ext_overlap.cc) claims an
+# absolute speedup, not just parity with a baseline: copy-engine
+# overlap must lift the PCIe-bound types >=1.2x at unchanged link
+# bandwidth, and the document must say which overlap configuration
+# produced the number.
+OVERLAP_BENCH = "ext_overlap"
+OVERLAP_CONFIG_KEYS = ("overlap", "copy_engines", "copy_chunk_kb")
+OVERLAP_MIN_SPEEDUP = 1.2
+
+
+def validate_overlap(doc, path):
+    """ext_overlap-specific checks; returns failure messages."""
+    failures = []
+    config = doc.get("config", {})
+    for key in OVERLAP_CONFIG_KEYS:
+        if key not in config:
+            failures.append(
+                f"{OVERLAP_BENCH}: {path} missing overlap configuration "
+                f"'{key}' in config — the speedup is meaningless without "
+                "the engine/chunk settings that produced it"
+            )
+    metrics = doc["metrics"]
+    speedups = {
+        key: value
+        for key, value in metrics.items()
+        if key.endswith(".speedup")
+    }
+    if not speedups:
+        failures.append(
+            f"{OVERLAP_BENCH}: {path} has no '*.speedup' metrics — the "
+            "overlap gate measured nothing"
+        )
+    for key, value in sorted(speedups.items()):
+        if value < OVERLAP_MIN_SPEEDUP:
+            failures.append(
+                f"{OVERLAP_BENCH}: '{key}' is {value:g}, below the "
+                f"{OVERLAP_MIN_SPEEDUP:g}x overlap speedup floor"
+            )
+    if metrics.get("acceptance_pass") != 1:
+        failures.append(
+            f"{OVERLAP_BENCH}: {path} acceptance_pass is "
+            f"{metrics.get('acceptance_pass')!r}, expected 1 — a gated "
+            "type missed its speedup or changed its response bytes"
         )
     return failures
 
@@ -290,6 +343,8 @@ def main():
         )
         if meas_doc["bench"] == RECOVERY_BENCH:
             failures.extend(validate_recovery(meas_doc, meas_path))
+        if meas_doc["bench"] == OVERLAP_BENCH:
+            failures.extend(validate_overlap(meas_doc, meas_path))
         checked += len(base_doc["metrics"])
         for msg in notes:
             print(f"note: {msg}")

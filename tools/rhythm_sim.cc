@@ -31,6 +31,7 @@
 #include "search/service.hh"
 #include "specweb/workload.hh"
 #include "util/flags.hh"
+#include "util/hash.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -73,10 +74,26 @@ usage(const std::string &error)
            "                              host wall-clock changes)\n"
            "  --profile-cache-entries=N   cache capacity in warp entries\n"
            "                              (4096)\n"
+           "transfer/compute overlap (off by default):\n"
+           "  --overlap=on|off            pipeline parse of cohort k+1\n"
+           "                              under kernels of cohort k and\n"
+           "                              ship only occupied slot bytes\n"
+           "                              (off; implies --copy-engines=4\n"
+           "                              and --copy-chunk-kb=256 unless\n"
+           "                              overridden; responses are\n"
+           "                              byte-identical on or off)\n"
+           "  --copy-engines=N            modeled DMA engines per PCIe\n"
+           "                              direction (1)\n"
+           "  --copy-chunk-kb=N           DMA chunk granularity (0 =\n"
+           "                              whole transfer)\n"
            "observability (off by default):\n"
            "  --json=PATH                 machine-readable result JSON\n"
            "  --trace-out=PATH            Chrome trace_event JSON "
            "(perfetto)\n"
+           "  --digest-out=PATH           order-insensitive FNV-1a digest\n"
+           "                              of every response (equivalence\n"
+           "                              gates compare it across\n"
+           "                              --overlap and --sim-threads)\n"
            "fault injection (all off by default):\n"
            "  --fault-seed=N              fault plan seed (1)\n"
            "  --backend-fail=P            backend call failure probability\n"
@@ -323,13 +340,90 @@ report(const core::RhythmServer &server, const simt::Device &device,
 }
 
 /**
- * Writes the trace and JSON artifacts (no-ops without the flags) and
- * turns observability back off. Returns the process exit code.
+ * Order-insensitive fingerprint of the full response stream.
+ *
+ * Each response hashes independently (FNV-1a over the client id, the
+ * length and the bytes) and the per-response digests combine with a
+ * wrapping sum, so the fingerprint is invariant to completion order
+ * but sensitive to any byte of any response. The equivalence gates
+ * compare it across --overlap=on/off and --sim-threads values, whose
+ * host-side callback order may legitimately differ while the simulated
+ * responses must not.
+ */
+struct ResponseDigest
+{
+    std::string path; //!< Output file; empty = disabled.
+    uint64_t sum = 0;
+    uint64_t count = 0;
+
+    void add(uint64_t client_id, std::string_view response)
+    {
+        util::Fnv1a64 h;
+        h.update(client_id);
+        h.update(response.size());
+        uint64_t word = 0;
+        int shift = 0;
+        for (const char c : response) {
+            word |= static_cast<uint64_t>(
+                        static_cast<unsigned char>(c))
+                    << shift;
+            shift += 8;
+            if (shift == 64) {
+                h.update(word);
+                word = 0;
+                shift = 0;
+            }
+        }
+        if (shift > 0)
+            h.update(word);
+        sum += h.digest();
+        ++count;
+    }
+
+    /** Attaches the digest to a server when armed. */
+    void attach(core::RhythmServer &server)
+    {
+        if (path.empty())
+            return;
+        server.setResponseCallback(
+            [this](uint64_t client_id, std::string_view response,
+                   des::Time) { add(client_id, response); });
+    }
+
+    /** Writes "<hex sum> <count>"; returns false on I/O failure. */
+    bool write() const
+    {
+        if (path.empty())
+            return true;
+        std::ofstream out(path);
+        if (out) {
+            char line[48];
+            std::snprintf(line, sizeof line, "%016llx %llu\n",
+                          static_cast<unsigned long long>(sum),
+                          static_cast<unsigned long long>(count));
+            out << line;
+        }
+        if (!out.good()) {
+            std::cerr << "error: cannot write --digest-out file: "
+                      << path << "\n";
+            return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Writes the trace, JSON and digest artifacts (no-ops without the
+ * flags) and turns observability back off. Returns the process exit
+ * code.
  */
 int
-finish(const bench::Reporter &rep, const std::string &trace_path)
+finish(const bench::Reporter &rep, const std::string &trace_path,
+       const ResponseDigest &digest)
 {
     int rc = 0;
+    if (!digest.write())
+        rc = 1;
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
         if (out) {
@@ -370,7 +464,8 @@ main(int argc, char **argv)
              "checkpoint-interval", "retry-budget", "backoff-us",
              "deadline-ms", "shed-backlog", "shed-p99-ms", "json",
              "trace-out", "sim-threads", "profile-cache",
-             "profile-cache-entries"}))
+             "profile-cache-entries", "overlap", "copy-engines",
+             "copy-chunk-kb", "digest-out"}))
         return usage(flags.error());
 
     // Host-side parallelism of the execution engine. Applied before any
@@ -404,7 +499,24 @@ main(int argc, char **argv)
     if (flags.getBool("pcie-crc", false))
         variant.device.pcieCrcEnabled = true;
 
+    // Transfer/compute overlap family (DESIGN.md 6h). Parsed with the
+    // shared bench helper so the bench binaries and the driver agree on
+    // the --overlap=on implied defaults.
+    const std::string overlap_mode = flags.getString("overlap", "off");
+    if (overlap_mode != "on" && overlap_mode != "off")
+        return usage("--overlap must be on or off");
+    const bench::OverlapFlags overlap =
+        bench::OverlapFlags::parse(argc, argv);
+    // An explicit --copy-engines must be positive; OverlapFlags treats
+    // non-positive values as "use the mode default", which would
+    // silently ignore a typo'd 0 here.
+    const std::string engines_raw = flags.getString("copy-engines", "");
+    if (!engines_raw.empty() && std::atoi(engines_raw.c_str()) < 1)
+        return usage("--copy-engines must be >= 1");
+    overlap.apply(variant.device);
+
     core::RhythmConfig cfg = variant.server;
+    overlap.apply(cfg);
     cfg.cohortSize =
         static_cast<uint32_t>(flags.getU64("cohort-size", 4096));
     // Default to 16 contexts: a mixed workload needs roughly one per
@@ -503,6 +615,10 @@ main(int argc, char **argv)
     json_report.config("cohorts", static_cast<double>(cohorts));
     json_report.config("cohort_size", static_cast<double>(cfg.cohortSize));
     json_report.config("seed", static_cast<double>(seed));
+    overlap.recordConfig(json_report);
+
+    ResponseDigest digest;
+    digest.path = flags.getString("digest-out", "");
 
     std::cout << "rhythm_sim: " << flags.getString("workload", "banking")
               << " on " << preset << " (" << variant.device.numSms
@@ -542,6 +658,7 @@ main(int argc, char **argv)
         core::RhythmServer server(queue, device, service, cfg);
         specweb::StaticContent content(32, seed);
         server.setStaticContent(&content);
+        digest.attach(server);
         fault::FaultPlan plan(fcfg);
         if (faults_on) {
             server.setFaultPlan(&plan);
@@ -601,7 +718,7 @@ main(int argc, char **argv)
         report(server, device, queue, variant.power,
                faults_on ? &plan : nullptr, robust, &json_report,
                pc_on ? &profile_cache : nullptr, recoverable.get());
-        return finish(json_report, trace_path);
+        return finish(json_report, trace_path, digest);
     }
 
     if (recovery_on)
@@ -619,6 +736,7 @@ main(int argc, char **argv)
             device.engine().setProfileCache(&profile_cache);
         chat::ChatService service(store);
         core::RhythmServer server(queue, device, service, cfg);
+        digest.attach(server);
         fault::FaultPlan plan(fcfg);
         if (faults_on) {
             server.setFaultPlan(&plan);
@@ -640,7 +758,7 @@ main(int argc, char **argv)
         std::cout << "messages posted during run: "
                   << withCommas(store.totalPosted() - 256ull * 40)
                   << "\n";
-        return finish(json_report, trace_path);
+        return finish(json_report, trace_path, digest);
     }
 
     if (workload == "search") {
@@ -658,6 +776,7 @@ main(int argc, char **argv)
             device.engine().setProfileCache(&profile_cache);
         search::SearchService service(index);
         core::RhythmServer server(queue, device, service, cfg);
+        digest.attach(server);
         fault::FaultPlan plan(fcfg);
         if (faults_on) {
             server.setFaultPlan(&plan);
@@ -675,7 +794,7 @@ main(int argc, char **argv)
         report(server, device, queue, variant.power,
                faults_on ? &plan : nullptr, robust, &json_report,
                pc_on ? &profile_cache : nullptr);
-        return finish(json_report, trace_path);
+        return finish(json_report, trace_path, digest);
     }
 
     return usage("unknown workload: " + workload);

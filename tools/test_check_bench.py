@@ -307,5 +307,75 @@ class RecoveryGateTest(GateHarness):
         self.assertEqual(code, 0)
 
 
+def overlap_doc(**overrides):
+    """A minimal valid ext_overlap --json document."""
+    d = {
+        "bench": "ext_overlap",
+        "config": {
+            "overlap": 1,
+            "copy_engines": 4,
+            "copy_chunk_kb": 256,
+        },
+        "metrics": {
+            "post_payee.speedup": 1.84,
+            "logout.speedup": 1.40,
+            "min_speedup": 1.40,
+            "acceptance_pass": 1,
+        },
+    }
+    d.update(overrides)
+    return d
+
+
+class OverlapGateTest(GateHarness):
+    """ext_overlap-specific schema and speedup-floor checks."""
+
+    def test_valid_overlap_document_passes(self):
+        base = overlap_doc()
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+    def test_missing_overlap_config_fails(self):
+        for key in ("overlap", "copy_engines", "copy_chunk_kb"):
+            meas = overlap_doc()
+            meas["config"] = {k: v for k, v in meas["config"].items()
+                              if k != key}
+            code, out = self.gate(overlap_doc(), meas)
+            self.assertEqual(code, 1, key)
+            self.assertIn(f"missing overlap configuration '{key}'", out)
+
+    def test_speedup_below_floor_fails(self):
+        meas = overlap_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               **{"logout.speedup": 1.1})
+        # Baseline carries the same (bad) value so the generic relative
+        # comparison passes — only the absolute floor catches it.
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("below the 1.2x overlap speedup floor", out)
+
+    def test_document_without_speedups_fails(self):
+        meas = overlap_doc()
+        meas["metrics"] = {"acceptance_pass": 1, "min_speedup": 1.4}
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("no '*.speedup' metrics", out)
+
+    def test_failed_acceptance_fails_gate(self):
+        meas = overlap_doc()
+        meas["metrics"] = dict(meas["metrics"], acceptance_pass=0)
+        code, out = self.gate(overlap_doc(), meas)
+        self.assertEqual(code, 1)
+        self.assertIn("acceptance_pass", out)
+
+    def test_speedup_floor_not_applied_to_other_benches(self):
+        # A generic bench may carry a sub-1.2 "speedup" metric (e.g.
+        # host-side simulator speedups); the absolute floor is scoped
+        # to ext_overlap.
+        base = doc(metrics={"sim.speedup": 1.05})
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+
 if __name__ == "__main__":
     unittest.main()
