@@ -27,6 +27,7 @@
 #include "des/time.hh"
 #include "fault/device_injector.hh"
 #include "fault/plan.hh"
+#include "net/arrival.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "platform/titan.hh"
@@ -630,6 +631,258 @@ struct OverlapFlags
         rep.config("copy_engines",
                    static_cast<double>(effectiveEngines()));
         rep.config("copy_chunk_kb", effectiveChunkBytes() / 1024.0);
+    }
+};
+
+/**
+ * Shared deadline-aware adaptive-batching flag vocabulary — the same
+ * names rhythm_sim accepts (DESIGN.md Section 6i). Every knob defaults
+ * off, so a bench invoked without batching flags (or with the explicit
+ * default `--batching=fixed` alone) produces byte-identical output to
+ * one that never supported them.
+ *
+ *   --batching=fixed|adaptive  cohort formation policy (fixed)
+ *   --deadline-default-ms=X    deadline for types without their own
+ *   --deadline-ms-<type>=X     per-type deadline, keyed by the slugged
+ *                              type name (e.g. --deadline-ms-transfer=3,
+ *                              --deadline-ms-post_payee=3)
+ *   --slack-safety=X           cost-estimate safety factor (1.2)
+ *   --adaptive-scan-us=X       slack-scan period (200)
+ *   --admission=on|off         deadline-aware admission control (on)
+ */
+struct BatchingFlags
+{
+    bool adaptive = false;
+    double defaultDeadlineMs = 0.0; //!< 0 = server default.
+    double slackSafety = 0.0;       //!< 0 = server default.
+    double scanUs = 0.0;            //!< 0 = server default.
+    int admission = -1;             //!< -1 = server default.
+    /** Per-type deadlines as (slugged type name, ms) pairs. */
+    std::vector<std::pair<std::string, double>> typeDeadlinesMs;
+    bool anyGiven = false; //!< Any flag of the family was present.
+
+    static BatchingFlags parse(int argc, char **argv)
+    {
+        BatchingFlags f;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--batching=", 0) == 0) {
+                const std::string_view mode = arg.substr(11);
+                if (mode != "fixed" && mode != "adaptive") {
+                    std::cerr << "error: --batching must be fixed or "
+                                 "adaptive, got: "
+                              << mode << "\n";
+                    std::exit(2);
+                }
+                f.adaptive = mode == "adaptive";
+                f.anyGiven = true;
+            } else if (arg.rfind("--deadline-default-ms=", 0) == 0) {
+                f.defaultDeadlineMs =
+                    std::atof(std::string(arg.substr(22)).c_str());
+                f.anyGiven = true;
+            } else if (arg.rfind("--deadline-ms-", 0) == 0) {
+                const std::string_view rest = arg.substr(14);
+                const size_t eq = rest.find('=');
+                if (eq == std::string_view::npos || eq == 0)
+                    continue;
+                f.typeDeadlinesMs.emplace_back(
+                    std::string(rest.substr(0, eq)),
+                    std::atof(
+                        std::string(rest.substr(eq + 1)).c_str()));
+                f.anyGiven = true;
+            } else if (arg.rfind("--slack-safety=", 0) == 0) {
+                f.slackSafety =
+                    std::atof(std::string(arg.substr(15)).c_str());
+                f.anyGiven = true;
+            } else if (arg.rfind("--adaptive-scan-us=", 0) == 0) {
+                f.scanUs =
+                    std::atof(std::string(arg.substr(19)).c_str());
+                f.anyGiven = true;
+            } else if (arg.rfind("--admission=", 0) == 0) {
+                f.admission = arg.substr(12) == "on" ? 1 : 0;
+                f.anyGiven = true;
+            }
+        }
+        return f;
+    }
+
+    /**
+     * Overlays the batching policy onto a server config, resolving
+     * per-type deadline slugs against @p service's type names. Exits
+     * with an error on a slug no type matches (a silently ignored
+     * deadline would invalidate a whole sweep).
+     */
+    void apply(core::RhythmConfig &cfg,
+               const core::Service &service) const
+    {
+        if (!anyGiven)
+            return;
+        cfg.adaptiveBatching = adaptive;
+        if (defaultDeadlineMs > 0)
+            cfg.defaultDeadline = des::fromSeconds(defaultDeadlineMs / 1e3);
+        if (slackSafety > 0)
+            cfg.slackSafety = slackSafety;
+        if (scanUs > 0)
+            cfg.adaptiveScanInterval = des::fromSeconds(scanUs / 1e6);
+        if (admission >= 0)
+            cfg.adaptiveAdmission = admission != 0;
+        if (typeDeadlinesMs.empty())
+            return;
+        cfg.typeDeadlines.assign(service.numTypes(), 0);
+        for (const auto &[name, ms] : typeDeadlinesMs) {
+            bool found = false;
+            for (uint32_t t = 0; t < service.numTypes(); ++t) {
+                if (slug(service.typeName(t)) == name) {
+                    cfg.typeDeadlines[t] = des::fromSeconds(ms / 1e3);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::cerr << "error: --deadline-ms-" << name
+                          << " matches no request type; known types:";
+                for (uint32_t t = 0; t < service.numTypes(); ++t)
+                    std::cerr << " " << slug(service.typeName(t));
+                std::cerr << "\n";
+                std::exit(2);
+            }
+        }
+    }
+
+    /**
+     * Records the batching policy in the --json config section (only
+     * when any family flag was given). check_bench.py requires these
+     * keys for the adaptive acceptance bench (ext_adaptive_batching).
+     */
+    /** True when every knob still holds its default — an explicit
+     *  `--batching=fixed` alone must leave outputs (including the
+     *  --json document) byte-identical to a run without the flag. */
+    bool allDefault() const
+    {
+        return !adaptive && typeDeadlinesMs.empty() &&
+               defaultDeadlineMs <= 0 && slackSafety <= 0 &&
+               scanUs <= 0 && admission < 0;
+    }
+
+    void recordConfig(Reporter &rep) const
+    {
+        if (!anyGiven || allDefault())
+            return;
+        rep.config("batching",
+                   std::string(adaptive ? "adaptive" : "fixed"));
+        if (defaultDeadlineMs > 0)
+            rep.config("deadline_default_ms", defaultDeadlineMs);
+        if (!typeDeadlinesMs.empty()) {
+            std::string spec;
+            for (const auto &[name, ms] : typeDeadlinesMs) {
+                if (!spec.empty())
+                    spec += ";";
+                spec += name + "=" + formatDouble(ms, 3);
+            }
+            rep.config("deadline_ms", spec);
+        }
+        if (slackSafety > 0)
+            rep.config("slack_safety", slackSafety);
+        if (admission >= 0)
+            rep.config("admission", static_cast<double>(admission));
+    }
+};
+
+/**
+ * Shared open-loop arrival flag vocabulary — the same names rhythm_sim
+ * accepts (DESIGN.md Section 6i). Default is the historical closed
+ * loop, so a bench invoked without arrival flags produces
+ * byte-identical output to one that never supported them.
+ *
+ *   --arrival=closed|poisson|diurnal|flash  arrival process (closed)
+ *   --arrival-rate=X        mean arrival rate, requests/s (200000)
+ *   --arrival-seed=N        arrival-stream RNG seed (1)
+ *   --flash-mult=X          flash-crowd rate multiplier (8)
+ *   --flash-start-ms=X      flash onset (50)
+ *   --flash-dur-ms=X        flash duration (50)
+ *   --diurnal-period-ms=X   diurnal cycle period (200)
+ *   --diurnal-trough=F      trough rate as a fraction of peak (0.25)
+ */
+struct ArrivalFlags
+{
+    net::ArrivalConfig config;
+    bool anyGiven = false; //!< Any flag of the family was present.
+
+    ArrivalFlags() { config.kind = net::ArrivalKind::Closed; }
+
+    static ArrivalFlags parse(int argc, char **argv)
+    {
+        ArrivalFlags f;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            double v = 0.0;
+            auto num = [&](std::string_view name) {
+                if (arg.rfind(name, 0) != 0)
+                    return false;
+                v = std::atof(
+                    std::string(arg.substr(name.size())).c_str());
+                f.anyGiven = true;
+                return true;
+            };
+            if (arg.rfind("--arrival=", 0) == 0) {
+                const auto kind =
+                    net::parseArrivalKind(arg.substr(10));
+                if (!kind) {
+                    std::cerr << "error: --arrival must be closed, "
+                                 "poisson, diurnal or flash, got: "
+                              << arg.substr(10) << "\n";
+                    std::exit(2);
+                }
+                f.config.kind = *kind;
+                f.anyGiven = true;
+            } else if (num("--arrival-rate="))
+                f.config.rate = v;
+            else if (num("--arrival-seed="))
+                f.config.seed = static_cast<uint64_t>(v);
+            else if (num("--flash-mult="))
+                f.config.flashMultiplier = v;
+            else if (num("--flash-start-ms="))
+                f.config.flashStartSec = v / 1e3;
+            else if (num("--flash-dur-ms="))
+                f.config.flashDurationSec = v / 1e3;
+            else if (num("--diurnal-period-ms="))
+                f.config.diurnalPeriodSec = v / 1e3;
+            else if (num("--diurnal-trough="))
+                f.config.diurnalTroughFraction = v;
+        }
+        return f;
+    }
+
+    /** True when requests arrive open-loop (a generator drives time). */
+    bool open() const
+    {
+        return config.kind != net::ArrivalKind::Closed;
+    }
+
+    /**
+     * Records the arrival process in the --json config section (only
+     * for open-loop runs — an explicit `--arrival=closed` alone must
+     * leave the document byte-identical to a run without the flag).
+     */
+    void recordConfig(Reporter &rep) const
+    {
+        if (!anyGiven || !open())
+            return;
+        rep.config("arrival",
+                   std::string(net::arrivalKindName(config.kind)));
+        rep.config("arrival_rate", config.rate);
+        rep.config("arrival_seed", static_cast<double>(config.seed));
+        if (config.kind == net::ArrivalKind::Flash) {
+            rep.config("flash_mult", config.flashMultiplier);
+            rep.config("flash_start_ms", config.flashStartSec * 1e3);
+            rep.config("flash_dur_ms", config.flashDurationSec * 1e3);
+        }
+        if (config.kind == net::ArrivalKind::Diurnal) {
+            rep.config("diurnal_period_ms",
+                       config.diurnalPeriodSec * 1e3);
+            rep.config("diurnal_trough",
+                       config.diurnalTroughFraction);
+        }
     }
 };
 

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Extension experiment: deadline-aware adaptive cohort formation under
+ * bursty open-loop traffic (DESIGN.md §6i).
+ *
+ * Drives the mixed Banking workload (the fig9 request mix, logins and
+ * logouts isolated out as in rhythm_sim's mixed mode) on Titan B with
+ * seeded open-loop arrivals from src/net, and compares the fixed
+ * formation policy (cohortSize/cohortTimeout only — today's pipeline)
+ * against the adaptive policy (slack-based early dispatch, priority
+ * preemption, deadline-aware admission) at three operating points:
+ *
+ *   low    steady Poisson well under capacity
+ *   high   steady Poisson near capacity
+ *   flash  the low rate with a flash-crowd burst riding on top
+ *
+ * Both policies see byte-identical arrival schedules (same generator
+ * and arrival seeds) and identical per-type deadlines: interactive
+ * money-movement types (transfer, post transfer, post payee) get a
+ * tight deadline, everything else the default. Fixed mode tracks the
+ * same deadline attainment without any scheduling change, so the
+ * comparison is apples to apples.
+ *
+ * Attainment is the on-time fraction of requests that received a real
+ * response; admission sheds and reader drops are excluded from it but
+ * count fully against on-time goodput (hits per second), so a policy
+ * cannot shed its way to a high score — the two metrics are gated as
+ * a pair.
+ *
+ * Acceptance gate (at the flash point): adaptive must deliver >= 1.3x
+ * the p99-deadline attainment of fixed at no worse than 5% on-time
+ * goodput, OR >= 1.2x the on-time goodput at no worse than 2%
+ * attainment. check_bench.py enforces the same conditions against the
+ * committed baseline.
+ */
+
+#include <iostream>
+
+#include "backend/bankdb.hh"
+#include "bench/common.hh"
+#include "net/arrival.hh"
+#include "rhythm/banking_service.hh"
+#include "rhythm/server.hh"
+#include "specweb/workload.hh"
+
+namespace {
+
+using namespace rhythm;
+
+constexpr double kDefaultDeadlineMs = 8.0;
+constexpr double kInteractiveDeadlineMs = 3.0;
+constexpr double kFixedTimeoutMs = 4.0;
+
+/** Interactive money-movement types carrying the tight deadline. */
+constexpr specweb::RequestType kInteractive[] = {
+    specweb::RequestType::Transfer,
+    specweb::RequestType::PostTransfer,
+    specweb::RequestType::PostPayee,
+};
+
+struct RunResult
+{
+    double attainment = 0.0;  //!< on-time fraction of completed reqs
+    double goodput = 0.0;     //!< on-time responses per second
+    double throughput = 0.0;  //!< completed responses per second
+    double p99Ms = 0.0;
+    uint64_t earlyDispatches = 0;
+    uint64_t preemptions = 0;
+    uint64_t admissionSheds = 0;
+    uint64_t drops = 0;
+};
+
+RunResult
+runPoint(const net::ArrivalConfig &acfg, bool adaptive,
+         uint64_t requests, const bench::FaultFlags &faults,
+         const bench::BatchingFlags &batching)
+{
+    des::EventQueue queue;
+    simt::DeviceConfig dcfg;
+    faults.apply(dcfg);
+    simt::Device device(queue, dcfg);
+    backend::BankDb db(2000, 5);
+    core::BankingService service(db);
+
+    core::RhythmConfig cfg;
+    cfg.cohortSize = 1024;
+    cfg.cohortContexts = 8;
+    cfg.cohortTimeout = des::fromSeconds(kFixedTimeoutMs / 1e3);
+    cfg.backendOnDevice = true; // Titan B
+    cfg.networkOverPcie = false;
+    cfg.laneSample = 64;
+    faults.apply(cfg);
+    // Identical deadlines in both modes (fixed tracks attainment
+    // without scheduling changes); only the policy bit differs.
+    cfg.typeDeadlines.assign(service.numTypes(), 0);
+    for (specweb::RequestType t : kInteractive)
+        cfg.typeDeadlines[specweb::typeIndex(t)] =
+            des::fromSeconds(kInteractiveDeadlineMs / 1e3);
+    cfg.defaultDeadline = des::fromSeconds(kDefaultDeadlineMs / 1e3);
+    cfg.adaptiveBatching = adaptive;
+    if (adaptive) {
+        // Command-line overrides tune the adaptive arm only.
+        if (batching.slackSafety > 0)
+            cfg.slackSafety = batching.slackSafety;
+        if (batching.scanUs > 0)
+            cfg.adaptiveScanInterval =
+                des::fromSeconds(batching.scanUs / 1e6);
+        if (batching.admission >= 0)
+            cfg.adaptiveAdmission = batching.admission != 0;
+    }
+    core::RhythmServer server(queue, device, service, cfg);
+    std::optional<fault::FaultPlan> plan;
+    faults.arm(server, device, queue, plan);
+
+    specweb::WorkloadGenerator gen(db, 31);
+    auto sessions = server.sessions().populate(8192, 2000);
+
+    // Open-loop mixed-type arrivals: both policy arms construct the
+    // same generator and ArrivalProcess seeds, so they see
+    // byte-identical request and arrival-time streams.
+    net::ArrivalProcess arrivals(acfg);
+    uint64_t issued = 0;
+    uint64_t dropped = 0;
+    std::function<void()> arrive = [&]() {
+        if (issued >= requests)
+            return;
+        specweb::RequestType type;
+        do {
+            type = gen.sampleType();
+        } while (type == specweb::RequestType::Login ||
+                 type == specweb::RequestType::Logout);
+        const auto &[sid, user] = sessions[issued % sessions.size()];
+        specweb::GeneratedRequest req = gen.generate(type, user, sid);
+        // Open loop: a full reader drops the arrival — the client
+        // never sees a response, so the drop counts against
+        // attainment below.
+        if (!server.injectRequest(std::move(req.raw), issued + 1))
+            ++dropped;
+        ++issued;
+        if (issued < requests)
+            queue.scheduleAfter(arrivals.nextGap(), arrive);
+    };
+    queue.scheduleAfter(arrivals.nextGap(), arrive);
+    queue.run();
+
+    const core::RhythmStats &stats = server.stats();
+    const double elapsed = des::toSeconds(queue.now());
+    // Attainment is measured over requests that received a real
+    // response: server-side misses minus admission sheds (shedRequest
+    // books every 503 as a deadline miss) plus open-loop reader drops.
+    // Shed/dropped requests are excluded from attainment but NOT from
+    // goodput — the gate's goodput floor is what makes "shed your way
+    // to 100% attainment" impossible: every shed is a response that
+    // can never count as on-time work.
+    const uint64_t completed_misses =
+        stats.typedDeadlineMisses - stats.requestsShed;
+    const uint64_t answered =
+        stats.typedDeadlineHits + completed_misses;
+    RunResult r;
+    r.attainment =
+        answered ? static_cast<double>(stats.typedDeadlineHits) /
+                       static_cast<double>(answered)
+                 : 0.0;
+    r.goodput = elapsed > 0
+                    ? static_cast<double>(stats.typedDeadlineHits) /
+                          elapsed
+                    : 0.0;
+    r.throughput =
+        elapsed > 0 ? static_cast<double>(stats.responsesCompleted) /
+                          elapsed
+                    : 0.0;
+    r.p99Ms = stats.latencyMs.percentile(99.0);
+    r.earlyDispatches = stats.adaptiveEarlyDispatches;
+    r.preemptions = stats.adaptivePreemptions;
+    r.admissionSheds = stats.adaptiveAdmissionSheds;
+    r.drops = dropped;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Reporter report("ext_adaptive_batching", argc, argv);
+    bench::banner(
+        "Extension: deadline-aware adaptive cohort formation",
+        "DESIGN.md 6i (>=1.3x attainment or >=1.2x goodput at flash)");
+
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--quick")
+            quick = true;
+
+    const bench::FaultFlags faults = bench::FaultFlags::parse(argc, argv);
+    faults.recordConfig(report);
+    const bench::BatchingFlags batching =
+        bench::BatchingFlags::parse(argc, argv);
+    const bench::ArrivalFlags arrival =
+        bench::ArrivalFlags::parse(argc, argv);
+
+    // Operating points. The base rate/seed may be overridden by the
+    // shared arrival flags; the flash burst rides on the low rate.
+    const double base_rate =
+        arrival.anyGiven && arrival.config.rate > 0 &&
+                arrival.config.rate != 200e3
+            ? arrival.config.rate
+            : 60e3;
+    const uint64_t seed = arrival.config.seed;
+    const double flash_mult =
+        arrival.config.flashMultiplier > 0 &&
+                arrival.config.flashMultiplier != 8.0
+            ? arrival.config.flashMultiplier
+            : 8.0;
+    const uint64_t n_low = quick ? 8000 : 30000;
+    const uint64_t n_high = quick ? 12000 : 40000;
+    const uint64_t n_flash = quick ? 12000 : 40000;
+
+    net::ArrivalConfig low;
+    low.kind = net::ArrivalKind::Poisson;
+    low.rate = base_rate;
+    low.seed = seed;
+    net::ArrivalConfig high = low;
+    high.rate = base_rate * 2.5;
+    net::ArrivalConfig flash = low;
+    flash.kind = net::ArrivalKind::Flash;
+    flash.flashStartSec = 0.05;
+    flash.flashDurationSec = 0.1;
+    flash.flashMultiplier = flash_mult;
+
+    // check_bench.py requires these keys: the sweep under test must be
+    // reproducible from the document alone.
+    report.config("arrival_rate", base_rate);
+    report.config("arrival_seed", static_cast<double>(seed));
+    report.config("flash_mult", flash_mult);
+    report.config("deadline_default_ms", kDefaultDeadlineMs);
+    report.config("deadline_ms",
+                  std::string("transfer=") +
+                      bench::fmt(kInteractiveDeadlineMs, 0) +
+                      ";post_transfer=" +
+                      bench::fmt(kInteractiveDeadlineMs, 0) +
+                      ";post_payee=" +
+                      bench::fmt(kInteractiveDeadlineMs, 0));
+    report.config("timeout_ms", kFixedTimeoutMs);
+    report.config("quick", quick ? 1.0 : 0.0);
+
+    struct Point
+    {
+        const char *key;
+        const char *label;
+        const net::ArrivalConfig *cfg;
+        uint64_t requests;
+    };
+    const Point points[] = {
+        {"low", "LOW (steady Poisson)", &low, n_low},
+        {"high", "HIGH (steady Poisson)", &high, n_high},
+        {"flash", "FLASH (burst on low)", &flash, n_flash},
+    };
+
+    TableWriter table({"point", "policy", "attainment", "on-time K/s",
+                       "KReqs/s", "p99 ms", "early", "preempt",
+                       "adm shed", "drops"});
+    double flash_att_ratio = 0.0;
+    double flash_goodput_ratio = 0.0;
+    for (const Point &p : points) {
+        const RunResult fixed =
+            runPoint(*p.cfg, false, p.requests, faults, batching);
+        const RunResult adaptive =
+            runPoint(*p.cfg, true, p.requests, faults, batching);
+        const double att_ratio =
+            fixed.attainment > 0 ? adaptive.attainment / fixed.attainment
+                                 : 0.0;
+        const double goodput_ratio =
+            fixed.goodput > 0 ? adaptive.goodput / fixed.goodput : 0.0;
+        if (std::string_view(p.key) == "flash") {
+            flash_att_ratio = att_ratio;
+            flash_goodput_ratio = goodput_ratio;
+        }
+        for (const auto &[mode, r] :
+             {std::pair<const char *, const RunResult &>{"fixed", fixed},
+              {"adaptive", adaptive}}) {
+            table.addRow({p.key, mode, bench::fmt(r.attainment, 3),
+                          bench::fmt(r.goodput / 1e3, 1),
+                          bench::fmt(r.throughput / 1e3, 1),
+                          bench::fmt(r.p99Ms, 2),
+                          withCommas(r.earlyDispatches),
+                          withCommas(r.preemptions),
+                          withCommas(r.admissionSheds),
+                          withCommas(r.drops)});
+            const std::string key =
+                std::string(p.key) + "." + mode + ".";
+            report.metric(key + "attainment", r.attainment);
+            report.metric(key + "goodput", r.goodput);
+            report.metric(key + "throughput", r.throughput);
+            report.metric(key + "p99_ms", r.p99Ms);
+        }
+        report.metric(std::string(p.key) + ".attainment_ratio",
+                      att_ratio);
+        report.metric(std::string(p.key) + ".goodput_ratio",
+                      goodput_ratio);
+        report.metric(std::string(p.key) + ".early_dispatches",
+                      static_cast<double>(adaptive.earlyDispatches));
+        report.metric(std::string(p.key) + ".preemptions",
+                      static_cast<double>(adaptive.preemptions));
+        report.metric(std::string(p.key) + ".admission_sheds",
+                      static_cast<double>(adaptive.admissionSheds));
+    }
+    table.printAscii(std::cout);
+
+    const bool pass =
+        (flash_att_ratio >= 1.3 && flash_goodput_ratio >= 0.95) ||
+        (flash_goodput_ratio >= 1.2 && flash_att_ratio >= 0.98);
+    std::cout << "\nFlash point: attainment ratio "
+              << bench::fmt(flash_att_ratio, 2) << "x, on-time goodput "
+              << "ratio " << bench::fmt(flash_goodput_ratio, 2)
+              << "x\nGate: >=1.3x attainment at >=0.95x goodput, or "
+                 ">=1.2x goodput at >=0.98x attainment\nVerdict: "
+              << (pass ? "PASS" : "FAIL") << "\n";
+    report.metric("flash_attainment_ratio", flash_att_ratio);
+    report.metric("flash_goodput_ratio", flash_goodput_ratio);
+    report.metric("acceptance_pass", pass ? 1.0 : 0.0);
+    if (!report.write())
+        return 1;
+    return pass ? 0 : 1;
+}

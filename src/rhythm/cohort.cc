@@ -115,4 +115,19 @@ CohortPool::forEachForming(const std::function<void(CohortContext &)> &fn)
     }
 }
 
+CohortContext *
+CohortPool::oldestPartiallyFull(
+    const std::function<bool(const CohortContext &)> &eligible)
+{
+    CohortContext *best = nullptr;
+    for (CohortContext &ctx : pool_) {
+        if (ctx.state() != CohortState::PartiallyFull ||
+            ctx.entries().empty() || !eligible(ctx))
+            continue;
+        if (!best || ctx.firstArrival() < best->firstArrival())
+            best = &ctx;
+    }
+    return best;
+}
+
 } // namespace rhythm::core

@@ -132,6 +132,16 @@ class CohortPool
     /** Applies @p fn to every non-Free, non-Busy context. */
     void forEachForming(const std::function<void(CohortContext &)> &fn);
 
+    /**
+     * Returns the non-empty PartiallyFull context with the earliest
+     * firstArrival() among those @p eligible accepts, or nullptr.
+     * Ties break on pool order (lowest id), so the choice is
+     * deterministic — the adaptive batcher uses this to pick a
+     * preemption victim (DESIGN.md Section 6i).
+     */
+    CohortContext *oldestPartiallyFull(
+        const std::function<bool(const CohortContext &)> &eligible);
+
     /** All contexts (for inspection). */
     const std::vector<CohortContext> &contexts() const { return pool_; }
 

@@ -156,6 +156,20 @@ RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
     }
     if (config_.overlapPipeline)
         parserStream2_ = device_.createStream();
+    // Deadline accounting is active whenever adaptive batching is on
+    // or any per-type deadline was configured (fixed-mode runs then
+    // report comparable attainment without any scheduling change).
+    bool any_typed = false;
+    for (des::Time d : config_.typeDeadlines)
+        any_typed = any_typed || d != 0;
+    deadlinesTracked_ = config_.adaptiveBatching || any_typed;
+    if (deadlinesTracked_) {
+        minDeadline_ = config_.defaultDeadline;
+        for (uint32_t t = 0; t < service_.numTypes(); ++t)
+            minDeadline_ = std::min(minDeadline_, typeDeadline(t));
+    }
+    if (config_.adaptiveBatching)
+        typeCostMs_.resize(service_.numTypes());
 }
 
 RhythmServer::~RhythmServer() = default;
@@ -233,6 +247,15 @@ RhythmServer::sheddingActive()
         sloLatencyMs_.percentile(99.0) >
             des::toMillis(config_.shedLatencySlo))
         shed = true;
+    if (!shed && config_.adaptiveBatching && config_.adaptiveAdmission &&
+        adaptiveOverloaded()) {
+        // Deadline-aware admission: the backlog already needs longer to
+        // drain than the tightest deadline allows, so an accepted
+        // request is doomed — shed it now while the 503 is cheap.
+        shed = true;
+        ++stats_.adaptiveAdmissionSheds;
+        OBS_COUNTER_ADD("adaptive.admission_sheds", 1);
+    }
     // Accumulate degraded time incrementally (not only on the
     // degraded->healthy edge) so an interval still open when the run
     // ends is visible in the stats.
@@ -255,11 +278,101 @@ RhythmServer::shedRequest(uint64_t client_id)
 {
     ++stats_.requestsAccepted;
     ++stats_.requestsShed;
+    if (deadlinesTracked_)
+        ++stats_.typedDeadlineMisses; // a shed request never attains
     OBS_COUNTER_ADD("server.requests_shed", 1);
     OBS_INSTANT(obs::track::kEvents, "shed", "degradation",
                 {"client", client_id});
     if (responseCb_)
         responseCb_(client_id, kShedResponse, 0);
+}
+
+des::Time
+RhythmServer::typeDeadline(uint32_t type) const
+{
+    if (type < config_.typeDeadlines.size() &&
+        config_.typeDeadlines[type] != 0)
+        return config_.typeDeadlines[type];
+    return config_.defaultDeadline;
+}
+
+des::Time
+RhythmServer::costEstimate(uint32_t type) const
+{
+    // Per-type EWMA when seeded, aggregate EWMA as the warm fallback,
+    // and a prior before any cohort completed: the formation timeout
+    // (what fixed mode would risk), or 1 ms with the timeout off.
+    double ms = 0.0;
+    if (type != CohortEntry::kTypeUnresolved &&
+        type < typeCostMs_.size() && !typeCostMs_[type].empty())
+        ms = typeCostMs_[type].value();
+    else if (!aggCostMs_.empty())
+        ms = aggCostMs_.value();
+    else
+        ms = config_.cohortTimeout
+                 ? des::toMillis(config_.cohortTimeout)
+                 : 1.0;
+    ms *= config_.slackSafety;
+    return static_cast<des::Time>(ms * des::kMillisecond);
+}
+
+bool
+RhythmServer::adaptiveOverloaded() const
+{
+    // Until the launch-rate model has a few samples there is no
+    // defensible drain estimate; admit everything and let the backlog
+    // shedder govern. The threshold of 8 launches rides out cold-start
+    // noise without delaying flash response by more than a few ms.
+    if (config_.defaultDeadline == 0 || launchGapMs_.count() < 8 ||
+        launchSizeAvg_.empty() || aggCostMs_.empty())
+        return false;
+    // Measured drain model: entries-per-launch over inter-launch gap is
+    // the service rate the whole funnel actually achieves — parser-,
+    // host- or device-bound, whichever binds (the configured cohort
+    // geometry wildly overestimates it). The 2x margin matters: mean
+    // sojourn sits near the deadline even at healthy load (formation
+    // timeouts put the tail astride it), so a tight threshold sheds
+    // requests that would mostly have hit. Admission is only for
+    // queues no formation policy could serve — a flash crowd's excess
+    // — where the backlog drain alone already dwarfs the deadline.
+    const double gap_s = std::max(launchGapMs_.value() / 1e3, 1e-9);
+    const double rate = std::max(launchSizeAvg_.value(), 1.0) / gap_s;
+    const double drain_s =
+        static_cast<double>(formationBacklog()) / rate;
+    return drain_s > 2.0 * des::toSeconds(config_.defaultDeadline);
+}
+
+void
+RhythmServer::preemptForType(uint32_t type)
+{
+    // A tight-deadline type found every context occupied. Launch the
+    // oldest forming cohort of a slacker type early so the freed
+    // context (after delivery) can host the interactive type. Busy
+    // contexts are already on the device and cannot be reclaimed.
+    // Same work-conserving rule as the slack dispatcher: launching a
+    // partial victim onto a loaded device costs capacity, so only
+    // preempt while the device has headroom.
+    uint32_t busy = 0;
+    for (const CohortContext &c : pool_.contexts())
+        if (c.state() == CohortState::Busy)
+            ++busy;
+    if (busy * 2 >= config_.cohortContexts)
+        return;
+    const des::Time deadline = typeDeadline(type);
+    CohortContext *victim = pool_.oldestPartiallyFull(
+        [&](const CohortContext &ctx) {
+            return ctx.type() != type &&
+                   typeDeadline(ctx.type()) > deadline;
+        });
+    if (!victim)
+        return;
+    ++stats_.adaptivePreemptions;
+    OBS_COUNTER_ADD("adaptive.preemptions", 1);
+    OBS_INSTANT(obs::track::kEvents, "adaptive-preempt", "adaptive",
+                {"victim_type",
+                 std::string(service_.typeName(victim->type()))},
+                {"for_type", std::string(service_.typeName(type))});
+    launchCohort(*victim);
 }
 
 void
@@ -706,6 +819,14 @@ RhythmServer::routeEntry(CohortEntry &entry)
     CohortContext *ctx = pool_.acquireFor(type);
     if (!ctx) {
         typeBlocked_[type] = 1;
+        // Priority lane: under adaptive batching a tight-deadline type
+        // may launch the oldest forming cohort of a slacker type early,
+        // so the context it frees (after delivery) is available next
+        // pass. The entry still reports Blocked — the launched context
+        // is Busy until its responses deliver — so the structural-
+        // hazard memo above stays valid for this pass.
+        if (config_.adaptiveBatching)
+            preemptForType(type);
         return RouteResult::Blocked;
     }
     const bool was_empty = ctx->entries().empty();
@@ -720,27 +841,80 @@ RhythmServer::routeEntry(CohortEntry &entry)
 void
 RhythmServer::scheduleTimeoutScan()
 {
-    if (timeoutScanScheduled_ || config_.cohortTimeout == 0)
+    if (timeoutScanScheduled_ ||
+        (config_.cohortTimeout == 0 && !config_.adaptiveBatching))
         return;
     timeoutScanScheduled_ = true;
-    queue_.scheduleAfter(config_.cohortTimeout / 2, [this]() {
+    // Fixed mode re-arms at half the formation timeout (unchanged).
+    // Adaptive mode additionally bounds the period by the slack-scan
+    // interval so tight deadlines are checked often enough even with a
+    // long (or disabled) formation timeout.
+    des::Time interval = config_.cohortTimeout / 2;
+    if (config_.adaptiveBatching) {
+        interval = interval ? std::min(interval,
+                                       config_.adaptiveScanInterval)
+                            : config_.adaptiveScanInterval;
+        if (interval == 0)
+            interval = 1;
+    }
+    queue_.scheduleAfter(interval, [this]() {
         timeoutScanScheduled_ = false;
         const des::Time now = queue_.now();
+        const bool adaptive = config_.adaptiveBatching;
+        const bool timed = config_.cohortTimeout != 0;
+        // Slack test (DESIGN.md Section 6i): dispatch early once the
+        // oldest aboard request could no longer make its deadline if
+        // formation waited another scan period.
+        auto out_of_slack = [&](des::Time oldest, uint32_t type,
+                                des::Time deadline) {
+            return adaptive &&
+                   now - oldest + costEstimate(type) >= deadline;
+        };
+        // Early dispatch must be work-conserving: a partial launch only
+        // buys latency when the stage it feeds would otherwise idle.
+        // Flushing the reader into a busy parser, or a cohort onto a
+        // loaded device, fragments batches and *costs* capacity — the
+        // exact failure mode under a flash crowd. Saturated stages fall
+        // back to the fixed-timeout path.
+        uint32_t busy = 0;
+        if (adaptive) {
+            for (const CohortContext &c : pool_.contexts())
+                if (c.state() == CohortState::Busy)
+                    ++busy;
+        }
+        const bool parser_idle = adaptive && parserInFlight_ == 0;
+        const bool device_headroom =
+            adaptive && busy * 2 < config_.cohortContexts;
         bool anything_forming = false;
         if (forming_ && !forming_->entries.empty()) {
-            if (now - forming_->firstArrival >= config_.cohortTimeout) {
+            const des::Time oldest = forming_->firstArrival;
+            if (timed && now - oldest >= config_.cohortTimeout) {
                 ++stats_.cohortTimeouts;
                 OBS_COUNTER_ADD("server.cohort_timeouts", 1);
+                maybeLaunchBatch(true);
+            } else if (parser_idle &&
+                       out_of_slack(oldest, CohortEntry::kTypeUnresolved,
+                                    minDeadline_)) {
+                ++stats_.adaptiveEarlyDispatches;
+                OBS_COUNTER_ADD("adaptive.early_dispatches", 1);
                 maybeLaunchBatch(true);
             } else {
                 anything_forming = true;
             }
         }
         std::vector<CohortContext *> expired;
+        std::vector<CohortContext *> early;
         pool_.forEachForming([&](CohortContext &ctx) {
-            if (ctx.state() == CohortState::PartiallyFull &&
-                now - ctx.firstArrival() >= config_.cohortTimeout)
+            if (ctx.state() != CohortState::PartiallyFull) {
+                anything_forming = true;
+                return;
+            }
+            if (timed && now - ctx.firstArrival() >= config_.cohortTimeout)
                 expired.push_back(&ctx);
+            else if (device_headroom &&
+                     out_of_slack(ctx.firstArrival(), ctx.type(),
+                                  typeDeadline(ctx.type())))
+                early.push_back(&ctx);
             else
                 anything_forming = true;
         });
@@ -749,11 +923,22 @@ RhythmServer::scheduleTimeoutScan()
             OBS_COUNTER_ADD("server.cohort_timeouts", 1);
             launchCohort(*ctx);
         }
+        for (CohortContext *ctx : early) {
+            ++stats_.adaptiveEarlyDispatches;
+            OBS_COUNTER_ADD("adaptive.early_dispatches", 1);
+            launchCohort(*ctx);
+        }
         if (!pendingImages_.empty()) {
-            if (now - pendingImages_.front().arrival >=
-                config_.cohortTimeout) {
+            const des::Time oldest = pendingImages_.front().arrival;
+            if (timed && now - oldest >= config_.cohortTimeout) {
                 ++stats_.cohortTimeouts;
                 OBS_COUNTER_ADD("server.cohort_timeouts", 1);
+                launchImageCohort();
+            } else if (device_headroom &&
+                       out_of_slack(oldest, CohortEntry::kTypeUnresolved,
+                                    config_.defaultDeadline)) {
+                ++stats_.adaptiveEarlyDispatches;
+                OBS_COUNTER_ADD("adaptive.early_dispatches", 1);
                 launchImageCohort();
             } else {
                 anything_forming = true;
@@ -788,7 +973,8 @@ RhythmServer::drained() const
 void
 RhythmServer::completeRequest(uint64_t client_id,
                               std::string_view response,
-                              des::Time latency, bool failed)
+                              des::Time latency, bool failed,
+                              uint32_t route_type)
 {
     RHYTHM_ASSERT(inflightRequests_ > 0);
     --inflightRequests_;
@@ -799,6 +985,12 @@ RhythmServer::completeRequest(uint64_t client_id,
         ++stats_.clientDisconnects;
         ++stats_.errorResponses;
         return;
+    }
+    if (deadlinesTracked_) {
+        if (!failed && latency <= typeDeadline(route_type))
+            ++stats_.typedDeadlineHits;
+        else
+            ++stats_.typedDeadlineMisses;
     }
     if (failed)
         ++stats_.errorResponses;
@@ -818,6 +1010,13 @@ RhythmServer::completeRequest(uint64_t client_id,
 void
 RhythmServer::launchCohort(CohortContext &ctx)
 {
+    if (config_.adaptiveBatching) {
+        if (lastLaunch_ != 0)
+            launchGapMs_.add(des::toMillis(queue_.now() - lastLaunch_));
+        lastLaunch_ = queue_.now();
+        launchSizeAvg_.add(
+            static_cast<double>(ctx.entries().size()));
+    }
     ctx.markBusy();
     ++stats_.cohortsLaunched;
     auto run = std::make_shared<CohortRun>();
@@ -1424,7 +1623,17 @@ RhythmServer::cohortCompleted(CohortContext &ctx,
                      des::toMillis(now - run->launchedAt));
         completeRequest(entries[i].clientId,
                         executed ? run->responses[i] : std::string_view(),
-                        now - entries[i].arrival, failed);
+                        now - entries[i].arrival, failed, ctx.type());
+    }
+    if (config_.adaptiveBatching) {
+        // Feed the slack model: pipeline (launch→response) time per
+        // cohort of this type, plus the lane-count EWMA the admission
+        // test turns into a drain rate.
+        const double pipeline_ms = des::toMillis(now - run->launchedAt);
+        if (ctx.type() < typeCostMs_.size())
+            typeCostMs_[ctx.type()].add(pipeline_ms);
+        aggCostMs_.add(pipeline_ms);
+        OBS_GAUGE_SET("adaptive.cost_estimate_ms", aggCostMs_.value());
     }
     // Delivery done: the response views are dead, so the buffer can go
     // back to the per-shape pool for the next cohort of this shape.

@@ -161,6 +161,45 @@ struct RhythmConfig
      * and downloads actually interleave on the link.
      */
     bool overlapPipeline = false;
+
+    // ---- Adaptive deadline-aware batching (off by default, so a
+    // ---- default config reproduces the paper's figures exactly) ------
+
+    /**
+     * Deadline-aware adaptive cohort formation (DESIGN.md Section 6i).
+     * The timeout scan additionally dispatches a forming cohort early
+     * when the oldest aboard request's slack against its per-type
+     * deadline drops below the modeled pipeline cost (an EWMA of recent
+     * launch→response times, scaled by slackSafety). Off: formation is
+     * driven purely by cohortSize/cohortTimeout, byte-identical to the
+     * fixed pipeline.
+     */
+    bool adaptiveBatching = false;
+    /**
+     * Per-type completion deadlines, indexed by service type id
+     * (entries of 0, or types beyond the vector, use defaultDeadline).
+     * When any deadline is set the server tracks typed deadline
+     * hits/misses even in fixed mode, so fixed and adaptive runs report
+     * comparable attainment; only adaptiveBatching changes scheduling.
+     */
+    std::vector<des::Time> typeDeadlines;
+    /** Deadline for types without a typeDeadlines entry. */
+    des::Time defaultDeadline = 10 * des::kMillisecond;
+    /** Safety factor applied to the pipeline-cost estimate. */
+    double slackSafety = 1.2;
+    /**
+     * Adaptive slack-scan period. The timeout scan re-arms at
+     * min(cohortTimeout/2, this) so slack is checked often enough for
+     * tight deadlines even with a long formation timeout.
+     */
+    des::Time adaptiveScanInterval = 200 * des::kMicrosecond;
+    /**
+     * Deadline-aware admission control (consulted only with
+     * adaptiveBatching): shed arrivals whose estimated queue-drain time
+     * already exceeds the tightest deadline, on top of the backlog/p99
+     * shedder.
+     */
+    bool adaptiveAdmission = true;
 };
 
 /**
@@ -239,6 +278,18 @@ struct RhythmStats
     /** Hedge-replayed calls whose response differed from the primary's
      *  (non-memoized reads racing later mutations; never delivered). */
     uint64_t hedgeReplayMismatches = 0;
+
+    // ---- Adaptive deadline-aware batching --------------------------
+    /** Cohorts dispatched early by the slack test (before Full). */
+    uint64_t adaptiveEarlyDispatches = 0;
+    /** Forming cohorts launched to free a context for a tighter type. */
+    uint64_t adaptivePreemptions = 0;
+    /** Sheds triggered by deadline-aware admission control. */
+    uint64_t adaptiveAdmissionSheds = 0;
+    /** Responses delivered within their per-type deadline. */
+    uint64_t typedDeadlineHits = 0;
+    /** Responses late/failed/shed against their per-type deadline. */
+    uint64_t typedDeadlineMisses = 0;
 };
 
 /**
@@ -371,7 +422,21 @@ class RhythmServer
     void launchCohort(CohortContext &ctx);
     void scheduleTimeoutScan();
     void completeRequest(uint64_t client_id, std::string_view response,
-                         des::Time latency, bool failed);
+                         des::Time latency, bool failed,
+                         uint32_t route_type = CohortEntry::kTypeUnresolved);
+    /** Deadline for @p type (kTypeUnresolved → defaultDeadline). */
+    des::Time typeDeadline(uint32_t type) const;
+    /**
+     * Safety-scaled pipeline-cost estimate for a cohort of @p type:
+     * the per-type EWMA when seeded, else the aggregate EWMA, else a
+     * prior of cohortTimeout (1 ms when the timeout is off).
+     */
+    des::Time costEstimate(uint32_t type) const;
+    /** Admission test: backlog drain time exceeds tightest deadline. */
+    bool adaptiveOverloaded() const;
+    /** Launches the oldest forming cohort of a slacker type to free a
+     *  context for @p type (structural-hazard preemption). */
+    void preemptForType(uint32_t type);
 
     // Pipeline execution (host-side eager run producing stage profiles).
     struct CohortRun;
@@ -508,6 +573,23 @@ class RhythmServer
     WindowedPercentile sloLatencyMs_;
     bool degraded_ = false;
     des::Time degradedSince_ = 0;
+
+    // ---- Adaptive deadline-aware batching (DESIGN.md Section 6i) ---
+    /** True when any per-type deadline accounting is active. */
+    bool deadlinesTracked_ = false;
+    /** Tightest deadline across all types (slack test reference). */
+    des::Time minDeadline_ = 0;
+    /** Per-type pipeline-time EWMAs, ms (sized when adaptive). */
+    std::vector<Ewma> typeCostMs_;
+    /** Aggregate pipeline-time EWMA, ms (cold-start fallback). */
+    Ewma aggCostMs_;
+    /** Inter-launch gap EWMA, ms (measured service-rate numerator's
+     *  denominator; fed on every typed cohort launch when adaptive). */
+    Ewma launchGapMs_;
+    /** Entries-per-launch EWMA (measured service-rate numerator). */
+    Ewma launchSizeAvg_;
+    /** Timestamp of the previous typed cohort launch (0 = none yet). */
+    des::Time lastLaunch_ = 0;
 
     RhythmStats stats_;
 };

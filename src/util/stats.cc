@@ -139,6 +139,21 @@ WindowedPercentile::percentile(double p) const
     return cachedValue_;
 }
 
+Ewma::Ewma(double alpha) : alpha_(alpha)
+{
+    RHYTHM_ASSERT(alpha > 0.0 && alpha <= 1.0);
+}
+
+void
+Ewma::add(double sample)
+{
+    if (count_ == 0)
+        value_ = sample;
+    else
+        value_ += alpha_ * (sample - value_);
+    ++count_;
+}
+
 void
 WeightedHarmonicMean::add(double weight, double value)
 {

@@ -137,6 +137,38 @@ class WindowedPercentile
 };
 
 /**
+ * An exponentially weighted moving average.
+ *
+ * The adaptive cohort batcher (DESIGN.md Section 6i) models the
+ * launch+PCIe+kernel cost of a cohort as an EWMA of recent pipeline
+ * times; the smoothing keeps the slack test responsive to load shifts
+ * without chasing single-cohort noise.
+ */
+class Ewma
+{
+  public:
+    /** @param alpha Smoothing factor in (0, 1]; 1 = last sample only. */
+    explicit Ewma(double alpha = 0.25);
+
+    /** Records one sample (the first sample seeds the average). */
+    void add(double sample);
+
+    /** True before any sample was recorded. */
+    bool empty() const { return count_ == 0; }
+
+    /** Samples recorded. */
+    uint64_t count() const { return count_; }
+
+    /** Current average (0 when empty). */
+    double value() const { return value_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/**
  * A weighted-harmonic-mean accumulator.
  *
  * The paper combines per-request-type efficiencies into a workload

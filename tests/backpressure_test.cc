@@ -141,6 +141,152 @@ TEST(Backpressure, HeavyOverloadDrainsEventually)
     EXPECT_EQ(rig.server.stats().errorResponses, 0u);
 }
 
+TEST(Shedding, BacklogShedsAtExactLimitNotBelow)
+{
+    // The backlog shedder's contract is `backlog >= limit`: with the
+    // limit at 10, the first 10 injections (which each observe a
+    // backlog of 0..9) are admitted and the 11th (observing exactly
+    // 10) is shed. No event-loop runs in between, so the backlog is
+    // exactly the forming reader batch.
+    RhythmConfig cfg = tinyConfig();
+    cfg.cohortSize = 64; // everything stays in the reader batch
+    cfg.shedBacklogLimit = 10;
+    Rig rig(cfg);
+    for (uint64_t i = 0; i < 10; ++i) {
+        EXPECT_TRUE(rig.server.injectRequest(
+            rig.request(specweb::RequestType::AccountSummary, 1 + i),
+            i));
+        EXPECT_EQ(rig.server.stats().requestsShed, 0u)
+            << "injection " << i << " observed backlog " << i
+            << " < limit and must not shed";
+    }
+    EXPECT_TRUE(rig.server.injectRequest(
+        rig.request(specweb::RequestType::AccountSummary, 11), 10));
+    EXPECT_EQ(rig.server.stats().requestsShed, 1u);
+    // Draining the backlog re-admits: the boundary is evaluated per
+    // request, not latched.
+    rig.server.flush();
+    rig.queue.run();
+    rig.queue.run();
+    EXPECT_TRUE(rig.server.injectRequest(
+        rig.request(specweb::RequestType::AccountSummary, 12), 11));
+    EXPECT_EQ(rig.server.stats().requestsShed, 1u);
+    rig.server.flush();
+    rig.queue.run();
+    // 11 real responses; the shed request got an immediate 503 (also
+    // delivered through the response callback).
+    EXPECT_EQ(rig.server.stats().responsesCompleted, 11u);
+    EXPECT_EQ(rig.completed, 12);
+}
+
+TEST(Shedding, SloShedderNeedsMinimumSamplesExactly)
+{
+    // The latency shedder arms only once kMinSloSamples (64)
+    // completions are observed: an injection with 63 samples in the
+    // window is admitted even with an absurdly tight SLO; the next,
+    // with exactly 64, is shed.
+    RhythmConfig cfg = tinyConfig();
+    cfg.cohortSize = 32;
+    cfg.shedLatencySlo = des::kMicrosecond; // all real latencies exceed
+    Rig rig(cfg);
+    auto wave = [&](uint64_t base, int n) {
+        for (int i = 0; i < n; ++i)
+            ASSERT_TRUE(rig.server.injectRequest(
+                rig.request(specweb::RequestType::AccountSummary,
+                            1 + base + static_cast<uint64_t>(i)),
+                base + static_cast<uint64_t>(i)));
+        rig.server.flush();
+        rig.queue.run();
+        rig.queue.run();
+    };
+    wave(0, 32);
+    wave(32, 31);
+    EXPECT_EQ(rig.completed, 63);
+    EXPECT_EQ(rig.server.stats().requestsShed, 0u);
+    // 63 observed samples: below the minimum, admitted.
+    EXPECT_TRUE(rig.server.injectRequest(
+        rig.request(specweb::RequestType::AccountSummary, 100), 100));
+    EXPECT_EQ(rig.server.stats().requestsShed, 0u);
+    rig.server.flush();
+    rig.queue.run();
+    rig.queue.run();
+    EXPECT_EQ(rig.completed, 64);
+    // 64 observed samples and p99 >> 1 us: the next injection sheds.
+    EXPECT_TRUE(rig.server.injectRequest(
+        rig.request(specweb::RequestType::AccountSummary, 101), 101));
+    EXPECT_EQ(rig.server.stats().requestsShed, 1u);
+}
+
+TEST(Shedding, AdaptiveAdmissionShedsUnderOverloadAndReadmitsOnDrain)
+{
+    // Deadline-aware admission (DESIGN.md 6i): open-loop arrivals far
+    // above the tiny pipeline's capacity must trip the measured-drain
+    // shedder; once the burst ends and the backlog drains, the server
+    // must leave degraded mode and admit new work again.
+    RhythmConfig cfg = tinyConfig();
+    cfg.adaptiveBatching = true;
+    cfg.defaultDeadline = des::kMillisecond;
+    cfg.sessionNodesPerBucket = 128;
+    Rig rig(cfg);
+    // Seed the launch-rate and cost models: the admission test stays
+    // disarmed until at least 8 launch gaps have been measured.
+    uint64_t id = 0;
+    for (int w = 0; w < 12; ++w) {
+        for (int i = 0; i < 8; ++i) {
+            ASSERT_TRUE(rig.server.injectRequest(
+                rig.request(specweb::RequestType::AccountSummary,
+                            1 + id % 150),
+                id));
+            ++id;
+        }
+        rig.server.flush();
+        rig.queue.run();
+        rig.queue.run();
+    }
+    EXPECT_EQ(rig.server.stats().requestsShed, 0u);
+    EXPECT_EQ(rig.server.stats().adaptiveAdmissionSheds, 0u);
+
+    // Open-loop burst at ~100K/s against a pipeline that serves a few
+    // thousand per second: the dispatch backlog blows straight past
+    // the drain threshold mid-run.
+    uint64_t dropped = 0;
+    std::function<void(int)> arrive = [&](int remaining) {
+        if (remaining == 0)
+            return;
+        if (!rig.server.injectRequest(
+                rig.request(specweb::RequestType::AccountSummary,
+                            1 + id % 150),
+                id))
+            ++dropped;
+        ++id;
+        rig.queue.scheduleAfter(10 * des::kMicrosecond,
+                                [&arrive, remaining]() {
+                                    arrive(remaining - 1);
+                                });
+    };
+    arrive(300);
+    rig.queue.run();
+    const uint64_t burst_sheds = rig.server.stats().adaptiveAdmissionSheds;
+    EXPECT_GT(burst_sheds, 0u);
+    EXPECT_GT(rig.server.stats().degradedTime, des::Time(0));
+
+    // Fully drained: the very next injection must be admitted (the
+    // drain estimate is zero again) and complete normally.
+    rig.server.flush();
+    rig.queue.run();
+    rig.queue.run();
+    EXPECT_TRUE(rig.server.drained());
+    const int completed_before = rig.completed;
+    ASSERT_TRUE(rig.server.injectRequest(
+        rig.request(specweb::RequestType::AccountSummary, 7), id));
+    EXPECT_EQ(rig.server.stats().adaptiveAdmissionSheds, burst_sheds);
+    rig.server.flush();
+    rig.queue.run();
+    rig.queue.run();
+    EXPECT_EQ(rig.completed, completed_before + 1);
+    EXPECT_TRUE(rig.server.drained());
+}
+
 TEST(TransposeRegionLoads, RewritesOnlySlotLoads)
 {
     simt::ThreadTrace trace;

@@ -27,6 +27,9 @@
 
 #include "backend/bankdb.hh"
 #include "des/event_queue.hh"
+#include "fault/device_injector.hh"
+#include "fault/plan.hh"
+#include "net/arrival.hh"
 #include "obs/obs.hh"
 #include "platform/titan.hh"
 #include "rhythm/banking_service.hh"
@@ -49,6 +52,8 @@ struct Fingerprint
     uint64_t errors = 0;
     uint64_t engineLaunches = 0;
     uint64_t engineWarps = 0;
+    //! Injected kernel hangs hedged by the watchdog (fault runs only).
+    uint64_t kernelHangs = 0;
     std::vector<simt::Engine::SmCounters> sms;
     std::vector<std::pair<std::string, double>> metrics;
     std::string trace;
@@ -68,6 +73,7 @@ expectIdentical(const Fingerprint &serial, const Fingerprint &parallel,
     EXPECT_EQ(serial.errors, parallel.errors);
     EXPECT_EQ(serial.engineLaunches, parallel.engineLaunches);
     EXPECT_EQ(serial.engineWarps, parallel.engineWarps);
+    EXPECT_EQ(serial.kernelHangs, parallel.kernelHangs);
     ASSERT_EQ(serial.sms.size(), parallel.sms.size());
     for (size_t s = 0; s < serial.sms.size(); ++s)
         EXPECT_TRUE(serial.sms[s] == parallel.sms[s]) << "SM " << s;
@@ -271,6 +277,139 @@ runVariant(const platform::TitanVariant &variant, unsigned threads)
     return fp;
 }
 
+/**
+ * One adaptive-batching run under open-loop flash-crowd arrivals
+ * (DESIGN.md Section 6i): slack-based early dispatch, priority
+ * preemption and deadline-aware admission all active, per-type
+ * deadlines on the interactive money-movement types. The adaptive
+ * scheduler consults EWMAs fed from cohort completions, so this is the
+ * sharpest probe that the parallel engine's completion order stays
+ * canonical — a single reordered completion would skew the cost model
+ * and change every subsequent dispatch decision.
+ *
+ * @param with_faults Arms a seeded crash/hang fault plan (kernel hangs
+ *        hedged by the watchdog, client disconnects) on top: the
+ *        adaptive policy's decisions must stay byte-identical across
+ *        thread counts even while cohorts hang and hedge.
+ */
+Fingerprint
+runAdaptiveFlash(unsigned threads, size_t cache_entries = 0,
+                 bool with_faults = false)
+{
+    util::setSimThreads(threads);
+    obs::global().reset();
+
+    platform::TitanVariant variant = platform::titanB();
+    core::RhythmConfig cfg = variant.server;
+    cfg.cohortSize = 512;
+    cfg.cohortContexts = 8;
+    cfg.laneSample = 64;
+    cfg.cohortTimeout = 4 * des::kMillisecond;
+    cfg.adaptiveBatching = true;
+    cfg.defaultDeadline = 8 * des::kMillisecond;
+    if (cache_entries > 0)
+        cfg.traceTemplateCacheEntries =
+            static_cast<uint32_t>(cache_entries);
+    if (with_faults)
+        cfg.watchdogTimeout = 5 * des::kMillisecond;
+    const uint64_t total = 4 * cfg.cohortSize;
+    const uint64_t users = 400;
+
+    des::EventQueue queue;
+    obs::global().enable(queue);
+    simt::ProfileCache cache(std::max<size_t>(cache_entries, 1));
+    simt::Device device(queue, variant.device);
+    if (cache_entries > 0)
+        device.engine().setProfileCache(&cache);
+    backend::BankDb db(users, 42);
+    core::BankingService service(db);
+    cfg.typeDeadlines.assign(service.numTypes(), 0);
+    for (specweb::RequestType t : {specweb::RequestType::Transfer,
+                                   specweb::RequestType::PostTransfer,
+                                   specweb::RequestType::PostPayee})
+        cfg.typeDeadlines[specweb::typeIndex(t)] =
+            3 * des::kMillisecond;
+    core::RhythmServer server(queue, device, service, cfg);
+
+    std::optional<fault::FaultPlan> plan;
+    if (with_faults) {
+        fault::FaultConfig fcfg;
+        fcfg.seed = 1234;
+        // High rates on purpose: the flash run only launches a few
+        // dozen cohorts, and the hedge path proves nothing unless a
+        // hang actually fires.
+        fcfg.at(fault::Site::KernelHang).probability = 0.5;
+        fcfg.at(fault::Site::ClientDisconnect).probability = 0.05;
+        plan.emplace(fcfg);
+        server.setFaultPlan(&*plan);
+        fault::installDeviceFaults(device, *plan, queue);
+    }
+
+    specweb::WorkloadGenerator gen(db, 42 * 31 + 7);
+    auto sessions = server.sessions().populate(
+        std::min<uint64_t>(total, 8192), users);
+
+    net::ArrivalConfig acfg;
+    acfg.kind = net::ArrivalKind::Flash;
+    acfg.rate = 100e3;
+    acfg.seed = 9;
+    acfg.flashStartSec = 0.005;
+    acfg.flashDurationSec = 0.01;
+    acfg.flashMultiplier = 8.0;
+    net::ArrivalProcess arrivals(acfg);
+    uint64_t issued = 0;
+    std::function<void()> arrive = [&]() {
+        if (issued >= total)
+            return;
+        specweb::RequestType type;
+        do {
+            type = gen.sampleType();
+        } while (type == specweb::RequestType::Login ||
+                 type == specweb::RequestType::Logout);
+        const auto &[sid, user] = sessions[issued % sessions.size()];
+        server.injectRequest(gen.generate(type, user, sid).raw,
+                             issued + 1);
+        ++issued;
+        if (issued < total)
+            queue.scheduleAfter(arrivals.nextGap(), arrive);
+    };
+    queue.scheduleAfter(arrivals.nextGap(), arrive);
+    queue.run();
+
+    Fingerprint fp;
+    fp.clock = queue.now();
+    fp.dispatched = queue.dispatched();
+    fp.orderHash = queue.orderHash();
+    fp.responses = server.stats().responsesCompleted;
+    fp.errors = server.stats().errorResponses;
+    fp.engineLaunches = device.engine().launches();
+    fp.engineWarps = device.engine().warps();
+    fp.kernelHangs = server.stats().kernelHangs;
+    fp.sms = device.engine().smCounters();
+    fp.metrics = obs::global().metrics().flatten(
+        std::span<const std::string_view>(
+            obs::kBaselineExcludedPrefixes));
+    std::ostringstream trace;
+    obs::global().tracer().writeChromeTrace(trace);
+    fp.trace = trace.str();
+    fp.cacheStats = cache.stats();
+
+    obs::global().disable();
+    obs::global().reset();
+    util::setSimThreads(1);
+    return fp;
+}
+
+/** Looks up one flattened metric; -1 when absent. */
+double
+metricValue(const Fingerprint &fp, std::string_view name)
+{
+    for (const auto &[key, value] : fp.metrics)
+        if (key == name)
+            return value;
+    return -1.0;
+}
+
 constexpr unsigned kThreadCounts[] = {2, 4, 8};
 
 TEST(ParallelEquivalenceTest, BankingServerRunIsByteIdentical)
@@ -391,6 +530,53 @@ TEST(ParallelEquivalenceTest, MixedAuthBrowsingRunIsByteIdentical)
         expectSameCacheStats(cached.cacheStats, parallel.cacheStats,
                              threads);
     }
+}
+
+TEST(ParallelEquivalenceTest, AdaptiveFlashRunIsByteIdentical)
+{
+    // Adaptive batching under an open-loop flash crowd: every
+    // scheduling decision flows through completion-fed EWMAs, so this
+    // run is maximally sensitive to any non-canonical completion
+    // order in the parallel engine.
+    const Fingerprint serial = runAdaptiveFlash(1);
+    ASSERT_GT(serial.responses, 0u);
+    // The adaptive machinery must actually have engaged, or the matrix
+    // proves nothing.
+    EXPECT_GT(metricValue(serial, "adaptive.early_dispatches"), 0.0);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runAdaptiveFlash(threads), threads);
+}
+
+TEST(ParallelEquivalenceTest, AdaptiveFlashWithCacheIsByteIdentical)
+{
+    // The profile cache must stay wall-clock-only under the adaptive
+    // policy too: cache-on output identical to cache-off, at every
+    // thread count, with thread-invariant cache accounting.
+    const Fingerprint off = runAdaptiveFlash(1);
+    const Fingerprint cached = runAdaptiveFlash(1, 4096);
+    expectIdentical(off, cached, 1);
+    EXPECT_GT(cached.cacheStats.insertions, 0u);
+    for (unsigned threads : kThreadCounts) {
+        const Fingerprint parallel = runAdaptiveFlash(threads, 4096);
+        expectIdentical(off, parallel, threads);
+        expectSameCacheStats(cached.cacheStats, parallel.cacheStats,
+                             threads);
+    }
+}
+
+TEST(ParallelEquivalenceTest, AdaptiveFlashUnderFaultsIsByteIdentical)
+{
+    // Crash/hang chaos on top of the adaptive flash run: hedged
+    // cohorts complete through the watchdog path and disconnected
+    // clients vanish mid-pipeline, yet the adaptive cost model — and
+    // with it every dispatch decision — must stay byte-identical
+    // across thread counts.
+    const Fingerprint serial = runAdaptiveFlash(1, 0, true);
+    ASSERT_GT(serial.responses, 0u);
+    EXPECT_GT(serial.kernelHangs, 0u);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runAdaptiveFlash(threads, 0, true),
+                        threads);
 }
 
 TEST(ParallelEquivalenceTest, Fig9SizedTitanARunIsIdentical)

@@ -43,6 +43,14 @@ acceptance_pass = 1, and keep every "*.speedup" metric at or above the
 1.2x floor — the transfer/compute overlap claim is an absolute bar,
 not merely a no-regression band.
 
+The ext_adaptive_batching document must carry the arrival/deadline
+metadata (arrival_rate, arrival_seed, flash_mult, deadline_default_ms,
+deadline_ms, timeout_ms) in "config", report acceptance_pass = 1, keep
+the flash-point ratios inside one of the two gate arms (>= 1.3x
+attainment at >= 0.95x goodput, or >= 1.2x goodput at >= 0.98x
+attainment), and keep the adaptive policy's own flash attainment at or
+above an absolute 0.85 floor.
+
 Exit code: 0 when every pair passes, 1 otherwise. The simulation is a
 deterministic DES, so checked-in baselines are machine-independent;
 only the optional host section varies between machines.
@@ -209,6 +217,84 @@ def validate_overlap(doc, path):
     return failures
 
 
+# The adaptive-batching bench (bench/ext_adaptive_batching.cc) carries
+# an absolute two-arm acceptance gate at the flash-crowd point, and its
+# sweep is only reproducible when the document says which arrival
+# schedule and deadline assignment produced it. Mirroring the binary's
+# own verdict here means a stale baseline or a hand-edited document
+# cannot sneak a failing policy through CI.
+ADAPTIVE_BENCH = "ext_adaptive_batching"
+ADAPTIVE_CONFIG_KEYS = (
+    "arrival_rate",
+    "arrival_seed",
+    "flash_mult",
+    "deadline_default_ms",
+    "deadline_ms",
+    "timeout_ms",
+)
+# Two-arm floor, same as the bench binary: attainment arm or goodput arm.
+ADAPTIVE_ATT_ARM = (1.3, 0.95)  # (attainment_ratio, goodput_ratio) floors
+ADAPTIVE_GOODPUT_ARM = (0.98, 1.2)
+# Absolute floor on the adaptive policy's own flash attainment — a run
+# where both arms pass only because *fixed* collapsed must still fail.
+ADAPTIVE_MIN_ATTAINMENT = 0.85
+
+
+def validate_adaptive(doc, path):
+    """ext_adaptive_batching-specific checks; returns failure messages."""
+    failures = []
+    config = doc.get("config", {})
+    for key in ADAPTIVE_CONFIG_KEYS:
+        if key not in config:
+            failures.append(
+                f"{ADAPTIVE_BENCH}: {path} missing arrival/deadline "
+                f"metadata '{key}' in config — the sweep is not "
+                "reproducible without it"
+            )
+    metrics = doc["metrics"]
+    att = metrics.get("flash_attainment_ratio")
+    goodput = metrics.get("flash_goodput_ratio")
+    for key, value in (("flash_attainment_ratio", att),
+                       ("flash_goodput_ratio", goodput)):
+        if value is None:
+            failures.append(
+                f"{ADAPTIVE_BENCH}: {path} missing metric '{key}'"
+            )
+    if att is not None and goodput is not None:
+        att_arm = (att >= ADAPTIVE_ATT_ARM[0]
+                   and goodput >= ADAPTIVE_ATT_ARM[1])
+        goodput_arm = (att >= ADAPTIVE_GOODPUT_ARM[0]
+                       and goodput >= ADAPTIVE_GOODPUT_ARM[1])
+        if not (att_arm or goodput_arm):
+            failures.append(
+                f"{ADAPTIVE_BENCH}: flash ratios (attainment {att:g}, "
+                f"goodput {goodput:g}) satisfy neither gate arm "
+                f"(>= {ADAPTIVE_ATT_ARM[0]:g}x attainment at "
+                f">= {ADAPTIVE_ATT_ARM[1]:g}x goodput, or "
+                f">= {ADAPTIVE_GOODPUT_ARM[1]:g}x goodput at "
+                f">= {ADAPTIVE_GOODPUT_ARM[0]:g}x attainment)"
+            )
+    flash_att = metrics.get("flash.adaptive.attainment")
+    if flash_att is None:
+        failures.append(
+            f"{ADAPTIVE_BENCH}: {path} missing metric "
+            "'flash.adaptive.attainment'"
+        )
+    elif flash_att < ADAPTIVE_MIN_ATTAINMENT:
+        failures.append(
+            f"{ADAPTIVE_BENCH}: flash.adaptive.attainment {flash_att:g} "
+            f"below the {ADAPTIVE_MIN_ATTAINMENT:g} absolute floor — "
+            "a good ratio against a collapsed fixed run is not a pass"
+        )
+    if metrics.get("acceptance_pass") != 1:
+        failures.append(
+            f"{ADAPTIVE_BENCH}: {path} acceptance_pass is "
+            f"{metrics.get('acceptance_pass')!r}, expected 1 — the "
+            "flash-point gate failed in the measured run"
+        )
+    return failures
+
+
 def compare_section(bench, base, meas, tolerance, label, missing_fails):
     """Compares one key→number section; returns (failures, notes)."""
     failures = []
@@ -345,6 +431,8 @@ def main():
             failures.extend(validate_recovery(meas_doc, meas_path))
         if meas_doc["bench"] == OVERLAP_BENCH:
             failures.extend(validate_overlap(meas_doc, meas_path))
+        if meas_doc["bench"] == ADAPTIVE_BENCH:
+            failures.extend(validate_adaptive(meas_doc, meas_path))
         checked += len(base_doc["metrics"])
         for msg in notes:
             print(f"note: {msg}")

@@ -86,6 +86,38 @@ usage(const std::string &error)
            "                              direction (1)\n"
            "  --copy-chunk-kb=N           DMA chunk granularity (0 =\n"
            "                              whole transfer)\n"
+           "deadline-aware adaptive batching (off by default):\n"
+           "  --batching=fixed|adaptive   cohort formation policy "
+           "(fixed;\n"
+           "                              adaptive dispatches a forming\n"
+           "                              cohort early when the oldest\n"
+           "                              request's deadline slack drops\n"
+           "                              below the modeled pipeline "
+           "cost)\n"
+           "  --deadline-default-ms=X     deadline for unlisted types "
+           "(10)\n"
+           "  --deadline-ms-<type>=X      per-type deadline by slugged\n"
+           "                              type name (e.g.\n"
+           "                              --deadline-ms-transfer=3)\n"
+           "  --slack-safety=X            cost-estimate safety factor "
+           "(1.2)\n"
+           "  --adaptive-scan-us=X        slack-scan period (200)\n"
+           "  --admission=on|off          deadline-aware admission "
+           "control (on)\n"
+           "open-loop arrivals (closed loop by default; banking only):\n"
+           "  --arrival=closed|poisson|diurnal|flash\n"
+           "                              arrival process driving "
+           "injection\n"
+           "  --arrival-rate=X            mean arrival rate, reqs/s "
+           "(200000)\n"
+           "  --arrival-seed=N            arrival-stream seed (1)\n"
+           "  --flash-mult=X              flash-crowd rate multiplier "
+           "(8)\n"
+           "  --flash-start-ms=X          flash onset (50)\n"
+           "  --flash-dur-ms=X            flash duration (50)\n"
+           "  --diurnal-period-ms=X       diurnal cycle period (200)\n"
+           "  --diurnal-trough=F          trough fraction of peak rate "
+           "(0.25)\n"
            "observability (off by default):\n"
            "  --json=PATH                 machine-readable result JSON\n"
            "  --trace-out=PATH            Chrome trace_event JSON "
@@ -259,6 +291,48 @@ report(const core::RhythmServer &server, const simt::Device &device,
     t.printAscii(std::cout);
     if (plan || robust)
         faultReport(stats, plan, recovery);
+
+    // Deadline/adaptive section, printed (and emitted as metrics) only
+    // when per-type deadline tracking is configured — default runs stay
+    // byte-identical to the seed output.
+    const core::RhythmConfig &scfg = server.config();
+    bool deadlines_tracked = scfg.adaptiveBatching;
+    for (const des::Time d : scfg.typeDeadlines)
+        deadlines_tracked = deadlines_tracked || d != 0;
+    if (deadlines_tracked) {
+        const uint64_t att_total =
+            stats.typedDeadlineHits + stats.typedDeadlineMisses;
+        const double attainment =
+            att_total ? static_cast<double>(stats.typedDeadlineHits) /
+                            static_cast<double>(att_total)
+                      : 0.0;
+        TableWriter at({"deadline-aware batching", "value"});
+        at.addRow({"deadline hits / misses",
+                   withCommas(stats.typedDeadlineHits) + " / " +
+                       withCommas(stats.typedDeadlineMisses)});
+        at.addRow({"attainment", formatDouble(attainment, 4)});
+        at.addRow({"early dispatches",
+                   withCommas(stats.adaptiveEarlyDispatches)});
+        at.addRow({"preemptions", withCommas(stats.adaptivePreemptions)});
+        at.addRow({"admission sheds",
+                   withCommas(stats.adaptiveAdmissionSheds)});
+        at.printAscii(std::cout);
+        if (rep) {
+            rep->metric("deadline.hits",
+                        static_cast<double>(stats.typedDeadlineHits));
+            rep->metric("deadline.misses",
+                        static_cast<double>(stats.typedDeadlineMisses));
+            rep->metric("deadline.attainment", attainment);
+            rep->metric("adaptive.early_dispatches",
+                        static_cast<double>(
+                            stats.adaptiveEarlyDispatches));
+            rep->metric("adaptive.preemptions",
+                        static_cast<double>(stats.adaptivePreemptions));
+            rep->metric("adaptive.admission_sheds",
+                        static_cast<double>(
+                            stats.adaptiveAdmissionSheds));
+        }
+    }
 
     // Human-readable cache summary (stdout only: the --json document
     // must stay byte-identical with the cache on or off, so these
@@ -452,20 +526,31 @@ main(int argc, char **argv)
         return usage(flags.error());
     if (flags.has("help"))
         return usage("");
-    if (!flags.allowOnly(
-            {"workload", "platform", "type", "cohort-size", "cohorts",
-             "contexts", "timeout-ms", "lane-sample", "users", "docs",
-             "sms", "mem-gbs", "pcie-gbs", "queues", "transpose",
-             "padding", "seed", "help", "fault-seed", "backend-fail",
-             "backend-slow", "backend-slow-ms", "pcie-corrupt",
-             "pcie-degrade", "pcie-degrade-factor", "stall", "stall-ms",
-             "disconnect", "crash", "torn", "hang", "hang-ms",
-             "watchdog-ms", "pcie-crc", "recovery",
-             "checkpoint-interval", "retry-budget", "backoff-us",
-             "deadline-ms", "shed-backlog", "shed-p99-ms", "json",
-             "trace-out", "sim-threads", "profile-cache",
-             "profile-cache-entries", "overlap", "copy-engines",
-             "copy-chunk-kb", "digest-out"}))
+    std::vector<std::string> known =
+        {"workload", "platform", "type", "cohort-size", "cohorts",
+         "contexts", "timeout-ms", "lane-sample", "users", "docs",
+         "sms", "mem-gbs", "pcie-gbs", "queues", "transpose",
+         "padding", "seed", "help", "fault-seed", "backend-fail",
+         "backend-slow", "backend-slow-ms", "pcie-corrupt",
+         "pcie-degrade", "pcie-degrade-factor", "stall", "stall-ms",
+         "disconnect", "crash", "torn", "hang", "hang-ms",
+         "watchdog-ms", "pcie-crc", "recovery",
+         "checkpoint-interval", "retry-budget", "backoff-us",
+         "deadline-ms", "shed-backlog", "shed-p99-ms", "json",
+         "trace-out", "sim-threads", "profile-cache",
+         "profile-cache-entries", "overlap", "copy-engines",
+         "copy-chunk-kb", "digest-out", "batching",
+         "deadline-default-ms", "slack-safety", "adaptive-scan-us",
+         "admission", "arrival", "arrival-rate", "arrival-seed",
+         "flash-mult", "flash-start-ms", "flash-dur-ms",
+         "diurnal-period-ms", "diurnal-trough"};
+    // Per-type deadlines are open vocabulary (--deadline-ms-<type>);
+    // BatchingFlags validates the slug against the service's types.
+    for (const std::string &name : flags.names()) {
+        if (name.rfind("deadline-ms-", 0) == 0)
+            known.push_back(name);
+    }
+    if (!flags.allowOnly(known))
         return usage(flags.error());
 
     // Host-side parallelism of the execution engine. Applied before any
@@ -514,6 +599,16 @@ main(int argc, char **argv)
     if (!engines_raw.empty() && std::atoi(engines_raw.c_str()) < 1)
         return usage("--copy-engines must be >= 1");
     overlap.apply(variant.device);
+
+    // Deadline-aware batching + open-loop arrival families (DESIGN.md
+    // 6i), parsed with the shared bench helpers so the bench binaries
+    // and the driver agree on names and defaults. The batching policy
+    // is applied per workload branch (per-type deadline slugs resolve
+    // against the service's type names).
+    const bench::BatchingFlags batching =
+        bench::BatchingFlags::parse(argc, argv);
+    const bench::ArrivalFlags arrival =
+        bench::ArrivalFlags::parse(argc, argv);
 
     core::RhythmConfig cfg = variant.server;
     overlap.apply(cfg);
@@ -616,6 +711,8 @@ main(int argc, char **argv)
     json_report.config("cohort_size", static_cast<double>(cfg.cohortSize));
     json_report.config("seed", static_cast<double>(seed));
     overlap.recordConfig(json_report);
+    batching.recordConfig(json_report);
+    arrival.recordConfig(json_report);
 
     ResponseDigest digest;
     digest.path = flags.getString("digest-out", "");
@@ -627,6 +724,8 @@ main(int argc, char **argv)
 
     // ---- Workloads -----------------------------------------------------
     const std::string workload = flags.getString("workload", "banking");
+    if (arrival.open() && workload != "banking")
+        return usage("--arrival supports the banking workload only");
     if (workload == "banking") {
         const uint64_t users = flags.getU64("users", 2000);
         backend::BankDb db(users, seed);
@@ -655,6 +754,7 @@ main(int argc, char **argv)
         if (pc_on)
             device.engine().setProfileCache(&profile_cache);
         core::BankingService service(db);
+        batching.apply(cfg, service);
         core::RhythmServer server(queue, device, service, cfg);
         specweb::StaticContent content(32, seed);
         server.setStaticContent(&content);
@@ -688,9 +788,7 @@ main(int argc, char **argv)
             service.setRecovery(recoverable.get());
         }
         uint64_t issued = 0;
-        server.start([&]() -> std::optional<std::string> {
-            if (issued >= total)
-                return std::nullopt;
+        auto next_request = [&]() -> std::string {
             specweb::GeneratedRequest req;
             specweb::RequestType type;
             if (only) {
@@ -713,7 +811,33 @@ main(int argc, char **argv)
             }
             ++issued;
             return std::move(req.raw);
-        });
+        };
+        // Closed loop (the historical pull source) or an open-loop
+        // arrival process pushing on its own schedule; both must
+        // outlive queue.run().
+        std::optional<net::ArrivalProcess> arrivals;
+        std::function<void()> arrive;
+        if (!arrival.open()) {
+            server.start([&]() -> std::optional<std::string> {
+                if (issued >= total)
+                    return std::nullopt;
+                return next_request();
+            });
+        } else {
+            arrivals.emplace(arrival.config);
+            arrive = [&]() {
+                if (issued >= total)
+                    return;
+                const uint64_t client_id = issued + 1;
+                // injectRequest == false is a reader drop: an
+                // open-loop client does not retry (counted in
+                // RhythmStats::readerDrops).
+                server.injectRequest(next_request(), client_id);
+                if (issued < total)
+                    queue.scheduleAfter(arrivals->nextGap(), arrive);
+            };
+            queue.scheduleAfter(arrivals->nextGap(), arrive);
+        }
         queue.run();
         report(server, device, queue, variant.power,
                faults_on ? &plan : nullptr, robust, &json_report,
@@ -735,6 +859,7 @@ main(int argc, char **argv)
         if (pc_on)
             device.engine().setProfileCache(&profile_cache);
         chat::ChatService service(store);
+        batching.apply(cfg, service);
         core::RhythmServer server(queue, device, service, cfg);
         digest.attach(server);
         fault::FaultPlan plan(fcfg);
@@ -775,6 +900,7 @@ main(int argc, char **argv)
         if (pc_on)
             device.engine().setProfileCache(&profile_cache);
         search::SearchService service(index);
+        batching.apply(cfg, service);
         core::RhythmServer server(queue, device, service, cfg);
         digest.attach(server);
         fault::FaultPlan plan(fcfg);

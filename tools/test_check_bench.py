@@ -377,5 +377,113 @@ class OverlapGateTest(GateHarness):
         self.assertEqual(code, 0, out)
 
 
+def adaptive_doc(**overrides):
+    """A minimal valid ext_adaptive_batching --json document."""
+    d = {
+        "bench": "ext_adaptive_batching",
+        "config": {
+            "arrival_rate": 60000.0,
+            "arrival_seed": 1,
+            "flash_mult": 8.0,
+            "deadline_default_ms": 8.0,
+            "deadline_ms": "transfer=3;post_transfer=3;post_payee=3",
+            "timeout_ms": 4.0,
+        },
+        "metrics": {
+            "flash.fixed.attainment": 0.70,
+            "flash.adaptive.attainment": 0.94,
+            "flash_attainment_ratio": 1.34,
+            "flash_goodput_ratio": 1.40,
+            "acceptance_pass": 1,
+        },
+    }
+    d.update(overrides)
+    return d
+
+
+class AdaptiveGateTest(GateHarness):
+    """ext_adaptive_batching-specific schema and gate-arm checks."""
+
+    def test_valid_adaptive_document_passes(self):
+        base = adaptive_doc()
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+    def test_every_arrival_metadata_key_is_required(self):
+        for key in ("arrival_rate", "arrival_seed", "flash_mult",
+                    "deadline_default_ms", "deadline_ms", "timeout_ms"):
+            meas = adaptive_doc()
+            meas["config"] = {k: v for k, v in meas["config"].items()
+                              if k != key}
+            code, out = self.gate(adaptive_doc(), meas)
+            self.assertEqual(code, 1, key)
+            self.assertIn(f"missing arrival/deadline metadata '{key}'",
+                          out)
+
+    def test_neither_gate_arm_satisfied_fails(self):
+        # 1.1x attainment at 1.1x goodput misses both arms (needs
+        # 1.3x@0.95x or 1.2x@0.98x). Baseline carries the same values
+        # so only the absolute gate catches it.
+        meas = adaptive_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               flash_attainment_ratio=1.1,
+                               flash_goodput_ratio=1.1)
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("satisfy neither gate arm", out)
+
+    def test_goodput_arm_alone_passes(self):
+        # 1.0x attainment at 1.25x goodput is a legitimate second-arm
+        # pass (throughput win at equal attainment).
+        meas = adaptive_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               flash_attainment_ratio=1.0,
+                               flash_goodput_ratio=1.25)
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 0, out)
+
+    def test_attainment_below_absolute_floor_fails(self):
+        # Great ratios against a collapsed fixed run must not pass:
+        # the adaptive policy's own attainment has a 0.85 floor.
+        meas = adaptive_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               **{"flash.adaptive.attainment": 0.60,
+                                  "flash.fixed.attainment": 0.40})
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("below the 0.85 absolute floor", out)
+
+    def test_missing_ratio_metric_fails(self):
+        meas = adaptive_doc()
+        meas["metrics"] = {k: v for k, v in meas["metrics"].items()
+                           if k != "flash_attainment_ratio"}
+        # Drop the key from the baseline too so the generic missing-
+        # metric check can't be what fails the gate.
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("missing metric 'flash_attainment_ratio'", out)
+
+    def test_failed_acceptance_fails_gate(self):
+        meas = adaptive_doc()
+        meas["metrics"] = dict(meas["metrics"], acceptance_pass=0)
+        code, out = self.gate(adaptive_doc(), meas)
+        self.assertEqual(code, 1)
+        self.assertIn("acceptance_pass", out)
+
+    def test_malformed_ratio_is_clean_failure_not_traceback(self):
+        meas = adaptive_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               flash_attainment_ratio="high")
+        code, out = self.gate(adaptive_doc(), meas)
+        self.assertEqual(code, 1)
+        self.assertNotIn("Traceback", out)
+        self.assertIn("not a number", out)
+
+    def test_gate_arms_not_applied_to_other_benches(self):
+        base = doc(metrics={"flash_attainment_ratio": 0.5})
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+
 if __name__ == "__main__":
     unittest.main()
