@@ -886,6 +886,101 @@ struct ArrivalFlags
     }
 };
 
+/**
+ * Shared cross-type cohort-fusion flag vocabulary — the same names
+ * rhythm_sim accepts (DESIGN.md Section 6j). Fusion defaults off, so a
+ * bench invoked without fusion flags (or with an explicit
+ * `--fusion=off` alone) produces byte-identical output to one that
+ * never supported them.
+ *
+ *   --fusion=on|off            pack similarity-compatible partial
+ *                              cohorts into shared warps (off)
+ *   --fusion-threshold=X       minimum online pair similarity to fuse
+ *                              (0.5 — the Figure 2 indifference point)
+ *   --fusion-max-cohorts=N     cohorts fusable into one launch (4)
+ *   --fingerprint-alpha=X      similarity EWMA smoothing factor (0.25)
+ *   --fingerprint-lanes=N      lanes sampled per fingerprint update (32)
+ */
+struct FusionFlags
+{
+    bool fusion = false;
+    double threshold = 0.0;  //!< 0 = server default.
+    uint32_t maxCohorts = 0; //!< 0 = server default.
+    double alpha = 0.0;      //!< 0 = server default.
+    uint32_t lanes = 0;      //!< 0 = server default.
+    bool anyGiven = false;   //!< Any flag of the family was present.
+
+    static FusionFlags parse(int argc, char **argv)
+    {
+        FusionFlags f;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--fusion=", 0) == 0) {
+                const std::string_view mode = arg.substr(9);
+                if (mode != "on" && mode != "off") {
+                    std::cerr << "error: --fusion must be on or off, "
+                                 "got: "
+                              << mode << "\n";
+                    std::exit(2);
+                }
+                f.fusion = mode == "on";
+                f.anyGiven = true;
+            } else if (arg.rfind("--fusion-threshold=", 0) == 0) {
+                f.threshold =
+                    std::atof(std::string(arg.substr(19)).c_str());
+                f.anyGiven = true;
+            } else if (arg.rfind("--fusion-max-cohorts=", 0) == 0) {
+                f.maxCohorts = static_cast<uint32_t>(
+                    std::atoi(std::string(arg.substr(21)).c_str()));
+                f.anyGiven = true;
+            } else if (arg.rfind("--fingerprint-alpha=", 0) == 0) {
+                f.alpha =
+                    std::atof(std::string(arg.substr(20)).c_str());
+                f.anyGiven = true;
+            } else if (arg.rfind("--fingerprint-lanes=", 0) == 0) {
+                f.lanes = static_cast<uint32_t>(
+                    std::atoi(std::string(arg.substr(20)).c_str()));
+                f.anyGiven = true;
+            }
+        }
+        return f;
+    }
+
+    /** Overlays the fusion policy onto a server config. */
+    void apply(core::RhythmConfig &cfg) const
+    {
+        if (!anyGiven)
+            return;
+        cfg.fusionEnabled = fusion;
+        if (threshold > 0)
+            cfg.fusionSimilarityThreshold = threshold;
+        if (maxCohorts > 0)
+            cfg.fusionMaxCohorts = maxCohorts;
+        if (alpha > 0)
+            cfg.fingerprint.alpha = alpha;
+        if (lanes > 0)
+            cfg.fingerprint.sampleLanes = lanes;
+    }
+
+    /**
+     * Records the fusion policy in the --json config section (only when
+     * fusion is actually on — an explicit `--fusion=off` alone must
+     * leave the document byte-identical to a run without the flag).
+     * check_bench.py requires these keys for the fusion acceptance
+     * bench (ext_warp_fusion).
+     */
+    void recordConfig(Reporter &rep) const
+    {
+        if (!anyGiven || !fusion)
+            return;
+        rep.config("fusion", 1.0);
+        rep.config("fusion_threshold", threshold > 0 ? threshold : 0.5);
+        rep.config("fusion_max_cohorts",
+                   static_cast<double>(maxCohorts > 0 ? maxCohorts : 4));
+        rep.config("fingerprint_alpha", alpha > 0 ? alpha : 0.25);
+    }
+};
+
 } // namespace rhythm::bench
 
 #endif // RHYTHM_BENCH_COMMON_HH

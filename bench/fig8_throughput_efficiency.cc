@@ -58,12 +58,14 @@ main(int argc, char **argv)
         bench::OverlapFlags::parse(argc, argv);
     overlap.apply(opts);
     overlap.recordConfig(report);
+    std::vector<platform::TitanWorkloadResult> titan_results;
     for (const auto &variant :
          {platform::titanA(), platform::titanB(), platform::titanC()}) {
         platform::TitanWorkloadResult r =
             platform::evaluateTitan(variant, opts);
         points.push_back(Point{r.name, r.throughput, r.reqsPerJouleWall,
                                r.reqsPerJouleDynamic});
+        titan_results.push_back(std::move(r));
     }
 
     // Normalization anchors.
@@ -111,6 +113,21 @@ main(int argc, char **argv)
         report.metric(key + ".throughput", p.throughput);
         report.metric(key + ".wall_efficiency", p.wallEff);
         report.metric(key + ".dynamic_efficiency", p.dynEff);
+    }
+    // Per-type warp occupancy on each Titan variant (DESIGN.md 6j):
+    // SIMD efficiency and the idle tail lanes padded per type — the
+    // per-type view of what cohort fusion reclaims.
+    for (const platform::TitanWorkloadResult &tr : titan_results) {
+        const std::string pkey = bench::slug(tr.name);
+        for (size_t i = 0; i < specweb::kNumRequestTypes; ++i) {
+            const platform::TypeRunResult &r = tr.perType[i];
+            const std::string key =
+                pkey + "." +
+                bench::slug(std::string(specweb::typeTable()[i].name));
+            report.metric(key + ".simd_efficiency", r.simdEfficiency);
+            report.metric(key + ".padded_lanes",
+                          static_cast<double>(r.paddedLanes));
+        }
     }
     if (!report.write())
         return 1;

@@ -63,6 +63,11 @@ main(int argc, char **argv)
         report.metric(key + ".pcie_wire_bytes_per_req",
                       static_cast<double>(r.pcieWireBytesPerRequest));
         report.metric(key + ".overlap_fraction", r.overlapFraction);
+        // Per-type warp occupancy (DESIGN.md 6j): how efficiently this
+        // type fills its warps, and the idle tail lanes it paid for.
+        report.metric(key + ".simd_efficiency", r.simdEfficiency);
+        report.metric(key + ".padded_lanes",
+                      static_cast<double>(r.paddedLanes));
         table.addRow({std::string(info.name),
                       bench::fmt(r.throughput / 1e3, 1),
                       bench::fmt(bound / 1e3, 1),

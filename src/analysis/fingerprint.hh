@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Online per-type control-flow fingerprints (DESIGN.md §6j).
+ *
+ * The offline Figure 2 analysis (similarity.hh) asks "how much control
+ * flow do requests of a type share?" once, over captured traces. The
+ * scheduler needs the same answer *online* — cheap enough to consult on
+ * every dispatch — to decide whether two partially-filled cohorts of
+ * different request types can share tail warps profitably instead of
+ * each padding to the warp width.
+ *
+ * FingerprintTracker keeps one EWMA of the Figure 2 normalized-speedup
+ * metric per request type (self similarity, fed from every completed
+ * launch's stage-0 traces) and one per observed type pair (cross
+ * similarity, fed from fused launches). Updates use the block-schedule
+ * merge fast path (simt::mergeBlockSchedule) over a small canonical
+ * lane sample and are additionally memoized on the sample's block
+ * content, so steady-state traffic — which cycles through a bounded
+ * session pool — hits the memo instead of re-merging. Queries are O(1)
+ * array reads.
+ *
+ * Everything here is a pure function of the observed traces (no clocks,
+ * no randomness); given the same launch sequence the tracker state is
+ * identical at any --sim-threads, which the fusion determinism contract
+ * relies on.
+ */
+
+#ifndef RHYTHM_ANALYSIS_FINGERPRINT_HH
+#define RHYTHM_ANALYSIS_FINGERPRINT_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "simt/trace.hh"
+#include "util/stats.hh"
+
+namespace rhythm::analysis {
+
+/** Tuning knobs for the online fingerprint. */
+struct FingerprintConfig
+{
+    /** EWMA smoothing factor for similarity updates, in (0, 1]. */
+    double alpha = 0.25;
+    /** Lanes sampled per observation (canonical prefix of the launch). */
+    uint32_t sampleLanes = 32;
+    /** Capacity of the block-content memo (cleared when full). */
+    size_t memoEntries = 256;
+};
+
+/** Online per-type (and per-pair) control-flow similarity tracker. */
+class FingerprintTracker
+{
+  public:
+    /**
+     * @param num_types Size of the type-id space (ids in [0, num_types)).
+     * @param config Tuning knobs.
+     */
+    explicit FingerprintTracker(uint32_t num_types,
+                                const FingerprintConfig &config = {});
+
+    /**
+     * Feeds one completed same-type launch: merges a canonical sample
+     * of @p lanes (first sampleLanes non-null traces) with the
+     * block-schedule fast path and folds the normalized speedup into
+     * the type's self-similarity EWMA.
+     */
+    void observeLaunch(uint32_t type,
+                       std::span<const simt::ThreadTrace *const> lanes);
+
+    /**
+     * Feeds one fused launch's measured cross-type merge: samples both
+     * types' lanes, merges them together, and folds the normalized
+     * speedup into the (a, b) pair EWMA (symmetric).
+     */
+    void observePair(uint32_t a,
+                     std::span<const simt::ThreadTrace *const> a_lanes,
+                     uint32_t b,
+                     std::span<const simt::ThreadTrace *const> b_lanes);
+
+    /** Self-similarity EWMA of @p type; 1.0 until first observation. */
+    double typeSimilarity(uint32_t type) const;
+
+    /**
+     * Predicted merge compatibility of two types, O(1): the measured
+     * pair EWMA when a fused launch has been observed, else the more
+     * pessimistic of the two self similarities, else 1.0 (optimistic
+     * bootstrap — the first fused launch measures the real value).
+     */
+    double pairSimilarity(uint32_t a, uint32_t b) const;
+
+    /** Launch observations folded in (self + pair). */
+    uint64_t observations() const { return observations_; }
+
+    /** Observations served from the block-content memo. */
+    uint64_t memoHits() const { return memoHits_; }
+
+  private:
+    /** Normalized speedup of a canonical sample, memoized on content. */
+    double sampledSimilarity(
+        std::span<const simt::ThreadTrace *const> lanes,
+        std::span<const simt::ThreadTrace *const> extra_lanes);
+
+    uint32_t numTypes_;
+    FingerprintConfig config_;
+    std::vector<Ewma> self_;
+    std::vector<Ewma> pair_; //!< numTypes × numTypes, symmetric.
+    std::unordered_map<uint64_t, double> memo_;
+    uint64_t observations_ = 0;
+    uint64_t memoHits_ = 0;
+};
+
+} // namespace rhythm::analysis
+
+#endif // RHYTHM_ANALYSIS_FINGERPRINT_HH

@@ -10,30 +10,61 @@
 
 namespace rhythm::analysis {
 
+namespace {
+
+/** Builds the Figure 2 metric from a lockstep merge's scheduler fields. */
 SimilarityResult
-measureSimilarity(const std::vector<const simt::ThreadTrace *> &traces)
+similarityFromStats(const simt::WarpStats &ws, size_t trace_count)
 {
     SimilarityResult result;
-    result.traceCount = traces.size();
-    if (traces.empty())
-        return result;
-
-    // Merge with the SIMT lockstep scheduler, widened so all traces
-    // occupy one "warp" (the paper's idealized SIMD hardware).
-    simt::WarpModel model;
-    model.warpWidth = std::max<int>(32, static_cast<int>(traces.size()));
-    simt::WarpStats ws = simt::simulateWarp(
-        std::span<const simt::ThreadTrace *const>(traces.data(),
-                                                  traces.size()),
-        model);
+    result.traceCount = trace_count;
     result.sumBlocks = ws.laneBlockExecs;
     result.mergedBlocks = ws.steps;
     if (ws.steps > 0)
         result.speedup = static_cast<double>(ws.laneBlockExecs) /
                          static_cast<double>(ws.steps);
     result.normalizedSpeedup =
-        result.speedup / static_cast<double>(traces.size());
+        result.speedup / static_cast<double>(trace_count);
     return result;
+}
+
+/** The Figure 2 widened warp model: all traces in one "warp". */
+simt::WarpModel
+widenedModel(size_t trace_count)
+{
+    simt::WarpModel model;
+    model.warpWidth = std::max<int>(32, static_cast<int>(trace_count));
+    return model;
+}
+
+} // namespace
+
+SimilarityResult
+measureSimilarity(const std::vector<const simt::ThreadTrace *> &traces)
+{
+    if (traces.empty())
+        return SimilarityResult{};
+
+    // Merge with the SIMT lockstep scheduler, widened so all traces
+    // occupy one "warp" (the paper's idealized SIMD hardware).
+    simt::WarpStats ws = simt::simulateWarp(
+        std::span<const simt::ThreadTrace *const>(traces.data(),
+                                                  traces.size()),
+        widenedModel(traces.size()));
+    return similarityFromStats(ws, traces.size());
+}
+
+SimilarityResult
+measureSimilarityFast(const std::vector<const simt::ThreadTrace *> &traces)
+{
+    if (traces.empty())
+        return SimilarityResult{};
+
+    simt::WarpStats ws = simt::mergeBlockSchedule(
+        std::span<const simt::ThreadTrace *const>(traces.data(),
+                                                  traces.size()),
+        widenedModel(traces.size()));
+    return similarityFromStats(ws, traces.size());
 }
 
 std::vector<simt::ThreadTrace>

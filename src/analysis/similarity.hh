@@ -38,6 +38,18 @@ SimilarityResult measureSimilarity(
     const std::vector<const simt::ThreadTrace *> &traces);
 
 /**
+ * Fast path of measureSimilarity(): identical metric, computed with
+ * the block-schedule-only merge (simt::mergeBlockSchedule), which runs
+ * the same lockstep scheduler but skips the memory-op coalescer. The
+ * Figure 2 metric only consumes laneBlockExecs and steps — both
+ * scheduler-side fields — so the result is bit-equal to the offline
+ * one (asserted in tests/platform_test.cc). This is the variant the
+ * online FingerprintTracker feeds from at dispatch time.
+ */
+SimilarityResult measureSimilarityFast(
+    const std::vector<const simt::ThreadTrace *> &traces);
+
+/**
  * Captures dynamic traces for @p count independent requests of one type
  * served end-to-end by the host server (fresh sessions per request).
  */

@@ -41,15 +41,16 @@ namespace rhythm::obs {
 /**
  * Metric-name prefixes excluded from baseline-gated outputs. Each
  * family exists only when an off-by-default feature is on (profile
- * cache, crash recovery, watchdog hedging, PCIe frame CRC), and the
- * outputs the equivalence/bench gates byte-compare must be identical
- * whether the feature ran or not.
+ * cache, crash recovery, watchdog hedging, PCIe frame CRC, cohort
+ * fusion), and the outputs the equivalence/bench gates byte-compare
+ * must be identical whether the feature ran or not.
  */
 inline constexpr std::string_view kBaselineExcludedPrefixes[] = {
     "profile_cache.",
     "recovery.",
     "watchdog.",
     "pcie.crc.",
+    "warp.fusion.",
 };
 
 /** A monotonically increasing counter (thread-safe). */

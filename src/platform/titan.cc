@@ -207,6 +207,7 @@ runIsolatedType(const TitanVariant &variant, specweb::RequestType type,
                   (stats.processIssueSlots *
                    variant.server.warpModel.warpWidth)
             : 0.0;
+    result.paddedLanes = stats.paddedLanes;
     result.pcieBytesPerRequest =
         result.requests
             ? (dstats.bytesToDevice + dstats.bytesToHost) /

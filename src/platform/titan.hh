@@ -76,6 +76,9 @@ struct TypeRunResult
     double copyUtilization = 0.0;   //!< busiest PCIe direction
     double hostBackendUtilization = 0.0;
     double simdEfficiency = 0.0;
+    /** Idle tail lanes across all process-stage launches (the padding
+     *  cohort fusion exists to reclaim; DESIGN.md 6j). */
+    uint64_t paddedLanes = 0;
     double dynamicWatts = 0.0;
     double reqsPerJouleDynamic = 0.0;
     double reqsPerJouleWall = 0.0;

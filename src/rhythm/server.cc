@@ -131,6 +131,36 @@ struct RhythmServer::CohortRun
     /** Hedge command sequence (primary's minus injected hangs). */
     std::vector<Cmd> hedgeSequence;
     size_t hedgeNextCmd = 0;
+
+    // ---- Cohort fusion (DESIGN.md Section 6j) ----------------------
+    /** One follower cohort riding this (leader) run's fused launch:
+     *  its own buffer/responses/failure flags live in its run, but the
+     *  command sequence, watchdog and hang injection are the leader's. */
+    struct Follower
+    {
+        CohortContext *ctx = nullptr;
+        std::shared_ptr<CohortRun> run;
+    };
+    std::vector<Follower> followers;
+};
+
+/** Host-execution products of one cohort, consumed by command building. */
+struct RhythmServer::HostExecState
+{
+    uint32_t type = 0;
+    uint32_t n = 0;      //!< Cohort entries (before lane sampling).
+    uint32_t sample = 0; //!< Executed lanes.
+    int stages = 0;
+    uint32_t laneBytes = 0;
+    /** Recorded traces, [stage][lane]; returned to the trace pool by
+     *  the command-building step that consumes them. */
+    std::vector<std::vector<simt::ThreadTrace>> stageTraces;
+    uint64_t backendInsts = 0;
+    uint64_t backendCalls = 0;
+    /** Worst per-lane retry attempts per stage (backoff rounds). */
+    std::vector<uint32_t> retryRounds;
+    /** Total retried calls per stage (retry service time). */
+    std::vector<uint64_t> retriedCalls;
 };
 
 RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
@@ -170,6 +200,9 @@ RhythmServer::RhythmServer(des::EventQueue &queue, simt::Device &device,
     }
     if (config_.adaptiveBatching)
         typeCostMs_.resize(service_.numTypes());
+    if (config_.fusionEnabled)
+        fingerprints_ = std::make_unique<analysis::FingerprintTracker>(
+            service_.numTypes(), config_.fingerprint);
 }
 
 RhythmServer::~RhythmServer() = default;
@@ -918,16 +951,22 @@ RhythmServer::scheduleTimeoutScan()
             else
                 anything_forming = true;
         });
+        // Attribute the launch reasons, then launch the whole instant's
+        // collection as one group so fusion (when on) can pack the
+        // partial cohorts that expired or ran out of slack together.
+        std::vector<CohortContext *> launches;
+        launches.reserve(expired.size() + early.size());
         for (CohortContext *ctx : expired) {
             ++stats_.cohortTimeouts;
             OBS_COUNTER_ADD("server.cohort_timeouts", 1);
-            launchCohort(*ctx);
+            launches.push_back(ctx);
         }
         for (CohortContext *ctx : early) {
             ++stats_.adaptiveEarlyDispatches;
             OBS_COUNTER_ADD("adaptive.early_dispatches", 1);
-            launchCohort(*ctx);
+            launches.push_back(ctx);
         }
+        launchCohortGroup(launches);
         if (!pendingImages_.empty()) {
             const des::Time oldest = pendingImages_.front().arrival;
             if (timed && now - oldest >= config_.cohortTimeout) {
@@ -959,8 +998,7 @@ RhythmServer::flush()
             !ctx.entries().empty())
             forming.push_back(&ctx);
     });
-    for (CohortContext *ctx : forming)
-        launchCohort(*ctx);
+    launchCohortGroup(forming);
     launchImageCohort();
 }
 
@@ -1039,6 +1077,168 @@ RhythmServer::launchCohort(CohortContext &ctx)
 }
 
 void
+RhythmServer::launchCohortGroup(const std::vector<CohortContext *> &ctxs)
+{
+    if (ctxs.empty())
+        return;
+    if (!config_.fusionEnabled || ctxs.size() == 1) {
+        for (CohortContext *ctx : ctxs)
+            launchCohort(*ctx);
+        return;
+    }
+    // Per-cohort launch bookkeeping and host execution first, in
+    // collection order — the exact order the unfused path would have
+    // used. Host execution is where backend state is read and mutated
+    // and response bytes are written, so running it before (and
+    // independently of) the grouping below keeps every delivered byte
+    // identical to --fusion=off no matter how the cohorts are packed
+    // into launches.
+    std::vector<std::shared_ptr<CohortRun>> runs;
+    runs.reserve(ctxs.size());
+    std::vector<HostExecState> states(ctxs.size());
+    for (size_t i = 0; i < ctxs.size(); ++i) {
+        CohortContext *ctx = ctxs[i];
+        if (config_.adaptiveBatching) {
+            if (lastLaunch_ != 0)
+                launchGapMs_.add(
+                    des::toMillis(queue_.now() - lastLaunch_));
+            lastLaunch_ = queue_.now();
+            launchSizeAvg_.add(
+                static_cast<double>(ctx->entries().size()));
+        }
+        ctx->markBusy();
+        ++stats_.cohortsLaunched;
+        auto run = std::make_shared<CohortRun>();
+        run->seq = cohortSeq_++;
+        run->launchedAt = queue_.now();
+        if (OBS_ENABLED()) {
+            const uint32_t tr = obs::track::kCohortBase + ctx->id();
+            OBS_TRACK_NAME(tr, "cohort ctx " + std::to_string(ctx->id()));
+            OBS_SPAN_COMPLETE(
+                tr, "dispatch", "stage", ctx->firstArrival(), queue_.now(),
+                {"requests", static_cast<uint64_t>(ctx->entries().size())},
+                {"type", std::string(service_.typeName(ctx->type()))});
+            OBS_COUNTER_ADD("server.cohorts_launched", 1);
+        }
+        runs.push_back(std::move(run));
+        executeCohortHost(*ctx, *runs[i], states[i]);
+    }
+
+    // Greedy grouping in collection order: each cohort joins the first
+    // compatible group. Collection order is deterministic (context-pool
+    // scan order), so the grouping — and everything downstream — is a
+    // pure function of the simulated schedule.
+    std::vector<std::vector<CohortContext *>> groups;
+    std::vector<std::vector<size_t>> group_idx;
+    for (size_t i = 0; i < ctxs.size(); ++i) {
+        bool placed = false;
+        for (size_t g = 0; g < groups.size(); ++g) {
+            if (canFuse(groups[g], *ctxs[i])) {
+                groups[g].push_back(ctxs[i]);
+                group_idx[g].push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            groups.push_back({ctxs[i]});
+            group_idx.push_back({i});
+        }
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].size() == 1) {
+            const size_t i = group_idx[g].front();
+            buildCohortCommands(*runs[i], states[i]);
+            maybeInjectHang(*runs[i], /*hedge=*/false);
+            enqueueCohortPipeline(*ctxs[i], runs[i]);
+            continue;
+        }
+        std::vector<std::shared_ptr<CohortRun>> g_runs;
+        std::vector<HostExecState> g_states;
+        g_runs.reserve(groups[g].size());
+        g_states.reserve(groups[g].size());
+        for (size_t i : group_idx[g]) {
+            g_runs.push_back(runs[i]);
+            g_states.push_back(std::move(states[i]));
+        }
+        launchFusedCohorts(groups[g], g_runs, g_states);
+    }
+}
+
+bool
+RhythmServer::canFuse(const std::vector<CohortContext *> &group,
+                      const CohortContext &next) const
+{
+    if (group.size() >= config_.fusionMaxCohorts)
+        return false;
+    // Fused cohorts interleave their stage kernels and backend trips,
+    // so the pipeline shapes must match exactly.
+    if (service_.numStages(next.type()) !=
+        service_.numStages(group.front()->type()))
+        return false;
+    // Packing must actually save a warp over padding each cohort's
+    // tail separately — full warps gain nothing and would only widen
+    // the blast radius of a hang or hedge.
+    auto lanes_of = [&](const CohortContext &c) {
+        const uint32_t n = static_cast<uint32_t>(c.entries().size());
+        return config_.laneSample == 0 ? n
+                                       : std::min(n, config_.laneSample);
+    };
+    const uint32_t width =
+        static_cast<uint32_t>(config_.warpModel.warpWidth);
+    auto warps_of = [&](uint32_t lanes) {
+        return (lanes + width - 1) / width;
+    };
+    uint32_t lanes = 0;
+    uint32_t separate_warps = 0;
+    for (const CohortContext *member : group) {
+        lanes += lanes_of(*member);
+        separate_warps += warps_of(lanes_of(*member));
+    }
+    const uint32_t add = lanes_of(next);
+    if (warps_of(lanes + add) >= separate_warps + warps_of(add))
+        return false;
+    // Control-flow compatibility against every member: O(1) reads of
+    // the online fingerprint (DESIGN.md Section 6j).
+    for (const CohortContext *member : group) {
+        if (fingerprints_->pairSimilarity(member->type(), next.type()) <
+            config_.fusionSimilarityThreshold)
+            return false;
+    }
+    return true;
+}
+
+void
+RhythmServer::launchFusedCohorts(
+    const std::vector<CohortContext *> &group,
+    std::vector<std::shared_ptr<CohortRun>> &runs,
+    std::vector<HostExecState> &states)
+{
+    ++stats_.fusedLaunches;
+    stats_.fusedCohorts += group.size();
+    OBS_COUNTER_ADD("warp.fusion.fused_launches", 1);
+    OBS_COUNTER_ADD("warp.fusion.fused_cohorts",
+                    static_cast<uint64_t>(group.size()));
+
+    buildFusedCommands(group, runs, states);
+
+    // The leader run carries the fused command sequence, the watchdog
+    // and (for hedge replay) every member's backend calls; followers'
+    // runs keep only their own buffers/responses for delivery.
+    const std::shared_ptr<CohortRun> &leader = runs.front();
+    for (size_t i = 1; i < runs.size(); ++i) {
+        leader->backendCalls.insert(leader->backendCalls.end(),
+                                    runs[i]->backendCalls.begin(),
+                                    runs[i]->backendCalls.end());
+        runs[i]->backendCalls.clear();
+        leader->followers.push_back(
+            CohortRun::Follower{group[i], runs[i]});
+    }
+    maybeInjectHang(*leader, /*hedge=*/false);
+    enqueueCohortPipeline(*group.front(), leader);
+}
+
+void
 RhythmServer::maybeInjectHang(CohortRun &run, bool hedge)
 {
     std::vector<CohortRun::Cmd> &sequence =
@@ -1076,6 +1276,15 @@ RhythmServer::maybeInjectHang(CohortRun &run, bool hedge)
 void
 RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
 {
+    HostExecState hx;
+    executeCohortHost(ctx, run, hx);
+    buildCohortCommands(run, hx);
+}
+
+void
+RhythmServer::executeCohortHost(CohortContext &ctx, CohortRun &run,
+                                HostExecState &hx)
+{
     const uint32_t type = ctx.type();
     const uint32_t n = static_cast<uint32_t>(ctx.entries().size());
     const uint32_t sample =
@@ -1087,6 +1296,12 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
     RHYTHM_ASSERT(static_cast<uint64_t>(stages) <= kTokenStageSlots);
     RHYTHM_ASSERT(sample <= kTokenLaneSlots);
     const uint32_t lane_bytes = service_.responseBufferBytes(type);
+
+    hx.type = type;
+    hx.n = n;
+    hx.sample = sample;
+    hx.stages = stages;
+    hx.laneBytes = lane_bytes;
 
     CohortBufferConfig buf_cfg;
     buf_cfg.cohortSize = sample;
@@ -1103,23 +1318,26 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
     run.buffer = acquireBuffer(buf_cfg);
     CohortBuffer &buffer = *run.buffer;
 
-    std::vector<std::vector<simt::ThreadTrace>> stage_traces(
-        static_cast<size_t>(stages));
+    std::vector<std::vector<simt::ThreadTrace>> &stage_traces =
+        hx.stageTraces;
+    stage_traces.resize(static_cast<size_t>(stages));
     for (auto &v : stage_traces) {
         v = tracePool_.acquire();
         v.resize(sample);
     }
 
     run.failed.assign(sample, 0);
-    uint64_t backend_insts = 0;
-    uint64_t backend_calls = 0;
+    uint64_t &backend_insts = hx.backendInsts;
+    uint64_t &backend_calls = hx.backendCalls;
 
     // Cohort-level backend retry state: the budget is shared by all
     // lanes; per-stage retry rounds translate into backoff delays in
-    // the simulated command sequence below.
+    // the simulated command sequence later.
     uint32_t retry_budget = config_.backendRetryBudget;
-    std::vector<uint32_t> retry_rounds(static_cast<size_t>(stages), 0);
-    std::vector<uint64_t> retried_calls(static_cast<size_t>(stages), 0);
+    hx.retryRounds.assign(static_cast<size_t>(stages), 0);
+    hx.retriedCalls.assign(static_cast<size_t>(stages), 0);
+    std::vector<uint32_t> &retry_rounds = hx.retryRounds;
+    std::vector<uint64_t> &retried_calls = hx.retriedCalls;
 
     // One backend call, with transient-failure injection when a fault
     // plan is armed. A self-injecting BackendService produces the same
@@ -1289,6 +1507,22 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
         content_bytes += buffer.contentSize(lane);
     run.responseContentBytes = static_cast<uint64_t>(
         static_cast<double>(content_bytes) * run.scale);
+}
+
+void
+RhythmServer::buildCohortCommands(CohortRun &run, HostExecState &hx)
+{
+    const uint32_t type = hx.type;
+    const uint32_t n = hx.n;
+    const uint32_t sample = hx.sample;
+    const int stages = hx.stages;
+    const uint32_t lane_bytes = hx.laneBytes;
+    std::vector<std::vector<simt::ThreadTrace>> &stage_traces =
+        hx.stageTraces;
+    const uint64_t backend_insts = hx.backendInsts;
+    const uint64_t backend_calls = hx.backendCalls;
+    const std::vector<uint32_t> &retry_rounds = hx.retryRounds;
+    const std::vector<uint64_t> &retried_calls = hx.retriedCalls;
 
     // ---- Build the simulated command sequence -----------------------
     // Profile every pipeline stage in one engine region (warps of all
@@ -1436,9 +1670,275 @@ RhythmServer::executeCohort(CohortContext &ctx, CohortRun &run)
             Cmd{Cmd::Kind::CopyToHost, {}, ship_bytes, 0});
     }
 
+    // Online fingerprint feed: every completed launch updates its
+    // type's self-similarity EWMA from the stage-0 traces (tracked
+    // only with fusion on; the fusion admission test reads it in O(1)).
+    if (fingerprints_)
+        fingerprints_->observeLaunch(
+            type, std::span<const simt::ThreadTrace *const>(
+                      stage_ptrs[0].data(), stage_ptrs[0].size()));
+
+    // Occupancy accounting: the tail lanes warp-width hardware would
+    // idle on each process-stage launch (executed-lane granularity).
+    const uint32_t width =
+        static_cast<uint32_t>(config_.warpModel.warpWidth);
+    const uint64_t padded =
+        static_cast<uint64_t>((sample + width - 1) / width * width -
+                              sample) *
+        static_cast<uint64_t>(stages);
+    stats_.paddedLanes += padded;
+    OBS_COUNTER_ADD("warp.fusion.padded_lanes", padded);
+
     // The stage profiles are value copies; recycle the trace storage.
     for (auto &v : stage_traces)
         tracePool_.release(std::move(v));
+}
+
+void
+RhythmServer::buildFusedCommands(
+    const std::vector<CohortContext *> &group,
+    std::vector<std::shared_ptr<CohortRun>> &runs,
+    std::vector<HostExecState> &states)
+{
+    CohortRun &leader = *runs.front();
+    const int stages = states.front().stages;
+    uint32_t total_sample = 0;
+    uint32_t total_n = 0;
+    uint64_t backend_insts = 0;
+    uint64_t backend_calls = 0;
+    for (const HostExecState &hx : states) {
+        RHYTHM_ASSERT(hx.stages == stages);
+        total_sample += hx.sample;
+        total_n += hx.n;
+        backend_insts += hx.backendInsts;
+        backend_calls += hx.backendCalls;
+    }
+    // One aggregate sampling scale for the shared kernels (per-cohort
+    // scales are kept on each run for its own byte accounting).
+    const double scale =
+        static_cast<double>(total_n) / static_cast<double>(total_sample);
+
+    // Divergence-aware lane placement: concatenate each cohort's lanes
+    // as a contiguous block, in collection order. The lockstep
+    // scheduler's majority-block selection then amortizes fetches over
+    // whole same-type runs and only pays divergence where the types
+    // genuinely split — which is what the similarity admission test
+    // predicted was cheap.
+    std::vector<uint32_t> lane_tags(total_sample);
+    {
+        size_t off = 0;
+        for (const HostExecState &hx : states) {
+            std::fill(lane_tags.begin() + static_cast<long>(off),
+                      lane_tags.begin() +
+                          static_cast<long>(off + hx.sample),
+                      hx.type);
+            off += hx.sample;
+        }
+    }
+    std::vector<std::vector<const simt::ThreadTrace *>> stage_ptrs(
+        static_cast<size_t>(stages));
+    std::vector<simt::Engine::Launch> launches(
+        static_cast<size_t>(stages));
+    std::string fused_name = "fused";
+    for (const HostExecState &hx : states)
+        fused_name += "+" + std::string(service_.typeName(hx.type));
+    for (int s = 0; s < stages; ++s) {
+        const size_t si = static_cast<size_t>(s);
+        stage_ptrs[si].reserve(total_sample);
+        for (HostExecState &hx : states) {
+            for (uint32_t lane = 0; lane < hx.sample; ++lane)
+                stage_ptrs[si].push_back(&hx.stageTraces[si][lane]);
+        }
+        launches[si].traces = &stage_ptrs[si];
+        launches[si].model = &config_.warpModel;
+        launches[si].name = fused_name + "-stage" + std::to_string(s);
+        // The per-lane tag layout keys the memoization fingerprint so
+        // a fused warp can never alias a single-type one.
+        launches[si].laneTags = &lane_tags;
+    }
+    std::vector<simt::KernelProfile> stage_profiles =
+        device_.engine().profileMany(launches);
+
+    // Online fingerprint feed: each member's self similarity from its
+    // own contiguous lane slice, plus the measured cross similarity of
+    // adjacent members (the pairs that actually share tail warps).
+    if (fingerprints_) {
+        const std::span<const simt::ThreadTrace *const> all(
+            stage_ptrs[0].data(), stage_ptrs[0].size());
+        size_t off = 0;
+        std::vector<std::pair<size_t, size_t>> slices;
+        for (const HostExecState &hx : states) {
+            slices.emplace_back(off, hx.sample);
+            fingerprints_->observeLaunch(hx.type,
+                                         all.subspan(off, hx.sample));
+            off += hx.sample;
+        }
+        for (size_t i = 1; i < states.size(); ++i)
+            fingerprints_->observePair(
+                states[i - 1].type,
+                all.subspan(slices[i - 1].first, slices[i - 1].second),
+                states[i].type,
+                all.subspan(slices[i].first, slices[i].second));
+    }
+
+    // Occupancy accounting for the fused launch: one shared tail warp
+    // instead of one per cohort.
+    const uint32_t width =
+        static_cast<uint32_t>(config_.warpModel.warpWidth);
+    auto warps_of = [&](uint32_t lanes) {
+        return (lanes + width - 1) / width;
+    };
+    uint64_t separate_warps = 0;
+    for (const HostExecState &hx : states)
+        separate_warps += warps_of(hx.sample);
+    const uint64_t fused_warps = warps_of(total_sample);
+    const uint64_t padded =
+        static_cast<uint64_t>(fused_warps * width - total_sample) *
+        static_cast<uint64_t>(stages);
+    const uint64_t saved =
+        (separate_warps - fused_warps) * static_cast<uint64_t>(stages);
+    stats_.paddedLanes += padded;
+    stats_.fusionSavedWarps += saved;
+    OBS_COUNTER_ADD("warp.fusion.padded_lanes", padded);
+    OBS_COUNTER_ADD("warp.fusion.saved_warps", saved);
+
+    // ---- Shared command sequence on the leader ----------------------
+    // Same shape as the unfused sequence, with every per-cohort count
+    // replaced by the group total: the fused kernels cover all lanes,
+    // the backend trips cover all cohorts' records, and the response
+    // path ships every cohort's buffer.
+    using Cmd = CohortRun::Cmd;
+    const uint64_t backend_req_bytes =
+        static_cast<uint64_t>(total_n) *
+        service_.backendRequestSlotBytes();
+    const uint64_t backend_resp_bytes =
+        static_cast<uint64_t>(total_n) *
+        service_.backendResponseSlotBytes();
+
+    for (int s = 0; s < stages; ++s) {
+        simt::KernelProfile profile = scaleProfile(
+            std::move(stage_profiles[static_cast<size_t>(s)]), scale);
+        stats_.processIssueSlots +=
+            static_cast<double>(profile.totals.issueSlots);
+        stats_.processLaneInstructions +=
+            static_cast<double>(profile.totals.laneInstructions);
+        leader.sequence.push_back(
+            Cmd{Cmd::Kind::Kernel,
+                computeKernelCost(profile, device_.config()), 0, 0});
+
+        if (s < stages - 1) {
+            stats_.backendRequests += total_n;
+            if (config_.backendOnDevice) {
+                const uint32_t insts_per_thread = static_cast<uint32_t>(
+                    backend_calls ? backend_insts / backend_calls : 1000);
+                simt::KernelProfile bp = simt::KernelProfile::streaming(
+                    total_n, backend_req_bytes + backend_resp_bytes,
+                    insts_per_thread, config_.warpModel, "backend");
+                leader.sequence.push_back(
+                    Cmd{Cmd::Kind::Kernel,
+                        computeKernelCost(bp, device_.config()), 0, 0});
+            } else {
+                if (config_.transposeBuffers) {
+                    simt::KernelProfile tp =
+                        simt::KernelProfile::streaming(
+                            total_n, 2 * backend_req_bytes,
+                            kTransposeInstsPerThread, config_.warpModel,
+                            "breq-transpose");
+                    leader.sequence.push_back(
+                        Cmd{Cmd::Kind::Kernel,
+                            computeKernelCost(tp, device_.config()), 0,
+                            0});
+                }
+                leader.sequence.push_back(Cmd{Cmd::Kind::CopyToHost, {},
+                                              backend_req_bytes, 0});
+                leader.sequence.push_back(
+                    Cmd{Cmd::Kind::HostDelay, {}, 0,
+                        des::fromSeconds(total_n /
+                                         config_.hostBackendReqsPerSec)});
+                leader.sequence.push_back(Cmd{Cmd::Kind::CopyToDevice,
+                                              {}, backend_resp_bytes,
+                                              0});
+                if (config_.transposeBuffers) {
+                    simt::KernelProfile tp =
+                        simt::KernelProfile::streaming(
+                            total_n, 2 * backend_resp_bytes,
+                            kTransposeInstsPerThread, config_.warpModel,
+                            "bresp-transpose");
+                    leader.sequence.push_back(
+                        Cmd{Cmd::Kind::Kernel,
+                            computeKernelCost(tp, device_.config()), 0,
+                            0});
+                }
+            }
+
+            // Degradation extras, one draw per member cohort per stage
+            // (the same number of fault-plan consultations the unfused
+            // launches would have made), plus each member's retry
+            // backoff and retried-call service time.
+            des::Time extra = 0;
+            for (const HostExecState &hx : states) {
+                if (faultPlan_) {
+                    const fault::Decision slow = faultPlan_->at(
+                        fault::Site::BackendSlow, queue_.now());
+                    if (slow.fire) {
+                        ++stats_.faultsInjected;
+                        OBS_INSTANT(
+                            obs::track::kEvents, "backend-slow", "fault",
+                            {"delay_us", des::toMicros(slow.delay)});
+                        extra += slow.delay;
+                    }
+                }
+                const size_t si = static_cast<size_t>(s);
+                for (uint32_t r = 0; r < hx.retryRounds[si]; ++r)
+                    extra += config_.retryBackoffBase
+                             << std::min<uint32_t>(r, 20);
+                if (hx.retriedCalls[si] > 0)
+                    extra += des::fromSeconds(
+                        static_cast<double>(hx.retriedCalls[si]) /
+                        config_.hostBackendReqsPerSec);
+            }
+            if (extra > 0)
+                leader.sequence.push_back(
+                    Cmd{Cmd::Kind::HostDelay, {}, 0, extra});
+        }
+    }
+
+    // Response path: one transpose pass and one PCIe download covering
+    // every member's buffer.
+    leader.responseBeginIdx = leader.sequence.size();
+    if (config_.transposeBuffers && !config_.offloadResponseTranspose) {
+        uint64_t resp_buf_bytes = 0;
+        for (const HostExecState &hx : states)
+            resp_buf_bytes +=
+                2ull * hx.laneBytes * static_cast<uint64_t>(hx.n);
+        simt::KernelProfile tp = simt::KernelProfile::streaming(
+            total_n, resp_buf_bytes, kTransposeInstsPerThread,
+            config_.warpModel, "resp-transpose");
+        leader.sequence.push_back(Cmd{
+            Cmd::Kind::Kernel, computeKernelCost(tp, device_.config()),
+            0, 0});
+    }
+    if (config_.networkOverPcie) {
+        uint64_t ship_bytes = 0;
+        for (size_t i = 0; i < states.size(); ++i) {
+            const uint64_t loose_fit =
+                static_cast<uint64_t>(states[i].laneBytes) * states[i].n;
+            ship_bytes +=
+                config_.overlapPipeline
+                    ? std::min(runs[i]->responseContentBytes +
+                                   runs[i]->paddingBytes,
+                               loose_fit)
+                    : loose_fit;
+        }
+        leader.sequence.push_back(
+            Cmd{Cmd::Kind::CopyToHost, {}, ship_bytes, 0});
+    }
+
+    (void)group;
+    for (HostExecState &hx : states) {
+        for (auto &v : hx.stageTraces)
+            tracePool_.release(std::move(v));
+    }
 }
 
 void
@@ -1592,44 +2092,43 @@ RhythmServer::hedgeCohort(CohortContext &ctx,
 }
 
 void
-RhythmServer::cohortCompleted(CohortContext &ctx,
-                              const std::shared_ptr<CohortRun> &run)
+RhythmServer::deliverRun(CohortContext &ctx, CohortRun &run,
+                         des::Time now)
 {
-    const des::Time now = queue_.now();
     const auto &entries = ctx.entries();
-    stats_.responseBytes += run->responseContentBytes;
-    stats_.paddingBytes += run->paddingBytes;
+    stats_.responseBytes += run.responseContentBytes;
+    stats_.paddingBytes += run.paddingBytes;
     if (OBS_ENABLED()) {
-        if (!run->processClosed) {
-            run->processClosed = true;
-            run->responseStart = now;
+        if (!run.processClosed) {
+            run.processClosed = true;
+            run.responseStart = now;
             OBS_SPAN_COMPLETE(obs::track::kCohortBase + ctx.id(),
-                              "process", "stage", run->launchedAt, now);
+                              "process", "stage", run.launchedAt, now);
         }
         OBS_SPAN_COMPLETE(obs::track::kCohortBase + ctx.id(), "response",
-                          "stage", run->responseStart, now,
-                          {"bytes", run->responseContentBytes},
-                          {"padding_bytes", run->paddingBytes});
+                          "stage", run.responseStart, now,
+                          {"bytes", run.responseContentBytes},
+                          {"padding_bytes", run.paddingBytes});
     }
     for (size_t i = 0; i < entries.size(); ++i) {
-        const bool executed = i < run->executedLanes;
-        const bool failed = executed && run->failed[i] != 0;
+        const bool executed = i < run.executedLanes;
+        const bool failed = executed && run.failed[i] != 0;
         stats_.formationMs.add(
-            des::toMillis(run->launchedAt - entries[i].arrival));
-        stats_.pipelineMs.add(des::toMillis(now - run->launchedAt));
+            des::toMillis(run.launchedAt - entries[i].arrival));
+        stats_.pipelineMs.add(des::toMillis(now - run.launchedAt));
         OBS_HIST_ADD("server.formation_ms",
-                     des::toMillis(run->launchedAt - entries[i].arrival));
+                     des::toMillis(run.launchedAt - entries[i].arrival));
         OBS_HIST_ADD("server.pipeline_ms",
-                     des::toMillis(now - run->launchedAt));
+                     des::toMillis(now - run.launchedAt));
         completeRequest(entries[i].clientId,
-                        executed ? run->responses[i] : std::string_view(),
+                        executed ? run.responses[i] : std::string_view(),
                         now - entries[i].arrival, failed, ctx.type());
     }
     if (config_.adaptiveBatching) {
         // Feed the slack model: pipeline (launch→response) time per
         // cohort of this type, plus the lane-count EWMA the admission
         // test turns into a drain rate.
-        const double pipeline_ms = des::toMillis(now - run->launchedAt);
+        const double pipeline_ms = des::toMillis(now - run.launchedAt);
         if (ctx.type() < typeCostMs_.size())
             typeCostMs_[ctx.type()].add(pipeline_ms);
         aggCostMs_.add(pipeline_ms);
@@ -1637,9 +2136,23 @@ RhythmServer::cohortCompleted(CohortContext &ctx,
     }
     // Delivery done: the response views are dead, so the buffer can go
     // back to the per-shape pool for the next cohort of this shape.
-    run->responses.clear();
-    releaseBuffer(std::move(run->buffer));
+    run.responses.clear();
+    releaseBuffer(std::move(run.buffer));
     ctx.release();
+}
+
+void
+RhythmServer::cohortCompleted(CohortContext &ctx,
+                              const std::shared_ptr<CohortRun> &run)
+{
+    const des::Time now = queue_.now();
+    deliverRun(ctx, *run, now);
+    // A fused leader's command sequence covered its followers' lanes
+    // too: the shared pipeline finishing means every member cohort's
+    // responses are ready at the same simulated instant.
+    for (CohortRun::Follower &f : run->followers)
+        deliverRun(*f.ctx, *f.run, now);
+    run->followers.clear();
     drainDispatch();
     pump();
 }

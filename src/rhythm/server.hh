@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/fingerprint.hh"
 #include "des/event_queue.hh"
 #include "fault/plan.hh"
 #include "rhythm/buffers.hh"
@@ -200,6 +201,34 @@ struct RhythmConfig
      * shedder.
      */
     bool adaptiveAdmission = true;
+
+    // ---- Sub-warp packing / cross-type cohort fusion (off by
+    // ---- default, so a default config reproduces the paper exactly) --
+
+    /**
+     * Cross-type cohort fusion (DESIGN.md Section 6j). When several
+     * partial cohorts launch at the same scan instant, pack the lanes
+     * of similarity-compatible types into one shared kernel-launch
+     * sequence instead of padding each cohort's tail warp separately.
+     * Lane placement is divergence-aware: each cohort's lanes stay
+     * contiguous, so the lockstep scheduler's majority-block selection
+     * still amortizes fetches over same-type runs. Delivered response
+     * bytes are identical fusion on/off; only the modeled kernel
+     * costs, occupancy and SIMD efficiency change.
+     */
+    bool fusionEnabled = false;
+    /**
+     * Minimum predicted pair similarity (the Figure 2 normalized-
+     * speedup EWMA, see analysis/fingerprint.hh) for two types to
+     * share a fused launch. 0.5 is the indifference point: below it a
+     * mixed warp serializes more than separate padded warps would
+     * waste.
+     */
+    double fusionSimilarityThreshold = 0.5;
+    /** Maximum cohorts packed into one fused launch. */
+    uint32_t fusionMaxCohorts = 4;
+    /** Online control-flow fingerprint tuning (EWMA alpha, sampling). */
+    analysis::FingerprintConfig fingerprint;
 };
 
 /**
@@ -290,6 +319,18 @@ struct RhythmStats
     uint64_t typedDeadlineHits = 0;
     /** Responses late/failed/shed against their per-type deadline. */
     uint64_t typedDeadlineMisses = 0;
+
+    // ---- Sub-warp packing / cohort fusion (DESIGN.md Section 6j) ---
+    /** Fused launches (each covering two or more cohorts). */
+    uint64_t fusedLaunches = 0;
+    /** Cohorts that rode a fused launch. */
+    uint64_t fusedCohorts = 0;
+    /** Warps saved by packing versus padding each cohort separately,
+     *  summed over pipeline stages. */
+    uint64_t fusionSavedWarps = 0;
+    /** Inactive tail lanes of process-stage launches (executed-lane
+     *  granularity, summed over stages) — the occupancy padding loses. */
+    uint64_t paddedLanes = 0;
 };
 
 /**
@@ -419,7 +460,30 @@ class RhythmServer
     RouteResult routeEntry(CohortEntry &entry);
     bool serveOnHost(CohortEntry &entry);
     void launchImageCohort();
+    // Forward decls for the launch-path signatures below; defined with
+    // the pipeline-execution block in server.cc.
+    struct CohortRun;
+    struct HostExecState;
     void launchCohort(CohortContext &ctx);
+    /**
+     * Launches a set of cohorts collected at one scan instant. With
+     * fusion off (or a single cohort) this is a plain launchCohort()
+     * loop; with fusion on, similarity-compatible partial cohorts are
+     * greedily grouped (collection order, so the grouping is
+     * deterministic) and each multi-cohort group launches fused.
+     */
+    void launchCohortGroup(const std::vector<CohortContext *> &ctxs);
+    /** Fusion admission test for adding @p next to @p group: equal
+     *  stage counts, a genuine warp saving, pair similarity at or
+     *  above the threshold against every member, group-size cap. */
+    bool canFuse(const std::vector<CohortContext *> &group,
+                 const CohortContext &next) const;
+    /** Launches two or more host-executed cohorts as one fused command
+     *  sequence (bookkeeping and host execution already done by
+     *  launchCohortGroup, in collection order). */
+    void launchFusedCohorts(const std::vector<CohortContext *> &group,
+                            std::vector<std::shared_ptr<CohortRun>> &runs,
+                            std::vector<HostExecState> &states);
     void scheduleTimeoutScan();
     void completeRequest(uint64_t client_id, std::string_view response,
                          des::Time latency, bool failed,
@@ -439,8 +503,24 @@ class RhythmServer
     void preemptForType(uint32_t type);
 
     // Pipeline execution (host-side eager run producing stage profiles).
-    struct CohortRun;
+    // CohortRun carries one launch's command sequence and delivery
+    // state; HostExecState the host-execution products of one cohort
+    // (stage traces + backend bookkeeping) handed from
+    // executeCohortHost to command building.
     void executeCohort(CohortContext &ctx, CohortRun &run);
+    /** Runs the handler stages on the host: fills the cohort buffer,
+     *  responses and failure flags, records stage traces into @p hx. */
+    void executeCohortHost(CohortContext &ctx, CohortRun &run,
+                           HostExecState &hx);
+    /** Profiles @p hx's stage traces and builds @p run's command
+     *  sequence (the unfused path; byte-identical to pre-fusion). */
+    void buildCohortCommands(CohortRun &run, HostExecState &hx);
+    /** Profiles the concatenated lanes of a fused group (same-type
+     *  lanes contiguous, per-lane type tags) and builds the shared
+     *  command sequence on the leader run. */
+    void buildFusedCommands(const std::vector<CohortContext *> &group,
+                            std::vector<std::shared_ptr<CohortRun>> &runs,
+                            std::vector<HostExecState> &states);
     void enqueueCohortPipeline(CohortContext &ctx,
                                std::shared_ptr<CohortRun> run);
     /** Steps one execution (primary or hedge) of a run on a stream. */
@@ -458,6 +538,10 @@ class RhythmServer
     void maybeInjectHang(CohortRun &run, bool hedge);
     void cohortCompleted(CohortContext &ctx,
                          const std::shared_ptr<CohortRun> &run);
+    /** Delivers one cohort's responses and releases its context and
+     *  buffer (cohortCompleted runs this for the leader, then for
+     *  every fused follower). */
+    void deliverRun(CohortContext &ctx, CohortRun &run, des::Time now);
 
     des::EventQueue &queue_;
     simt::Device &device_;
@@ -590,6 +674,10 @@ class RhythmServer
     Ewma launchSizeAvg_;
     /** Timestamp of the previous typed cohort launch (0 = none yet). */
     des::Time lastLaunch_ = 0;
+
+    // ---- Sub-warp packing / cohort fusion (DESIGN.md Section 6j) ---
+    /** Online per-type control-flow fingerprints (fusion on only). */
+    std::unique_ptr<analysis::FingerprintTracker> fingerprints_;
 
     RhythmStats stats_;
 };

@@ -256,11 +256,17 @@ coalesceGroupOp(std::span<const MemOp *const> ops, const WarpModel &model,
     }
 }
 
-} // namespace
-
+/**
+ * Shared lockstep scheduler. The @p kMemOps = false instantiation skips
+ * the per-group memory-op alignment loop (the only consumer of MemOp
+ * data), so the control-flow fields it produces are bit-equal to the
+ * full simulation's by construction: the scheduler itself never
+ * consults memOps.
+ */
+template <bool kMemOps>
 WarpStats
-simulateWarp(std::span<const ThreadTrace *const> lanes,
-             const WarpModel &model)
+simulateWarpImpl(std::span<const ThreadTrace *const> lanes,
+                 const WarpModel &model)
 {
     RHYTHM_ASSERT(static_cast<int>(lanes.size()) <= model.warpWidth,
                   "more lanes than the warp width");
@@ -381,17 +387,22 @@ simulateWarp(std::span<const ThreadTrace *const> lanes,
         stats.activeLaneSteps += group.size();
 
         // Align memory ops by index within the block across the group.
-        for (uint32_t j = 0; j < max_ops; ++j) {
-            group_ops.clear();
-            for (size_t l : group) {
-                const BlockExec &be = lanes[l]->blocks[pos[l]];
-                if (j < be.memCount)
-                    group_ops.push_back(&lanes[l]->memOps[be.memBegin + j]);
+        if constexpr (kMemOps) {
+            for (uint32_t j = 0; j < max_ops; ++j) {
+                group_ops.clear();
+                for (size_t l : group) {
+                    const BlockExec &be = lanes[l]->blocks[pos[l]];
+                    if (j < be.memCount)
+                        group_ops.push_back(
+                            &lanes[l]->memOps[be.memBegin + j]);
+                }
+                if (!group_ops.empty())
+                    coalesceGroupOp(std::span<const MemOp *const>(
+                                        group_ops.data(), group_ops.size()),
+                                    model, stats);
             }
-            if (!group_ops.empty())
-                coalesceGroupOp(std::span<const MemOp *const>(
-                                    group_ops.data(), group_ops.size()),
-                                model, stats);
+        } else {
+            (void)max_ops;
         }
 
         for (size_t l : group)
@@ -399,6 +410,22 @@ simulateWarp(std::span<const ThreadTrace *const> lanes,
     }
 
     return stats;
+}
+
+} // namespace
+
+WarpStats
+simulateWarp(std::span<const ThreadTrace *const> lanes,
+             const WarpModel &model)
+{
+    return simulateWarpImpl<true>(lanes, model);
+}
+
+WarpStats
+mergeBlockSchedule(std::span<const ThreadTrace *const> lanes,
+                   const WarpModel &model)
+{
+    return simulateWarpImpl<false>(lanes, model);
 }
 
 } // namespace rhythm::simt

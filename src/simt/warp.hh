@@ -105,6 +105,19 @@ WarpStats simulateWarp(std::span<const ThreadTrace *const> lanes,
                        const WarpModel &model = WarpModel{});
 
 /**
+ * Block-schedule-only variant of simulateWarp(): runs the identical
+ * lockstep scheduler but skips memory-op coalescing, so only the
+ * control-flow fields (issueSlots, laneInstructions, steps,
+ * laneBlockExecs, activeLaneSteps) are produced; all memory counters
+ * stay zero. Because the scheduler never consults memOps, those five
+ * fields are bit-equal to simulateWarp()'s on the same lanes — which
+ * is what lets the online similarity fingerprint (src/analysis) stay
+ * off the coalescer's cost on the dispatch path.
+ */
+WarpStats mergeBlockSchedule(std::span<const ThreadTrace *const> lanes,
+                             const WarpModel &model = WarpModel{});
+
+/**
  * Counts the 128-byte segments touched by one warp-level element access.
  *
  * Exposed for unit testing of the coalescer.

@@ -37,6 +37,7 @@
 #include "simt/device.hh"
 #include "simt/profile_cache.hh"
 #include "specweb/workload.hh"
+#include "util/hash.hh"
 #include "util/thread_pool.hh"
 
 namespace rhythm {
@@ -57,6 +58,8 @@ struct Fingerprint
     std::vector<simt::Engine::SmCounters> sms;
     std::vector<std::pair<std::string, double>> metrics;
     std::string trace;
+    //! Order-insensitive response-byte digest (fusion runs only).
+    uint64_t responseDigestSum = 0;
     //! Profile-cache accounting (zero when no cache was attached).
     simt::ProfileCache::Stats cacheStats;
 };
@@ -84,6 +87,7 @@ expectIdentical(const Fingerprint &serial, const Fingerprint &parallel,
             << "metric " << serial.metrics[i].first;
     }
     EXPECT_EQ(serial.trace, parallel.trace);
+    EXPECT_EQ(serial.responseDigestSum, parallel.responseDigestSum);
 }
 
 /** Which authentication traffic the banking run carries. */
@@ -400,6 +404,156 @@ runAdaptiveFlash(unsigned threads, size_t cache_entries = 0,
     return fp;
 }
 
+/** Per-response FNV-1a, combined with a wrapping sum (order-free). */
+uint64_t
+responseHash(uint64_t client_id, std::string_view response)
+{
+    util::Fnv1a64 h;
+    h.update(client_id);
+    h.update(response.size());
+    uint64_t word = 0;
+    int shift = 0;
+    for (const char c : response) {
+        word |= static_cast<uint64_t>(static_cast<unsigned char>(c))
+                << shift;
+        shift += 8;
+        if (shift == 64) {
+            h.update(word);
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift > 0)
+        h.update(word);
+    return h.digest();
+}
+
+/**
+ * One cross-type cohort-fusion run under open-loop flash-crowd arrivals
+ * (DESIGN.md Section 6j), in the completion-independent configuration
+ * the fusion byte-equality contract requires: fixed batching, open-loop
+ * arrivals and cohort contexts sized so dispatch never waits on a
+ * completion. The burst overfills some cohorts and the formation
+ * timeout flushes partial ones, so tail warps of several request types
+ * coexist — exactly what the fusion packer repacks. The fingerprint
+ * additionally carries an order-insensitive digest of every response
+ * byte, so fusion on and off can be compared across arms (not just
+ * across thread counts).
+ *
+ * @param burst Flash-crowd arrivals when true; steady Poisson when
+ *        false. The flash burst exceeds the reader's drain rate, so
+ *        admission (reader drops) becomes timing-dependent — fine for
+ *        the across-threads matrix (each arm is compared with itself)
+ *        but not for the fusion-on-vs-off byte comparison, which uses
+ *        the steady shape where no admission decision ever consults
+ *        pipeline state.
+ */
+Fingerprint
+runFusionFlash(unsigned threads, bool fusion, size_t cache_entries = 0,
+               bool burst = true)
+{
+    util::setSimThreads(threads);
+    obs::global().reset();
+
+    platform::TitanVariant variant = platform::titanB();
+    core::RhythmConfig cfg = variant.server;
+    cfg.cohortSize = 128;
+    cfg.cohortContexts = 256; // ample: dispatch never blocks on release
+    cfg.laneSample = 128;
+    // The default formation timeout. Tighter timeouts make the cohort
+    // chopping sensitive to parser-kernel completion times — the parser
+    // shares the device with cohort kernels, so fusing cohorts shifts
+    // parse completions — and the on/off byte comparison then compares
+    // different cohort compositions. 2 ms leaves formation enough slack
+    // that the chopping is identical (the CI digest gate's shape).
+    cfg.cohortTimeout = 2 * des::kMillisecond;
+    cfg.fusionEnabled = fusion;
+    if (cache_entries > 0)
+        cfg.traceTemplateCacheEntries =
+            static_cast<uint32_t>(cache_entries);
+    const uint64_t total = 16 * cfg.cohortSize;
+    const uint64_t users = 400;
+
+    des::EventQueue queue;
+    obs::global().enable(queue);
+    simt::ProfileCache cache(std::max<size_t>(cache_entries, 1));
+    simt::Device device(queue, variant.device);
+    if (cache_entries > 0)
+        device.engine().setProfileCache(&cache);
+    backend::BankDb db(users, 42);
+    core::BankingService service(db);
+    core::RhythmServer server(queue, device, service, cfg);
+
+    Fingerprint fp;
+    server.setResponseCallback(
+        [&fp](uint64_t client_id, std::string_view response, des::Time) {
+            fp.responseDigestSum += responseHash(client_id, response);
+        });
+
+    specweb::WorkloadGenerator gen(db, 42 * 31 + 7);
+    auto sessions = server.sessions().populate(
+        std::min<uint64_t>(total, 8192), users);
+
+    net::ArrivalConfig acfg;
+    acfg.kind = burst ? net::ArrivalKind::Flash : net::ArrivalKind::Poisson;
+    acfg.rate = 50e3;
+    acfg.seed = 9;
+    acfg.flashStartSec = 0.005;
+    acfg.flashDurationSec = 0.01;
+    acfg.flashMultiplier = 8.0;
+    net::ArrivalProcess arrivals(acfg);
+    uint64_t issued = 0;
+    std::function<void()> arrive = [&]() {
+        if (issued >= total)
+            return;
+        specweb::RequestType type;
+        do {
+            type = gen.sampleType();
+        } while (type == specweb::RequestType::Login ||
+                 type == specweb::RequestType::Logout);
+        const auto &[sid, user] = sessions[issued % sessions.size()];
+        server.injectRequest(gen.generate(type, user, sid).raw,
+                             issued + 1);
+        ++issued;
+        if (issued < total)
+            queue.scheduleAfter(arrivals.nextGap(), arrive);
+    };
+    queue.scheduleAfter(arrivals.nextGap(), arrive);
+    queue.run();
+
+    fp.clock = queue.now();
+    fp.dispatched = queue.dispatched();
+    fp.orderHash = queue.orderHash();
+    fp.responses = server.stats().responsesCompleted;
+    fp.errors = server.stats().errorResponses;
+    fp.engineLaunches = device.engine().launches();
+    fp.engineWarps = device.engine().warps();
+    fp.sms = device.engine().smCounters();
+    fp.metrics = obs::global().metrics().flatten(
+        std::span<const std::string_view>(
+            obs::kBaselineExcludedPrefixes));
+    // The flatten excludes warp.fusion.* (baseline-gated), so fold the
+    // fusion accounting in explicitly: it too must be thread-invariant.
+    fp.metrics.emplace_back(
+        "fusion.fused_launches",
+        static_cast<double>(server.stats().fusedLaunches));
+    fp.metrics.emplace_back(
+        "fusion.fused_cohorts",
+        static_cast<double>(server.stats().fusedCohorts));
+    fp.metrics.emplace_back(
+        "fusion.saved_warps",
+        static_cast<double>(server.stats().fusionSavedWarps));
+    std::ostringstream trace;
+    obs::global().tracer().writeChromeTrace(trace);
+    fp.trace = trace.str();
+    fp.cacheStats = cache.stats();
+
+    obs::global().disable();
+    obs::global().reset();
+    util::setSimThreads(1);
+    return fp;
+}
+
 /** Looks up one flattened metric; -1 when absent. */
 double
 metricValue(const Fingerprint &fp, std::string_view name)
@@ -577,6 +731,63 @@ TEST(ParallelEquivalenceTest, AdaptiveFlashUnderFaultsIsByteIdentical)
     for (unsigned threads : kThreadCounts)
         expectIdentical(serial, runAdaptiveFlash(threads, 0, true),
                         threads);
+}
+
+TEST(ParallelEquivalenceTest, FusionFlashRunIsByteIdentical)
+{
+    // Cross-type cohort fusion under the flash crowd: lane packing,
+    // fused command building and the follower delivery loop all run on
+    // top of the parallel engine, and every output — including the
+    // fusion accounting itself — must stay canonical across threads.
+    const Fingerprint serial = runFusionFlash(1, true);
+    ASSERT_GT(serial.responses, 0u);
+    // The packer must actually have fused, or the matrix proves nothing.
+    ASSERT_GT(metricValue(serial, "fusion.fused_launches"), 0.0);
+    ASSERT_GT(metricValue(serial, "fusion.saved_warps"), 0.0);
+    for (unsigned threads : kThreadCounts)
+        expectIdentical(serial, runFusionFlash(threads, true), threads);
+}
+
+TEST(ParallelEquivalenceTest, FusionOnMatchesFusionOffResponses)
+{
+    // The §6j determinism contract: in the completion-independent
+    // configuration (steady open-loop arrivals, fixed batching, ample
+    // contexts), fusing cohorts changes pipeline timing but not a
+    // single response byte. Compared via the order-insensitive digest,
+    // across arms and thread counts.
+    const Fingerprint off = runFusionFlash(1, false, 0, false);
+    const Fingerprint on = runFusionFlash(1, true, 0, false);
+    ASSERT_GT(off.responses, 0u);
+    EXPECT_EQ(on.responses, off.responses);
+    EXPECT_EQ(on.errors, off.errors);
+    EXPECT_EQ(on.responseDigestSum, off.responseDigestSum);
+    // Fusion did real work while leaving the bytes alone.
+    EXPECT_GT(metricValue(on, "fusion.fused_cohorts"), 0.0);
+    EXPECT_EQ(metricValue(off, "fusion.fused_launches"), 0.0);
+    for (unsigned threads : kThreadCounts) {
+        SCOPED_TRACE("sim-threads=" + std::to_string(threads));
+        EXPECT_EQ(runFusionFlash(threads, true, 0, false)
+                      .responseDigestSum,
+                  off.responseDigestSum);
+    }
+}
+
+TEST(ParallelEquivalenceTest, FusionWithCacheIsByteIdentical)
+{
+    // Mixed-type warps reach the profile cache under tag-aware
+    // fingerprints: the cache must stay wall-clock-only (identical
+    // outputs to the uncached fusion run) with thread-invariant
+    // accounting.
+    const Fingerprint uncached = runFusionFlash(1, true);
+    const Fingerprint cached = runFusionFlash(1, true, 4096);
+    expectIdentical(uncached, cached, 1);
+    EXPECT_GT(cached.cacheStats.insertions, 0u);
+    for (unsigned threads : kThreadCounts) {
+        const Fingerprint parallel = runFusionFlash(threads, true, 4096);
+        expectIdentical(uncached, parallel, threads);
+        expectSameCacheStats(cached.cacheStats, parallel.cacheStats,
+                             threads);
+    }
 }
 
 TEST(ParallelEquivalenceTest, Fig9SizedTitanARunIsIdentical)

@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "analysis/fingerprint.hh"
 #include "analysis/similarity.hh"
 #include "platform/cpu.hh"
 #include "platform/measure.hh"
@@ -243,6 +244,189 @@ TEST(Similarity, EmptyInputIsSafe)
     auto r = measureSimilarity({});
     EXPECT_EQ(r.traceCount, 0u);
     EXPECT_EQ(r.speedup, 0.0);
+}
+
+using rhythm::analysis::measureSimilarityFast;
+
+/// Asserts the fast path is bit-equal to the offline merge — exact
+/// double comparison on purpose, since the scheduler fields the metric
+/// consumes are produced by the identical code path.
+void
+expectFastPathBitEqual(const std::vector<const simt::ThreadTrace *> &lanes)
+{
+    const auto off = measureSimilarity(lanes);
+    const auto fast = measureSimilarityFast(lanes);
+    EXPECT_EQ(fast.traceCount, off.traceCount);
+    EXPECT_EQ(fast.sumBlocks, off.sumBlocks);
+    EXPECT_EQ(fast.mergedBlocks, off.mergedBlocks);
+    EXPECT_EQ(fast.speedup, off.speedup);
+    EXPECT_EQ(fast.normalizedSpeedup, off.normalizedSpeedup);
+}
+
+TEST(Similarity, FastPathBitEqualToOfflineOnSyntheticTraces)
+{
+    // Partially overlapping traces so the merge is non-trivial.
+    std::vector<simt::ThreadTrace> traces(8);
+    for (uint32_t i = 0; i < 8; ++i) {
+        simt::RecordingTracer rec(traces[i]);
+        rec.block(1, 10);
+        rec.block(i % 3 == 0 ? 2u : 3u, 20);
+        for (uint32_t b = 0; b < i; ++b)
+            rec.block(500 + i * 16 + b, 1);
+        rec.block(4, 10);
+    }
+    std::vector<const simt::ThreadTrace *> lanes;
+    for (auto &t : traces)
+        lanes.push_back(&t);
+    expectFastPathBitEqual(lanes);
+    expectFastPathBitEqual({});
+}
+
+TEST(Similarity, FastPathBitEqualToOfflineOnCapturedRequests)
+{
+    // The contract the online fingerprint relies on, over real served
+    // request traces (which include memory ops the fast path skips).
+    for (specweb::RequestType type :
+         {specweb::RequestType::AccountSummary,
+          specweb::RequestType::BillPay}) {
+        auto traces = captureRequestTraces(type, 6, 300, 17);
+        std::vector<const simt::ThreadTrace *> lanes;
+        for (auto &t : traces)
+            lanes.push_back(&t);
+        expectFastPathBitEqual(lanes);
+    }
+}
+
+using rhythm::analysis::FingerprintConfig;
+using rhythm::analysis::FingerprintTracker;
+
+/// @p n lanes all executing the same @p blocks-long body at @p base.
+std::vector<simt::ThreadTrace>
+uniformTraces(size_t n, uint32_t base, uint32_t blocks = 10)
+{
+    std::vector<simt::ThreadTrace> traces(n);
+    for (auto &t : traces) {
+        simt::RecordingTracer rec(t);
+        for (uint32_t b = 0; b < blocks; ++b)
+            rec.block(base + b, 5);
+    }
+    return traces;
+}
+
+std::vector<const simt::ThreadTrace *>
+lanePtrs(const std::vector<simt::ThreadTrace> &traces)
+{
+    std::vector<const simt::ThreadTrace *> p;
+    for (const auto &t : traces)
+        p.push_back(&t);
+    return p;
+}
+
+TEST(Fingerprint, OptimisticBootstrap)
+{
+    FingerprintTracker fp(4);
+    for (uint32_t t = 0; t < 4; ++t)
+        EXPECT_DOUBLE_EQ(fp.typeSimilarity(t), 1.0);
+    EXPECT_DOUBLE_EQ(fp.pairSimilarity(0, 1), 1.0);
+    EXPECT_EQ(fp.observations(), 0u);
+    EXPECT_EQ(fp.memoHits(), 0u);
+}
+
+TEST(Fingerprint, SelfEwmaTracksLaunchSimilarity)
+{
+    FingerprintConfig cfg;
+    cfg.alpha = 0.25;
+    FingerprintTracker fp(2, cfg);
+
+    auto coherent = uniformTraces(4, 1);
+    fp.observeLaunch(0, lanePtrs(coherent));
+    EXPECT_DOUBLE_EQ(fp.typeSimilarity(0), 1.0); // first sample seeds
+
+    // Four fully disjoint lanes merge at 1/4 of ideal.
+    std::vector<simt::ThreadTrace> disjoint(4);
+    for (uint32_t i = 0; i < 4; ++i) {
+        simt::RecordingTracer rec(disjoint[i]);
+        for (uint32_t b = 0; b < 10; ++b)
+            rec.block(1000 * (i + 1) + b, 5);
+    }
+    fp.observeLaunch(0, lanePtrs(disjoint));
+    EXPECT_DOUBLE_EQ(fp.typeSimilarity(0), 0.75 * 1.0 + 0.25 * 0.25);
+    EXPECT_DOUBLE_EQ(fp.typeSimilarity(1), 1.0); // untouched
+    EXPECT_EQ(fp.observations(), 2u);
+}
+
+TEST(Fingerprint, PairFallsBackToWorseSelfUntilMeasured)
+{
+    FingerprintTracker fp(3);
+    auto coherent = uniformTraces(4, 1);
+    std::vector<simt::ThreadTrace> disjoint(4);
+    for (uint32_t i = 0; i < 4; ++i) {
+        simt::RecordingTracer rec(disjoint[i]);
+        for (uint32_t b = 0; b < 10; ++b)
+            rec.block(1000 * (i + 1) + b, 5);
+    }
+    fp.observeLaunch(0, lanePtrs(coherent)); // self = 1.0
+    fp.observeLaunch(1, lanePtrs(disjoint)); // self = 0.25
+    EXPECT_DOUBLE_EQ(fp.pairSimilarity(0, 1), 0.25);
+    EXPECT_DOUBLE_EQ(fp.pairSimilarity(1, 0), 0.25);
+    // A pair with an unobserved type stays optimistic.
+    EXPECT_DOUBLE_EQ(fp.pairSimilarity(0, 2), 1.0);
+}
+
+TEST(Fingerprint, MeasuredPairOverridesFallback)
+{
+    // Two types, each internally coherent (self = 1.0) but mutually
+    // disjoint: the measured cross merge runs both bodies serially, so
+    // the pair value is 0.5 — below the min-of-selves fallback of 1.0.
+    FingerprintTracker fp(2);
+    auto type_a = uniformTraces(4, 1);
+    auto type_b = uniformTraces(4, 5000);
+    fp.observeLaunch(0, lanePtrs(type_a));
+    fp.observeLaunch(1, lanePtrs(type_b));
+    EXPECT_DOUBLE_EQ(fp.pairSimilarity(0, 1), 1.0);
+
+    fp.observePair(0, lanePtrs(type_a), 1, lanePtrs(type_b));
+    EXPECT_DOUBLE_EQ(fp.pairSimilarity(0, 1), 0.5);
+    EXPECT_DOUBLE_EQ(fp.pairSimilarity(1, 0), 0.5); // symmetric
+    // Self similarities are not polluted by the pair observation.
+    EXPECT_DOUBLE_EQ(fp.typeSimilarity(0), 1.0);
+    EXPECT_DOUBLE_EQ(fp.typeSimilarity(1), 1.0);
+}
+
+TEST(Fingerprint, MemoizesRepeatedBlockContent)
+{
+    FingerprintTracker fp(1);
+    auto traces = uniformTraces(8, 1);
+    auto p = lanePtrs(traces);
+    fp.observeLaunch(0, p);
+    EXPECT_EQ(fp.memoHits(), 0u);
+    const double first = fp.typeSimilarity(0);
+    fp.observeLaunch(0, p);
+    EXPECT_EQ(fp.memoHits(), 1u);
+    EXPECT_EQ(fp.observations(), 2u);
+    EXPECT_DOUBLE_EQ(fp.typeSimilarity(0), first); // same sample value
+}
+
+TEST(Fingerprint, DeterministicAcrossInstances)
+{
+    // Same launch sequence → bit-identical state, the property the
+    // fusion byte-equality contract needs at any --sim-threads.
+    auto type_a = uniformTraces(6, 1);
+    auto type_b = uniformTraces(6, 9000);
+    auto feed = [&](FingerprintTracker &fp) {
+        fp.observeLaunch(0, lanePtrs(type_a));
+        fp.observeLaunch(1, lanePtrs(type_b));
+        fp.observePair(0, lanePtrs(type_a), 1, lanePtrs(type_b));
+        fp.observeLaunch(0, lanePtrs(type_a));
+    };
+    FingerprintTracker fa(2), fb(2);
+    feed(fa);
+    feed(fb);
+    EXPECT_EQ(fa.typeSimilarity(0), fb.typeSimilarity(0));
+    EXPECT_EQ(fa.typeSimilarity(1), fb.typeSimilarity(1));
+    EXPECT_EQ(fa.pairSimilarity(0, 1), fb.pairSimilarity(0, 1));
+    EXPECT_EQ(fa.observations(), fb.observations());
+    EXPECT_EQ(fa.memoHits(), fb.memoHits());
 }
 
 } // namespace analysis_tests

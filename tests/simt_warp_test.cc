@@ -157,6 +157,177 @@ TEST(Warp, EmptyWarp)
     EXPECT_EQ(ws.simdEfficiency(32), 0.0);
 }
 
+TEST(Warp, AllNullLaneWarp)
+{
+    // A fully padded tail warp (every lane idle) must cost nothing —
+    // the shape the fusion packer eliminates.
+    std::vector<const ThreadTrace *> p(32, nullptr);
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws, WarpStats{});
+    EXPECT_EQ(ws.simdEfficiency(32), 0.0);
+}
+
+TEST(Warp, SingleActiveLaneAmongNulls)
+{
+    ThreadTrace t = makeTrace({{1, 10}, {2, 20}});
+    std::vector<const ThreadTrace *> p(32, nullptr);
+    p[17] = &t;
+    WarpStats ws = simulateWarp(p);
+    EXPECT_EQ(ws.issueSlots, 30u);
+    EXPECT_EQ(ws.laneInstructions, 30u);
+    EXPECT_EQ(ws.steps, 2u);
+    EXPECT_EQ(ws.activeLaneSteps, 2u);
+    EXPECT_NEAR(ws.simdEfficiency(32), 1.0 / 32.0, 1e-12);
+}
+
+TEST(Warp, InterleavedNullLanesMatchCompactWarp)
+{
+    // Null lanes are pure padding: the schedule (and all memory
+    // traffic) must be identical whether the active lanes are packed
+    // contiguously or interleaved with idle slots.
+    std::vector<ThreadTrace> traces;
+    traces.push_back(makeTrace({{1, 10}, {2, 20}, {4, 10}}));
+    traces.push_back(makeTrace({{1, 10}, {3, 20}, {4, 10}}));
+    traces.push_back(makeTrace({{1, 10}, {2, 20}, {4, 10}}));
+    std::vector<const ThreadTrace *> interleaved = {
+        nullptr, &traces[0], nullptr, nullptr,
+        &traces[1], nullptr, &traces[2], nullptr};
+    std::vector<const ThreadTrace *> compact = {&traces[0], &traces[1],
+                                                &traces[2]};
+    EXPECT_EQ(simulateWarp(interleaved), simulateWarp(compact));
+}
+
+TEST(Warp, SharedBlockWithinWindowReconverges)
+{
+    // Mixed-type lane groups: two "type A" lanes reach merge block 9
+    // immediately, two "type B" lanes detour through a short private
+    // region first. The merge block is within the reconvergence window
+    // of the B lanes, so A waits and block 9 issues once for all four.
+    std::vector<ThreadTrace> traces;
+    for (int i = 0; i < 2; ++i)
+        traces.push_back(makeTrace({{7, 10}, {9, 50}}));
+    for (int i = 0; i < 2; ++i) {
+        ThreadTrace t;
+        RecordingTracer rec(t);
+        rec.block(7, 10);
+        for (uint32_t f = 0; f < 8; ++f)
+            rec.block(100 + f, 1);
+        rec.block(9, 50);
+        traces.push_back(std::move(t));
+    }
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p);
+    // Block 7 together (10), 8 filler blocks (8), block 9 together (50).
+    EXPECT_EQ(ws.issueSlots, 68u);
+    EXPECT_EQ(ws.steps, 10u);
+    // 4 lanes at 7, 2 per filler, 4 at 9.
+    EXPECT_EQ(ws.activeLaneSteps, 4u + 8u * 2 + 4u);
+}
+
+TEST(Warp, SharedBlockBeyondWindowStaysDivergent)
+{
+    // Same shape, but the detour is longer than the reconvergence
+    // window (512 trace entries): the scheduler no longer sees block 9
+    // as a future merge point, so the type-A lanes run it alone and the
+    // type-B lanes re-issue it later. This is the divergence cliff the
+    // fusion similarity threshold guards against.
+    const WarpModel model; // reconvergenceWindow = 512
+    constexpr uint32_t kFiller = 600;
+    std::vector<ThreadTrace> traces;
+    for (int i = 0; i < 2; ++i)
+        traces.push_back(makeTrace({{7, 10}, {9, 50}}));
+    for (int i = 0; i < 2; ++i) {
+        ThreadTrace t;
+        RecordingTracer rec(t);
+        rec.block(7, 10);
+        for (uint32_t f = 0; f < kFiller; ++f)
+            rec.block(100 + f, 1);
+        rec.block(9, 50);
+        traces.push_back(std::move(t));
+    }
+    auto p = ptrs(traces);
+    WarpStats ws = simulateWarp(p, model);
+    // Block 7 together, fillers, then block 9 twice (A group, B group).
+    EXPECT_EQ(ws.issueSlots, 10u + kFiller + 50u + 50u);
+    EXPECT_EQ(ws.steps, 1u + kFiller + 2u);
+
+    // Shrinking the window further must not resurrect the merge.
+    WarpModel narrow = model;
+    narrow.reconvergenceWindow = 4;
+    WarpStats nw = simulateWarp(p, narrow);
+    EXPECT_EQ(nw.issueSlots, ws.issueSlots);
+}
+
+/// Asserts mergeBlockSchedule() reproduces simulateWarp()'s scheduler
+/// fields bit-for-bit while leaving every memory counter at zero.
+void
+expectScheduleMatches(std::span<const ThreadTrace *const> lanes,
+                      const WarpModel &model = WarpModel{})
+{
+    const WarpStats full = simulateWarp(lanes, model);
+    const WarpStats sched = mergeBlockSchedule(lanes, model);
+    EXPECT_EQ(sched.issueSlots, full.issueSlots);
+    EXPECT_EQ(sched.laneInstructions, full.laneInstructions);
+    EXPECT_EQ(sched.steps, full.steps);
+    EXPECT_EQ(sched.laneBlockExecs, full.laneBlockExecs);
+    EXPECT_EQ(sched.activeLaneSteps, full.activeLaneSteps);
+    EXPECT_EQ(sched.globalTransactions, 0u);
+    EXPECT_EQ(sched.globalBytes, 0u);
+    EXPECT_EQ(sched.sharedAccesses, 0u);
+    EXPECT_EQ(sched.sharedReplaySlots, 0u);
+    EXPECT_EQ(sched.constantAccesses, 0u);
+}
+
+TEST(Warp, MergeBlockScheduleMatchesSimulateWarp)
+{
+    // Control-flow-only traces: divergence, loops, nulls.
+    {
+        std::vector<ThreadTrace> traces;
+        for (int i = 0; i < 32; ++i) {
+            if (i % 2 == 0)
+                traces.push_back(makeTrace({{1, 10}, {2, 20}, {4, 10}}));
+            else
+                traces.push_back(makeTrace({{1, 10}, {3, 20}, {4, 10}}));
+        }
+        auto p = ptrs(traces);
+        expectScheduleMatches(p);
+    }
+    {
+        ThreadTrace t = makeTrace({{4, 1}, {5, 10}, {5, 10}, {6, 1}});
+        std::vector<const ThreadTrace *> p = {&t, nullptr, &t, nullptr};
+        expectScheduleMatches(p);
+    }
+    // Traces with memory ops: the fields simulateWarp() derives from
+    // them must not leak into the schedule.
+    {
+        std::vector<ThreadTrace> traces(8);
+        for (int l = 0; l < 8; ++l) {
+            RecordingTracer rec(traces[static_cast<size_t>(l)]);
+            rec.block(1, 100);
+            rec.load(static_cast<uint64_t>(l) * 4, 16, 4, 4);
+            if (l % 2 == 0) {
+                rec.block(2, 40 + static_cast<uint32_t>(l));
+                rec.store(4096 + static_cast<uint64_t>(l) * 128, 8, 4, 4);
+            }
+            rec.block(3, 25);
+            rec.load(static_cast<uint64_t>(l) * 4, 4, 4, 4,
+                     MemSpace::Shared);
+            rec.load(0x100, 1, 0, 4, MemSpace::Constant);
+        }
+        auto p = ptrs(traces);
+        expectScheduleMatches(p);
+        // And under a non-default model, since the window changes the
+        // schedule itself.
+        WarpModel narrow;
+        narrow.reconvergenceWindow = 2;
+        expectScheduleMatches(p, narrow);
+    }
+    {
+        std::vector<const ThreadTrace *> p;
+        expectScheduleMatches(p);
+    }
+}
+
 TEST(Warp, CoalescedStoresAcrossLanes)
 {
     // 32 lanes store 4 B each at consecutive addresses (transposed

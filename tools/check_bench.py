@@ -295,6 +295,78 @@ def validate_adaptive(doc, path):
     return failures
 
 
+# The warp-fusion bench (bench/ext_warp_fusion.cc) carries an absolute
+# acceptance gate at the flash-crowd point: fusing similarity-compatible
+# partial cohorts must recover SIMD efficiency (or on-time goodput)
+# over padding each cohort's tail warp. As with the adaptive gate, the
+# binary's verdict is mirrored here so a stale baseline or hand-edited
+# document cannot sneak a regressed packing policy through CI.
+FUSION_BENCH = "ext_warp_fusion"
+FUSION_CONFIG_KEYS = (
+    "arrival_rate",
+    "arrival_seed",
+    "flash_mult",
+    "cohort_size",
+    "timeout_ms",
+    "fusion_threshold",
+)
+FUSION_MIN_SIMD_RATIO = 1.15
+FUSION_MIN_GOODPUT_RATIO = 1.10
+# Absolute floor on the fused run's own flash SIMD efficiency — a good
+# ratio against a collapsed unfused run must still fail.
+FUSION_MIN_SIMD_EFFICIENCY = 0.30
+
+
+def validate_fusion(doc, path):
+    """ext_warp_fusion-specific checks; returns failure messages."""
+    failures = []
+    config = doc.get("config", {})
+    for key in FUSION_CONFIG_KEYS:
+        if key not in config:
+            failures.append(
+                f"{FUSION_BENCH}: {path} missing arrival/fusion "
+                f"metadata '{key}' in config — the sweep is not "
+                "reproducible without it"
+            )
+    metrics = doc["metrics"]
+    simd = metrics.get("flash_simd_ratio")
+    goodput = metrics.get("flash_goodput_ratio")
+    for key, value in (("flash_simd_ratio", simd),
+                       ("flash_goodput_ratio", goodput)):
+        if value is None:
+            failures.append(
+                f"{FUSION_BENCH}: {path} missing metric '{key}'"
+            )
+    if simd is not None and goodput is not None:
+        if not (simd >= FUSION_MIN_SIMD_RATIO
+                or goodput >= FUSION_MIN_GOODPUT_RATIO):
+            failures.append(
+                f"{FUSION_BENCH}: flash ratios (SIMD {simd:g}, goodput "
+                f"{goodput:g}) satisfy neither gate arm "
+                f"(>= {FUSION_MIN_SIMD_RATIO:g}x SIMD efficiency or "
+                f">= {FUSION_MIN_GOODPUT_RATIO:g}x on-time goodput)"
+            )
+    flash_simd = metrics.get("flash.on.simd_efficiency")
+    if flash_simd is None:
+        failures.append(
+            f"{FUSION_BENCH}: {path} missing metric "
+            "'flash.on.simd_efficiency'"
+        )
+    elif flash_simd < FUSION_MIN_SIMD_EFFICIENCY:
+        failures.append(
+            f"{FUSION_BENCH}: flash.on.simd_efficiency {flash_simd:g} "
+            f"below the {FUSION_MIN_SIMD_EFFICIENCY:g} absolute floor — "
+            "a good ratio against a collapsed unfused run is not a pass"
+        )
+    if metrics.get("acceptance_pass") != 1:
+        failures.append(
+            f"{FUSION_BENCH}: {path} acceptance_pass is "
+            f"{metrics.get('acceptance_pass')!r}, expected 1 — the "
+            "flash-point gate failed in the measured run"
+        )
+    return failures
+
+
 def compare_section(bench, base, meas, tolerance, label, missing_fails):
     """Compares one key→number section; returns (failures, notes)."""
     failures = []
@@ -433,6 +505,8 @@ def main():
             failures.extend(validate_overlap(meas_doc, meas_path))
         if meas_doc["bench"] == ADAPTIVE_BENCH:
             failures.extend(validate_adaptive(meas_doc, meas_path))
+        if meas_doc["bench"] == FUSION_BENCH:
+            failures.extend(validate_fusion(meas_doc, meas_path))
         checked += len(base_doc["metrics"])
         for msg in notes:
             print(f"note: {msg}")

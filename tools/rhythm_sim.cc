@@ -104,6 +104,20 @@ usage(const std::string &error)
            "  --adaptive-scan-us=X        slack-scan period (200)\n"
            "  --admission=on|off          deadline-aware admission "
            "control (on)\n"
+           "cross-type cohort fusion (off by default):\n"
+           "  --fusion=on|off             pack similarity-compatible\n"
+           "                              partial cohorts into shared\n"
+           "                              warps instead of padding each\n"
+           "                              (off; responses are\n"
+           "                              byte-identical on or off)\n"
+           "  --fusion-threshold=X        minimum online pair similarity\n"
+           "                              to fuse (0.5)\n"
+           "  --fusion-max-cohorts=N      cohorts fusable per launch "
+           "(4)\n"
+           "  --fingerprint-alpha=X       similarity EWMA smoothing "
+           "(0.25)\n"
+           "  --fingerprint-lanes=N       lanes sampled per fingerprint\n"
+           "                              update (32)\n"
            "open-loop arrivals (closed loop by default; banking only):\n"
            "  --arrival=closed|poisson|diurnal|flash\n"
            "                              arrival process driving "
@@ -334,6 +348,37 @@ report(const core::RhythmServer &server, const simt::Device &device,
         }
     }
 
+    // Cohort-fusion section, printed (and emitted as metrics) only with
+    // --fusion=on — default runs stay byte-identical to the seed
+    // output.
+    if (scfg.fusionEnabled) {
+        const double simd_eff =
+            stats.processIssueSlots > 0
+                ? stats.processLaneInstructions /
+                      (stats.processIssueSlots *
+                       scfg.warpModel.warpWidth)
+                : 0.0;
+        TableWriter ft({"cohort fusion", "value"});
+        ft.addRow({"fused launches", withCommas(stats.fusedLaunches)});
+        ft.addRow({"cohorts fused", withCommas(stats.fusedCohorts)});
+        ft.addRow({"warps saved", withCommas(stats.fusionSavedWarps)});
+        ft.addRow({"padded lanes", withCommas(stats.paddedLanes)});
+        ft.addRow({"process SIMD efficiency",
+                   formatDouble(simd_eff, 4)});
+        ft.printAscii(std::cout);
+        if (rep) {
+            rep->metric("fusion.fused_launches",
+                        static_cast<double>(stats.fusedLaunches));
+            rep->metric("fusion.fused_cohorts",
+                        static_cast<double>(stats.fusedCohorts));
+            rep->metric("fusion.saved_warps",
+                        static_cast<double>(stats.fusionSavedWarps));
+            rep->metric("fusion.padded_lanes",
+                        static_cast<double>(stats.paddedLanes));
+            rep->metric("fusion.simd_efficiency", simd_eff);
+        }
+    }
+
     // Human-readable cache summary (stdout only: the --json document
     // must stay byte-identical with the cache on or off, so these
     // numbers are deliberately NOT metrics — bench_sim_speedup emits
@@ -543,7 +588,9 @@ main(int argc, char **argv)
          "deadline-default-ms", "slack-safety", "adaptive-scan-us",
          "admission", "arrival", "arrival-rate", "arrival-seed",
          "flash-mult", "flash-start-ms", "flash-dur-ms",
-         "diurnal-period-ms", "diurnal-trough"};
+         "diurnal-period-ms", "diurnal-trough", "fusion",
+         "fusion-threshold", "fusion-max-cohorts", "fingerprint-alpha",
+         "fingerprint-lanes"};
     // Per-type deadlines are open vocabulary (--deadline-ms-<type>);
     // BatchingFlags validates the slug against the service's types.
     for (const std::string &name : flags.names()) {
@@ -609,9 +656,13 @@ main(int argc, char **argv)
         bench::BatchingFlags::parse(argc, argv);
     const bench::ArrivalFlags arrival =
         bench::ArrivalFlags::parse(argc, argv);
+    // Cross-type cohort fusion family (DESIGN.md 6j), same shared-helper
+    // arrangement.
+    const bench::FusionFlags fusion = bench::FusionFlags::parse(argc, argv);
 
     core::RhythmConfig cfg = variant.server;
     overlap.apply(cfg);
+    fusion.apply(cfg);
     cfg.cohortSize =
         static_cast<uint32_t>(flags.getU64("cohort-size", 4096));
     // Default to 16 contexts: a mixed workload needs roughly one per
@@ -713,6 +764,7 @@ main(int argc, char **argv)
     overlap.recordConfig(json_report);
     batching.recordConfig(json_report);
     arrival.recordConfig(json_report);
+    fusion.recordConfig(json_report);
 
     ResponseDigest digest;
     digest.path = flags.getString("digest-out", "");

@@ -485,5 +485,104 @@ class AdaptiveGateTest(GateHarness):
         self.assertEqual(code, 0, out)
 
 
+def fusion_doc(**overrides):
+    """A minimal valid ext_warp_fusion --json document."""
+    d = {
+        "bench": "ext_warp_fusion",
+        "config": {
+            "arrival_rate": 150000.0,
+            "arrival_seed": 1,
+            "flash_mult": 8.0,
+            "cohort_size": 128,
+            "timeout_ms": 1.0,
+            "fusion_threshold": 0.5,
+        },
+        "metrics": {
+            "flash.off.simd_efficiency": 0.28,
+            "flash.on.simd_efficiency": 0.39,
+            "flash_simd_ratio": 1.39,
+            "flash_goodput_ratio": 0.95,
+            "acceptance_pass": 1,
+        },
+    }
+    d.update(overrides)
+    return d
+
+
+class FusionGateTest(GateHarness):
+    """ext_warp_fusion-specific schema and gate-arm checks."""
+
+    def test_valid_fusion_document_passes(self):
+        base = fusion_doc()
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+    def test_every_fusion_metadata_key_is_required(self):
+        for key in ("arrival_rate", "arrival_seed", "flash_mult",
+                    "cohort_size", "timeout_ms", "fusion_threshold"):
+            meas = fusion_doc()
+            meas["config"] = {k: v for k, v in meas["config"].items()
+                              if k != key}
+            code, out = self.gate(fusion_doc(), meas)
+            self.assertEqual(code, 1, key)
+            self.assertIn(f"missing arrival/fusion metadata '{key}'",
+                          out)
+
+    def test_neither_gate_arm_satisfied_fails(self):
+        # 1.1x SIMD at 1.05x goodput misses both arms (needs 1.15x
+        # SIMD or 1.10x goodput). Baseline carries the same values so
+        # only the absolute gate catches it.
+        meas = fusion_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               flash_simd_ratio=1.1,
+                               flash_goodput_ratio=1.05)
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("satisfy neither gate arm", out)
+
+    def test_goodput_arm_alone_passes(self):
+        # 1.0x SIMD efficiency at 1.2x goodput is a legitimate
+        # second-arm pass.
+        meas = fusion_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               flash_simd_ratio=1.0,
+                               flash_goodput_ratio=1.2)
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 0, out)
+
+    def test_simd_below_absolute_floor_fails(self):
+        # Great ratios against a collapsed unfused run must not pass:
+        # the fused run's own SIMD efficiency has a 0.30 floor.
+        meas = fusion_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               **{"flash.on.simd_efficiency": 0.20,
+                                  "flash.off.simd_efficiency": 0.10})
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("below the 0.3 absolute floor", out)
+
+    def test_missing_ratio_metric_fails(self):
+        meas = fusion_doc()
+        meas["metrics"] = {k: v for k, v in meas["metrics"].items()
+                           if k != "flash_simd_ratio"}
+        # Drop the key from the baseline too so the generic missing-
+        # metric check can't be what fails the gate.
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("missing metric 'flash_simd_ratio'", out)
+
+    def test_failed_acceptance_fails_gate(self):
+        meas = fusion_doc()
+        meas["metrics"] = dict(meas["metrics"], acceptance_pass=0)
+        code, out = self.gate(fusion_doc(), meas)
+        self.assertEqual(code, 1)
+        self.assertIn("acceptance_pass", out)
+
+    def test_gate_arms_not_applied_to_other_benches(self):
+        base = doc(metrics={"flash_simd_ratio": 0.5})
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+
 if __name__ == "__main__":
     unittest.main()
