@@ -31,6 +31,7 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "platform/titan.hh"
+#include "rhythm/fleet.hh"
 #include "rhythm/server.hh"
 #include "simt/device.hh"
 #include "util/strings.hh"
@@ -978,6 +979,99 @@ struct FusionFlags
         rep.config("fusion_max_cohorts",
                    static_cast<double>(maxCohorts > 0 ? maxCohorts : 4));
         rep.config("fingerprint_alpha", alpha > 0 ? alpha : 0.25);
+    }
+};
+
+/**
+ * The multi-device sharding flag family (DESIGN.md 6k), shared by
+ * rhythm_sim and the ext_sharding bench:
+ *
+ *   --devices=N        fleet size (1 = the classic single-device path)
+ *   --balance=hash|least
+ *                      front-end policy: stable session hash (default)
+ *                      or least-outstanding-requests
+ *   --shard-seed=N     seed of the user → shard map
+ *   --cross-shard=F    fraction of arrivals that additionally start a
+ *                      two-phase cross-shard transfer (0 = off)
+ */
+struct ShardingFlags
+{
+    uint32_t devices = 1;
+    std::string balance = "hash";
+    uint64_t shardSeed = core::FleetConfig{}.shardMapSeed;
+    double crossShard = 0.0;
+    bool anyGiven = false; //!< Any flag of the family was present.
+
+    static ShardingFlags parse(int argc, char **argv)
+    {
+        ShardingFlags s;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--devices=", 0) == 0) {
+                s.devices = static_cast<uint32_t>(
+                    std::atoi(std::string(arg.substr(10)).c_str()));
+                if (s.devices < 1) {
+                    std::cerr << "error: --devices must be >= 1\n";
+                    std::exit(2);
+                }
+                s.anyGiven = true;
+            } else if (arg.rfind("--balance=", 0) == 0) {
+                s.balance = std::string(arg.substr(10));
+                if (s.balance != "hash" && s.balance != "least") {
+                    std::cerr << "error: --balance must be hash or "
+                                 "least, got: "
+                              << s.balance << "\n";
+                    std::exit(2);
+                }
+                s.anyGiven = true;
+            } else if (arg.rfind("--shard-seed=", 0) == 0) {
+                s.shardSeed = static_cast<uint64_t>(
+                    std::atoll(std::string(arg.substr(13)).c_str()));
+                s.anyGiven = true;
+            } else if (arg.rfind("--cross-shard=", 0) == 0) {
+                s.crossShard =
+                    std::atof(std::string(arg.substr(14)).c_str());
+                if (s.crossShard < 0.0 || s.crossShard > 1.0) {
+                    std::cerr
+                        << "error: --cross-shard must be in [0, 1]\n";
+                    std::exit(2);
+                }
+                s.anyGiven = true;
+            }
+        }
+        return s;
+    }
+
+    bool fleet() const { return devices > 1; }
+
+    /** Builds the fleet config (per-shard config stays RhythmConfig). */
+    core::FleetConfig toFleetConfig() const
+    {
+        core::FleetConfig fc;
+        fc.devices = devices;
+        fc.balance = balance == "least"
+                         ? core::BalanceMode::LeastOutstanding
+                         : core::BalanceMode::SessionHash;
+        fc.shardMapSeed = shardSeed;
+        return fc;
+    }
+
+    /**
+     * Records the sharding setup in the --json config section (only
+     * for actual fleet runs — a `--devices=1` run must leave the
+     * document byte-identical to a run without the flag).
+     * check_bench.py requires these keys for the sharding acceptance
+     * bench (ext_sharding).
+     */
+    void recordConfig(Reporter &rep) const
+    {
+        if (!fleet())
+            return;
+        rep.config("devices", static_cast<double>(devices));
+        rep.config("balance", balance);
+        rep.config("shard_seed", static_cast<double>(shardSeed));
+        if (crossShard > 0)
+            rep.config("cross_shard", crossShard);
     }
 };
 

@@ -297,6 +297,42 @@ BankDb::transfer(uint64_t user_id, uint64_t from_account,
 }
 
 uint64_t
+BankDb::externalDebit(uint64_t user_id, uint64_t peer_user,
+                      int64_t amount_cents)
+{
+    UserData &u = user(user_id);
+    if (amount_cents <= 0 || u.checking.balanceCents < amount_cents)
+        return 0;
+    u.checking.balanceCents -= amount_cents;
+    Transaction tx;
+    tx.txId = nextTxId_++;
+    tx.accountId = u.checking.accountId;
+    tx.amountCents = -amount_cents;
+    tx.date = 18100;
+    tx.description = "xfer-out to user " + std::to_string(peer_user);
+    u.txs.push_back(std::move(tx));
+    return u.txs.back().txId;
+}
+
+uint64_t
+BankDb::externalCredit(uint64_t user_id, uint64_t peer_user,
+                       int64_t amount_cents)
+{
+    UserData &u = user(user_id);
+    if (amount_cents <= 0)
+        return 0;
+    u.checking.balanceCents += amount_cents;
+    Transaction tx;
+    tx.txId = nextTxId_++;
+    tx.accountId = u.checking.accountId;
+    tx.amountCents = amount_cents;
+    tx.date = 18100;
+    tx.description = "xfer-in from user " + std::to_string(peer_user);
+    u.txs.push_back(std::move(tx));
+    return u.txs.back().txId;
+}
+
+uint64_t
 BankDb::orderCheck(uint64_t user_id, uint32_t style, uint32_t quantity)
 {
     UserData &u = user(user_id);

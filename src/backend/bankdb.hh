@@ -164,6 +164,25 @@ class BankDb
     uint64_t transfer(uint64_t user_id, uint64_t from_account,
                       uint64_t to_account, int64_t amount_cents);
 
+    /**
+     * Debits the user's checking account toward a peer user whose
+     * state lives in another shard's database — phase 1 of a
+     * cross-shard transfer (DESIGN.md 6k). Balance-checked like
+     * transfer(); the matching credit happens on the peer's shard via
+     * externalCredit().
+     * @return New transaction id, or 0 on invalid amount/funds.
+     */
+    uint64_t externalDebit(uint64_t user_id, uint64_t peer_user,
+                           int64_t amount_cents);
+
+    /**
+     * Credits the user's checking account from a peer on another
+     * shard — phase 2 of a cross-shard transfer.
+     * @return New transaction id, or 0 on invalid amount.
+     */
+    uint64_t externalCredit(uint64_t user_id, uint64_t peer_user,
+                            int64_t amount_cents);
+
     /** Creates a provisional check order; returns order id. */
     uint64_t orderCheck(uint64_t user_id, uint32_t style, uint32_t quantity);
 

@@ -27,6 +27,8 @@ constexpr OpEntry kOps[] = {
     {Op::PlaceCheckOrder, "PLACECHK"},
     {Op::Transfer, "XFER"},
     {Op::Summary, "SUMM"},
+    {Op::XferOut, "XFEROUT"},
+    {Op::XferIn, "XFERIN"},
 };
 
 } // namespace

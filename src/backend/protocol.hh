@@ -38,6 +38,13 @@ enum class Op : uint8_t {
     PlaceCheckOrder,  //!< user, order id → ok
     Transfer,         //!< user, from, to, cents → tx id
     Summary,          //!< user → accounts + recent checking transactions
+    /** Cross-shard two-phase transfer (DESIGN.md 6k). Phase 1 debits
+     *  the payer on the payer's home shard; phase 2 credits the payee
+     *  on the payee's home shard. Both are journaled mutations, so a
+     *  coordinator retry after a crash between the phases dedups
+     *  through the recovery memo instead of double-spending. */
+    XferOut,          //!< user, peer, cents → tx id (debit leg)
+    XferIn,           //!< user, peer, cents → tx id (credit leg)
 };
 
 /** Returns the wire keyword for an operation. */

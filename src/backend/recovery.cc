@@ -31,6 +31,8 @@ RecoverableBackend::isMutating(Op op)
       case Op::OrderCheck:
       case Op::PlaceCheckOrder:
       case Op::Transfer:
+      case Op::XferOut:
+      case Op::XferIn:
         return true;
       default:
         return false;

@@ -251,6 +251,28 @@ BackendService::execute(const BackendRequest &req, simt::TraceRecorder &rec)
         emit(payload, std::to_string(id), rec);
         break;
       }
+      case Op::XferOut: {
+        rec.block(kBlockMutate, kMutateInsts);
+        const uint64_t id = db_.externalDebit(
+            req.userId, argU64(0), static_cast<int64_t>(argU64(1)));
+        if (id == 0) {
+            rec.block(kBlockError, 64);
+            return response::error("transfer rejected");
+        }
+        emit(payload, std::to_string(id), rec);
+        break;
+      }
+      case Op::XferIn: {
+        rec.block(kBlockMutate, kMutateInsts);
+        const uint64_t id = db_.externalCredit(
+            req.userId, argU64(0), static_cast<int64_t>(argU64(1)));
+        if (id == 0) {
+            rec.block(kBlockError, 64);
+            return response::error("transfer rejected");
+        }
+        emit(payload, std::to_string(id), rec);
+        break;
+      }
     }
     return response::ok(payload);
 }

@@ -7,25 +7,73 @@ namespace rhythm::des {
 EventId
 EventQueue::scheduleAt(Time when, Callback cb)
 {
-    RHYTHM_ASSERT(when >= now_, "cannot schedule into the past");
-    RHYTHM_ASSERT(cb, "null event callback");
-    EventId id{when, nextSequence_++};
-    events_.emplace(Key{id.when, id.sequence}, std::move(cb));
-    if (events_.size() > maxPending_)
-        maxPending_ = events_.size();
-    return id;
+    return scheduleAtOn(currentStream_, when, std::move(cb));
 }
 
 EventId
 EventQueue::scheduleAfter(Time delay, Callback cb)
 {
-    return scheduleAt(now_ + delay, std::move(cb));
+    return scheduleAtOn(currentStream_, now_ + delay, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleAtOn(StreamId stream, Time when, Callback cb)
+{
+    RHYTHM_ASSERT(when >= now_, "cannot schedule into the past");
+    RHYTHM_ASSERT(cb, "null event callback");
+    RHYTHM_ASSERT(stream < streams_.size(), "unknown event stream");
+    Stream &s = streams_[stream];
+    EventId id{when, s.nextSequence++, stream};
+    s.events.emplace(Key{id.when, id.sequence}, std::move(cb));
+    ++pendingCount_;
+    if (pendingCount_ > maxPending_)
+        maxPending_ = pendingCount_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfterOn(StreamId stream, Time delay, Callback cb)
+{
+    return scheduleAtOn(stream, now_ + delay, std::move(cb));
+}
+
+StreamId
+EventQueue::createStream()
+{
+    streams_.emplace_back();
+    return static_cast<StreamId>(streams_.size() - 1);
 }
 
 bool
 EventQueue::cancel(const EventId &id)
 {
-    return events_.erase(Key{id.when, id.sequence}) > 0;
+    if (id.stream >= streams_.size())
+        return false;
+    if (streams_[id.stream].events.erase(Key{id.when, id.sequence}) == 0)
+        return false;
+    --pendingCount_;
+    return true;
+}
+
+size_t
+EventQueue::frontStream() const
+{
+    // Canonical merge: lowest front timestamp wins; ties break toward the
+    // lowest stream id. Stream ids are unique, so this totally orders the
+    // fronts regardless of how the sub-queues were populated.
+    size_t best = streams_.size();
+    Time bestTime = 0;
+    for (size_t s = 0; s < streams_.size(); ++s) {
+        const auto &events = streams_[s].events;
+        if (events.empty())
+            continue;
+        const Time t = events.begin()->first.first;
+        if (best == streams_.size() || t < bestTime) {
+            best = s;
+            bestTime = t;
+        }
+    }
+    return best;
 }
 
 uint64_t
@@ -33,9 +81,10 @@ EventQueue::run(Time horizon)
 {
     stopRequested_ = false;
     uint64_t dispatched = 0;
-    while (!events_.empty() && !stopRequested_) {
-        auto it = events_.begin();
-        if (horizon != 0 && it->first.first > horizon) {
+    while (pendingCount_ > 0 && !stopRequested_) {
+        const size_t front = frontStream();
+        if (horizon != 0 &&
+            streams_[front].events.begin()->first.first > horizon) {
             now_ = horizon;
             return dispatched;
         }
@@ -43,7 +92,7 @@ EventQueue::run(Time horizon)
             break;
         ++dispatched;
     }
-    if (horizon != 0 && now_ < horizon && events_.empty())
+    if (horizon != 0 && now_ < horizon && pendingCount_ == 0)
         now_ = horizon;
     return dispatched;
 }
@@ -66,18 +115,30 @@ fnv1a(uint64_t hash, uint64_t value)
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    const size_t front = frontStream();
+    if (front == streams_.size())
         return false;
-    auto it = events_.begin();
+    Stream &stream = streams_[front];
+    auto it = stream.events.begin();
     RHYTHM_ASSERT(it->first.first >= now_, "event queue went backwards");
     const Key key = it->first;
     now_ = key.first;
     Callback cb = std::move(it->second);
-    events_.erase(it);
+    stream.events.erase(it);
+    --pendingCount_;
     ++dispatched_;
     orderHash_ =
         fnv1a(fnv1a(orderHash_, static_cast<uint64_t>(key.first)), key.second);
+    if (front != 0) {
+        // Fold the stream id too so the audit covers the canonical merge.
+        // Stream-0 events keep the exact pre-stream fold, which keeps
+        // single-device runs byte-identical to the seed kernel.
+        orderHash_ = fnv1a(orderHash_, static_cast<uint64_t>(front));
+    }
+    const StreamId saved = currentStream_;
+    currentStream_ = static_cast<StreamId>(front);
     cb();
+    currentStream_ = saved;
     return true;
 }
 

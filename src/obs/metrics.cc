@@ -200,6 +200,17 @@ MetricsRegistry::writeJson(JsonWriter &w) const
     w.endObject();
 }
 
+bool
+isDeviceNamespaced(std::string_view name)
+{
+    if (!name.starts_with("dev"))
+        return false;
+    size_t i = 3;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9')
+        ++i;
+    return i > 3 && i < name.size() && name[i] == '.';
+}
+
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::flatten(std::string_view exclude_prefix) const
 {
@@ -214,6 +225,13 @@ MetricsRegistry::flatten(
 {
     const auto excluded = [&](const std::string &name) {
         const std::string_view sv(name);
+        // Per-device namespaces are baseline-excluded whenever the
+        // caller is filtering against a baseline prefix set: fleet
+        // metrics exist only when --devices > 1, and the
+        // prefix-filtered outputs must stay byte-identical to
+        // single-device runs. (Unfiltered flatten() keeps them.)
+        if (!exclude_prefixes.empty() && isDeviceNamespaced(sv))
+            return true;
         for (const std::string_view prefix : exclude_prefixes) {
             if (sv.starts_with(prefix))
                 return true;

@@ -53,6 +53,17 @@ inline constexpr std::string_view kBaselineExcludedPrefixes[] = {
     "warp.fusion.",
 };
 
+/**
+ * True for metric names in a per-device fleet namespace ("dev<N>."
+ * where <N> is a device index, e.g. "dev0.engine.tasks"). The device
+ * count is unbounded, so these cannot be enumerated in
+ * kBaselineExcludedPrefixes; the multi-prefix flatten() treats them as
+ * baseline-excluded structurally. A bare "dev" prefix test would be
+ * wrong — it would also match metrics like "device.utilization" — so
+ * the check requires the digits and the dot.
+ */
+bool isDeviceNamespaced(std::string_view name);
+
 /** A monotonically increasing counter (thread-safe). */
 class Counter
 {

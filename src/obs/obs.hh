@@ -51,6 +51,13 @@ inline constexpr uint32_t kPcieH2DEngineBase = 510;
 inline constexpr uint32_t kPcieD2HEngineBase = 550;
 /** Instant events: faults, shedding, degradation transitions. */
 inline constexpr uint32_t kEvents = 600;
+/**
+ * Per-device track offset stride for fleet runs: device i's tracks
+ * live at (i + 1) * kDeviceStride + base, which the Chrome exporter
+ * renders as process "dev<i>" (see trace.hh kTrackPidStride). All
+ * base tracks above are < kDeviceStride, so blocks never collide.
+ */
+inline constexpr uint32_t kDeviceStride = kTrackPidStride;
 } // namespace track
 
 /** The process-wide observability context. */
@@ -94,14 +101,110 @@ class Observability
     /** Current simulated time (0 when no clock is bound). */
     des::Time now() const { return clock_ ? clock_->now() : 0; }
 
+    /**
+     * Binds a DES event stream to a fleet device. Instrumentation
+     * fired while an event on @p stream is being dispatched (or under
+     * a StreamScope for that stream) records metrics under a
+     * "dev<index>." prefix and trace spans in the device's track
+     * block — so N devices' pipelines land in N separate trace
+     * processes instead of interleaving into one. Call after
+     * enable(), before running; unbound streams (always stream 0)
+     * record exactly as a single-device run.
+     */
+    void bindStreamDevice(des::StreamId stream, uint32_t device_index)
+    {
+        if (streamPrefix_.size() <= stream) {
+            streamPrefix_.resize(stream + 1);
+            streamTrackOffset_.resize(stream + 1, 0);
+        }
+        const std::string dev = "dev" + std::to_string(device_index);
+        streamPrefix_[stream] = dev + ".";
+        streamTrackOffset_[stream] =
+            (device_index + 1) * track::kDeviceStride;
+        tracer_.setProcessName(device_index + 1, dev);
+    }
+
+    /** Drops all stream→device bindings (between fleet runs). */
+    void clearDeviceBindings()
+    {
+        streamPrefix_.clear();
+        streamTrackOffset_.clear();
+    }
+
+    /**
+     * Maps a base track id into the current stream's device block
+     * (identity for unbound streams). Used by the OBS_* span macros.
+     */
+    uint32_t mapTrack(uint32_t track) const
+    {
+        const size_t s = currentStreamIndex();
+        return s < streamTrackOffset_.size() ? track + streamTrackOffset_[s]
+                                             : track;
+    }
+
+    /**
+     * Device-namespaced registry accessors used by the OBS_* macros:
+     * the metric name gains the current stream's "dev<N>." prefix
+     * when the stream is bound. Safe from engine pool workers for
+     * counters/gauges: the current stream only changes between DES
+     * events, and workers are joined inside each event.
+     */
+    Counter &counter(std::string_view name)
+    {
+        const std::string_view p = currentPrefix();
+        if (p.empty())
+            return metrics_.counter(name);
+        return metrics_.counter(prefixed(p, name));
+    }
+
+    Gauge &gauge(std::string_view name)
+    {
+        const std::string_view p = currentPrefix();
+        if (p.empty())
+            return metrics_.gauge(name);
+        return metrics_.gauge(prefixed(p, name));
+    }
+
+    FixedHistogram &histogram(std::string_view name)
+    {
+        const std::string_view p = currentPrefix();
+        if (p.empty())
+            return metrics_.histogram(name);
+        return metrics_.histogram(prefixed(p, name));
+    }
+
     MetricsRegistry &metrics() { return metrics_; }
     Tracer &tracer() { return tracer_; }
 
   private:
+    size_t currentStreamIndex() const
+    {
+        return clock_ ? clock_->currentStream() : 0;
+    }
+
+    std::string_view currentPrefix() const
+    {
+        const size_t s = currentStreamIndex();
+        return s < streamPrefix_.size() ? std::string_view(streamPrefix_[s])
+                                        : std::string_view{};
+    }
+
+    static std::string prefixed(std::string_view prefix,
+                                std::string_view name)
+    {
+        std::string full;
+        full.reserve(prefix.size() + name.size());
+        full.append(prefix);
+        full.append(name);
+        return full;
+    }
+
     std::atomic<bool> enabled_{false};
     const des::EventQueue *clock_ = nullptr;
     MetricsRegistry metrics_;
     Tracer tracer_;
+    std::vector<std::string> streamPrefix_;     //!< By stream id; "" = unbound.
+    std::vector<uint32_t> streamTrackOffset_;   //!< By stream id; 0 = unbound.
 };
 
 /**
@@ -150,12 +253,18 @@ Observability &global();
 
 #define OBS_ENABLED() (::rhythm::obs::global().enabled())
 
+// Track and metric-name arguments below route through the global
+// context's device mapping: when the current DES stream is bound to a
+// fleet device, tracks shift into the device's block and metric names
+// gain a "dev<N>." prefix. Unbound streams (every single-device run)
+// resolve to the raw track/name.
+
 /** Names a trace track (idempotent). */
 #define OBS_TRACK_NAME(track, name)                                  \
     do {                                                             \
         if (OBS_ENABLED())                                           \
-            ::rhythm::obs::global().tracer().setTrackName((track),   \
-                                                          (name));   \
+            ::rhythm::obs::global().tracer().setTrackName(           \
+                ::rhythm::obs::global().mapTrack(track), (name));    \
     } while (0)
 
 /** Opens a nested span at the current simulated time. */
@@ -163,8 +272,8 @@ Observability &global();
     do {                                                              \
         if (OBS_ENABLED())                                            \
             ::rhythm::obs::global().tracer().begin(                   \
-                (track), (name), (cat),                               \
-                ::rhythm::obs::global().now());                       \
+                ::rhythm::obs::global().mapTrack(track), (name),      \
+                (cat), ::rhythm::obs::global().now());                \
     } while (0)
 
 /** Closes the innermost span on the track. */
@@ -172,7 +281,8 @@ Observability &global();
     do {                                                            \
         if (OBS_ENABLED())                                          \
             ::rhythm::obs::global().tracer().end(                   \
-                (track), ::rhythm::obs::global().now());            \
+                ::rhythm::obs::global().mapTrack(track),            \
+                ::rhythm::obs::global().now());                     \
     } while (0)
 
 /**
@@ -183,8 +293,8 @@ Observability &global();
     do {                                                              \
         if (OBS_ENABLED())                                            \
             ::rhythm::obs::global().tracer().complete(                \
-                (track), (name), (cat), (start), (end),               \
-                {__VA_ARGS__});                                       \
+                ::rhythm::obs::global().mapTrack(track), (name),      \
+                (cat), (start), (end), {__VA_ARGS__});                \
     } while (0)
 
 /** Records an instantaneous event at the current simulated time. */
@@ -192,31 +302,30 @@ Observability &global();
     do {                                                              \
         if (OBS_ENABLED())                                            \
             ::rhythm::obs::global().tracer().instant(                 \
-                (track), (name), (cat),                               \
-                ::rhythm::obs::global().now(), {__VA_ARGS__});        \
+                ::rhythm::obs::global().mapTrack(track), (name),      \
+                (cat), ::rhythm::obs::global().now(),                 \
+                {__VA_ARGS__});                                       \
     } while (0)
 
 /** Bumps a registry counter. */
 #define OBS_COUNTER_ADD(name, delta)                                  \
     do {                                                              \
         if (OBS_ENABLED())                                            \
-            ::rhythm::obs::global().metrics().counter(name).add(      \
-                delta);                                               \
+            ::rhythm::obs::global().counter(name).add(delta);         \
     } while (0)
 
 /** Sets a registry gauge. */
 #define OBS_GAUGE_SET(name, v)                                       \
     do {                                                             \
         if (OBS_ENABLED())                                           \
-            ::rhythm::obs::global().metrics().gauge(name).set(v);    \
+            ::rhythm::obs::global().gauge(name).set(v);              \
     } while (0)
 
 /** Adds a sample to a registry histogram (default latency buckets). */
 #define OBS_HIST_ADD(name, v)                                        \
     do {                                                             \
         if (OBS_ENABLED())                                           \
-            ::rhythm::obs::global().metrics().histogram(name).add(   \
-                v);                                                  \
+            ::rhythm::obs::global().histogram(name).add(v);          \
     } while (0)
 
 #endif // RHYTHM_OBS_DISABLED

@@ -39,6 +39,12 @@ Tracer::setTrackName(uint32_t track, std::string_view name)
 }
 
 void
+Tracer::setProcessName(uint32_t pid, std::string_view name)
+{
+    processNames_.emplace(pid, std::string(name));
+}
+
+void
 Tracer::begin(uint32_t track, std::string name, const char *category,
               des::Time now, std::vector<TraceArg> args)
 {
@@ -120,11 +126,23 @@ Tracer::writeChromeTrace(std::ostream &out) const
            "\"name\": \"process_name\", "
            "\"args\": {\"name\": \"rhythm\"}}";
     std::string escaped;
+    for (const auto &[pid, name] : processNames_) {
+        if (pid == 0)
+            continue; // pid 0 is always "rhythm", emitted above
+        sep();
+        escaped.clear();
+        jsonEscapeTo(name, escaped);
+        out << "{\"ph\": \"M\", \"pid\": " << pid
+            << ", \"tid\": 0, \"name\": \"process_name\", "
+               "\"args\": {\"name\": \""
+            << escaped << "\"}}";
+    }
     for (const auto &[track, name] : trackNames_) {
         sep();
         escaped.clear();
         jsonEscapeTo(name, escaped);
-        out << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << track
+        out << "{\"ph\": \"M\", \"pid\": " << track / kTrackPidStride
+            << ", \"tid\": " << track % kTrackPidStride
             << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
             << escaped << "\"}}";
     }
@@ -142,9 +160,9 @@ Tracer::writeChromeTrace(std::ostream &out) const
         ew.key("ph");
         ew.value(std::string_view(&phase, 1));
         ew.key("pid");
-        ew.value(0);
+        ew.value(static_cast<uint64_t>(e.track / kTrackPidStride));
         ew.key("tid");
-        ew.value(static_cast<uint64_t>(e.track));
+        ew.value(static_cast<uint64_t>(e.track % kTrackPidStride));
         ew.key("ts");
         ew.value(toTraceUs(e.ts));
         if (e.phase == TraceEvent::Phase::Complete) {

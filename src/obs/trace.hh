@@ -32,6 +32,16 @@
 
 namespace rhythm::obs {
 
+/**
+ * Tracks are partitioned into per-process blocks of this size for the
+ * Chrome export: an event's pid is track / kTrackPidStride and its tid
+ * is track % kTrackPidStride. The single-device simulator uses only
+ * tracks < kTrackPidStride (pid 0, process "rhythm"); a fleet offsets
+ * device i's tracks by (i + 1) * kTrackPidStride so each device
+ * renders as its own process row.
+ */
+inline constexpr uint32_t kTrackPidStride = 1000;
+
 /** One key/value annotation attached to a trace event. */
 struct TraceArg
 {
@@ -77,6 +87,13 @@ class Tracer
     /** Names a track (idempotent; first name wins). */
     void setTrackName(uint32_t track, std::string_view name);
 
+    /**
+     * Names a process block (pid = track / kTrackPidStride) in the
+     * Chrome export. Pid 0 defaults to "rhythm"; a fleet names pid
+     * i + 1 "dev<i>". Idempotent; first name wins.
+     */
+    void setProcessName(uint32_t pid, std::string_view name);
+
     /** Opens a nested span on @p track. */
     void begin(uint32_t track, std::string name, const char *category,
                des::Time now, std::vector<TraceArg> args = {});
@@ -117,6 +134,7 @@ class Tracer
   private:
     std::vector<TraceEvent> events_;
     std::map<uint32_t, std::string> trackNames_;
+    std::map<uint32_t, std::string> processNames_;
     std::map<uint32_t, uint32_t> openSpans_;
 };
 

@@ -165,7 +165,8 @@ SessionArray::digest() const
 }
 
 std::vector<std::pair<uint64_t, uint64_t>>
-SessionArray::populate(uint64_t count, uint64_t max_user_id)
+SessionArray::populate(uint64_t count, uint64_t max_user_id,
+                       const std::function<bool(uint64_t)> &user_filter)
 {
     simt::NullTracer null;
     std::vector<std::pair<uint64_t, uint64_t>> out;
@@ -173,10 +174,15 @@ SessionArray::populate(uint64_t count, uint64_t max_user_id)
     // Each user hashes to one bucket, so with few distinct users the
     // reachable buckets can saturate long before the whole array does;
     // give up after a burst of consecutive full-bucket rejections
-    // rather than rejection-sampling forever.
+    // (or filter rejections — a filter matching a small user subset
+    // behaves the same way) rather than rejection-sampling forever.
     int consecutive_failures = 0;
     while (out.size() < count && consecutive_failures < 4096) {
         const uint64_t user = 1 + rng_.nextBounded(max_user_id);
+        if (user_filter && !user_filter(user)) {
+            ++consecutive_failures;
+            continue;
+        }
         const uint64_t sid = create(user, null);
         if (sid != 0) {
             out.emplace_back(sid, user);

@@ -76,10 +76,16 @@ class SessionArray : public specweb::SessionProvider
     /**
      * Pre-populates the array with @p count random user sessions
      * (the paper's isolation-test methodology, Section 5.3.1).
+     * @param user_filter Optional predicate on the drawn user id:
+     *        rejected draws consume the RNG draw but create nothing.
+     *        A fleet passes its home-shard predicate so each shard's
+     *        pool holds exactly its homed users, while the shared RNG
+     *        sequence keeps pools deterministic per (seed, filter).
      * @return (session id, user id) pairs for the created sessions.
      */
-    std::vector<std::pair<uint64_t, uint64_t>> populate(uint64_t count,
-                                                        uint64_t max_user_id);
+    std::vector<std::pair<uint64_t, uint64_t>>
+    populate(uint64_t count, uint64_t max_user_id,
+             const std::function<bool(uint64_t)> &user_filter = nullptr);
 
     /**
      * Deep snapshot of the array for crash-recovery checkpoints: node

@@ -33,6 +33,7 @@
 #include "obs/obs.hh"
 #include "platform/titan.hh"
 #include "rhythm/banking_service.hh"
+#include "rhythm/fleet.hh"
 #include "rhythm/server.hh"
 #include "simt/device.hh"
 #include "simt/profile_cache.hh"
@@ -205,6 +206,126 @@ runBanking(unsigned threads, size_t cache_entries = 0,
     obs::global().tracer().writeChromeTrace(trace);
     fp.trace = trace.str();
     fp.cacheStats = cache.stats();
+
+    obs::global().disable();
+    obs::global().reset();
+    util::setSimThreads(1);
+    return fp;
+}
+
+/**
+ * One fleet-mode banking run (DESIGN.md 6k): N shards on per-device
+ * event streams, the session-hash front end, open-loop Poisson
+ * arrivals and a cross-shard transfer every 64 arrivals, with each
+ * shard's backend journaled. The canonical stream merge (lowest front
+ * timestamp, then lowest stream id) makes the whole run — dispatch
+ * order, responses, per-device metrics, trace — byte-identical across
+ * thread counts and profile-cache settings, exactly like one device.
+ * The fingerprint's metrics use the unfiltered flatten, so the
+ * per-device "dev<i>." namespaces are compared too.
+ */
+Fingerprint
+runFleet(unsigned threads, uint32_t devices, size_t cache_entries = 0)
+{
+    util::setSimThreads(threads);
+    obs::global().reset();
+
+    platform::TitanVariant variant = platform::titanB();
+    core::RhythmConfig cfg = variant.server;
+    cfg.cohortSize = 256;
+    cfg.cohortContexts = 8;
+    cfg.laneSample = 64;
+    cfg.cohortTimeout = des::fromSeconds(0.5e-3);
+    if (cache_entries > 0)
+        cfg.traceTemplateCacheEntries =
+            static_cast<uint32_t>(cache_entries);
+    const uint64_t total = 3000;
+    const uint64_t users = 400;
+    const uint64_t seed = 42;
+
+    des::EventQueue queue;
+    obs::global().enable(queue);
+    core::FleetConfig fc;
+    fc.devices = devices;
+    fc.recovery = true;
+    core::Fleet fleet(queue, variant.device, cfg, fc, users, seed);
+    std::vector<std::unique_ptr<simt::ProfileCache>> caches;
+    for (uint32_t i = 0; i < devices && cache_entries > 0; ++i) {
+        caches.push_back(
+            std::make_unique<simt::ProfileCache>(cache_entries));
+        fleet.device(i).engine().setProfileCache(caches.back().get());
+    }
+    backend::BankDb db(users, seed);
+    specweb::WorkloadGenerator gen(db, seed * 31 + 7);
+    uint64_t digest_sum = 0;
+    fleet.setResponseCallback(
+        [&](uint64_t cid, std::string_view resp, des::Time) {
+            util::Fnv1a64 h;
+            h.update(cid);
+            h.update(resp.size());
+            for (const char c : resp)
+                h.update(static_cast<uint64_t>(
+                    static_cast<unsigned char>(c)));
+            digest_sum += h.digest();
+        });
+
+    const auto &pools = fleet.populateSessions(
+        std::max<uint64_t>(2048 / devices, 1), users);
+    std::vector<std::pair<uint64_t, uint64_t>> flat;
+    size_t longest = 0;
+    for (const auto &p : pools)
+        longest = std::max(longest, p.size());
+    for (size_t k = 0; k < longest; ++k)
+        for (const auto &p : pools)
+            if (k < p.size())
+                flat.push_back(p[k]);
+
+    net::ArrivalConfig acfg;
+    acfg.kind = net::ArrivalKind::Poisson;
+    acfg.rate = 400e3;
+    acfg.seed = 7;
+    net::ArrivalProcess arrivals(acfg);
+    uint64_t issued = 0;
+    std::function<void()> arrive = [&]() {
+        if (issued >= total)
+            return;
+        specweb::RequestType type;
+        do {
+            type = gen.sampleType();
+        } while (type == specweb::RequestType::Login ||
+                 type == specweb::RequestType::Logout);
+        const auto &[sid, user] = flat[issued % flat.size()];
+        specweb::GeneratedRequest req = gen.generate(type, user, sid);
+        ++issued;
+        fleet.injectRequest(std::move(req.raw), issued, user,
+                            static_cast<uint32_t>(type));
+        if (issued % 64 == 0)
+            fleet.beginCrossShardTransfer(gen.sampleUser(),
+                                          gen.sampleUser(), 250);
+        if (issued < total)
+            queue.scheduleAfter(arrivals.nextGap(), arrive);
+    };
+    queue.scheduleAfter(arrivals.nextGap(), arrive);
+    queue.run();
+
+    Fingerprint fp;
+    fp.clock = queue.now();
+    fp.dispatched = queue.dispatched();
+    fp.orderHash = queue.orderHash();
+    fp.responses = fleet.totalResponses();
+    fp.errors = fleet.totalErrors();
+    for (uint32_t i = 0; i < devices; ++i) {
+        const simt::Engine &engine = fleet.device(i).engine();
+        fp.engineLaunches += engine.launches();
+        fp.engineWarps += engine.warps();
+        const auto &sms = engine.smCounters();
+        fp.sms.insert(fp.sms.end(), sms.begin(), sms.end());
+    }
+    fp.metrics = obs::global().metrics().flatten();
+    std::ostringstream trace;
+    obs::global().tracer().writeChromeTrace(trace);
+    fp.trace = trace.str();
+    fp.responseDigestSum = digest_sum;
 
     obs::global().disable();
     obs::global().reset();
@@ -822,6 +943,40 @@ TEST(ParallelEquivalenceTest, Fig8SizedVariantEvaluationIsIdentical)
     const Fingerprint serial = runVariant(variant, 1);
     for (unsigned threads : kThreadCounts)
         expectIdentical(serial, runVariant(variant, threads), threads);
+}
+
+// ---- Multi-device fleet equivalence (DESIGN.md 6k) -------------------
+// The per-device event streams merge canonically, so a sharded run is
+// as deterministic as a single-device one: byte-identical responses,
+// metrics (per-device namespaces included), trace, dispatch order and
+// order hash across --sim-threads — and across profile-cache on/off.
+
+TEST(ParallelEquivalenceTest, TwoDeviceFleetIsByteIdentical)
+{
+    const Fingerprint serial = runFleet(1, 2);
+    EXPECT_GT(serial.responses, 0u);
+    for (unsigned threads : {2u, 8u})
+        expectIdentical(serial, runFleet(threads, 2), threads);
+}
+
+TEST(ParallelEquivalenceTest, FourDeviceFleetIsByteIdentical)
+{
+    const Fingerprint serial = runFleet(1, 4);
+    EXPECT_GT(serial.responses, 0u);
+    for (unsigned threads : {2u, 8u})
+        expectIdentical(serial, runFleet(threads, 4), threads);
+}
+
+TEST(ParallelEquivalenceTest, FleetWithProfileCacheIsByteIdentical)
+{
+    // Per-device caches must not perturb anything simulated, serial or
+    // parallel — and the cache-off and cache-on runs must deliver the
+    // same response bytes.
+    const Fingerprint off = runFleet(1, 2);
+    const Fingerprint on = runFleet(1, 2, 512);
+    EXPECT_EQ(off.responseDigestSum, on.responseDigestSum);
+    EXPECT_EQ(off.orderHash, on.orderHash);
+    expectIdentical(on, runFleet(8, 2, 512), 8);
 }
 
 } // namespace

@@ -367,6 +367,81 @@ def validate_fusion(doc, path):
     return failures
 
 
+# ---------------------------------------------------------------------
+# ext_sharding acceptance gate (DESIGN.md 6k): the sharded fleet must
+# deliver >= 1.8x single-device goodput at 2 devices and >= 3.2x at 4
+# on the saturated mixed banking profile, and the single-device arm
+# must itself clear an absolute goodput floor — a fleet that scales a
+# collapsed baseline is not a pass. The binary's verdict is mirrored
+# here so a stale baseline or hand-edited document cannot sneak a
+# regressed scale-out path through CI.
+SHARDING_BENCH = "ext_sharding"
+SHARDING_CONFIG_KEYS = (
+    "devices",
+    "balance",
+    "shard_seed",
+    "arrival_rate",
+    "arrival_seed",
+    "window_ms",
+    "cohort_size",
+)
+SHARDING_MIN_SPEEDUP_D2 = 1.8
+SHARDING_MIN_SPEEDUP_D4 = 3.2
+# --quick's shorter window halves the warm-up, so its absolute floor
+# scales down with it (the ratio gates stay identical in both modes).
+SHARDING_MIN_D1_GOODPUT = 800e3
+SHARDING_MIN_D1_GOODPUT_QUICK = 300e3
+
+
+def validate_sharding(doc, path):
+    """ext_sharding-specific checks; returns failure messages."""
+    failures = []
+    config = doc.get("config", {})
+    for key in SHARDING_CONFIG_KEYS:
+        if key not in config:
+            failures.append(
+                f"{SHARDING_BENCH}: {path} missing sharding metadata "
+                f"'{key}' in config — the sweep is not reproducible "
+                "without it"
+            )
+    metrics = doc["metrics"]
+    d2 = metrics.get("sharding.speedup_d2")
+    d4 = metrics.get("sharding.speedup_d4")
+    d1 = metrics.get("sharding.d1.goodput")
+    for key, value in (("sharding.speedup_d2", d2),
+                       ("sharding.speedup_d4", d4),
+                       ("sharding.d1.goodput", d1)):
+        if value is None:
+            failures.append(
+                f"{SHARDING_BENCH}: {path} missing metric '{key}'"
+            )
+    if d2 is not None and d2 < SHARDING_MIN_SPEEDUP_D2:
+        failures.append(
+            f"{SHARDING_BENCH}: 2-device speedup {d2:g}x below the "
+            f"{SHARDING_MIN_SPEEDUP_D2:g}x gate"
+        )
+    if d4 is not None and d4 < SHARDING_MIN_SPEEDUP_D4:
+        failures.append(
+            f"{SHARDING_BENCH}: 4-device speedup {d4:g}x below the "
+            f"{SHARDING_MIN_SPEEDUP_D4:g}x gate"
+        )
+    floor = (SHARDING_MIN_D1_GOODPUT_QUICK
+             if config.get("quick") == 1 else SHARDING_MIN_D1_GOODPUT)
+    if d1 is not None and d1 < floor:
+        failures.append(
+            f"{SHARDING_BENCH}: single-device goodput {d1:g} req/s "
+            f"below the {floor:g} absolute floor — "
+            "good ratios against a collapsed baseline are not a pass"
+        )
+    if metrics.get("acceptance_pass") != 1:
+        failures.append(
+            f"{SHARDING_BENCH}: {path} acceptance_pass is "
+            f"{metrics.get('acceptance_pass')!r}, expected 1 — the "
+            "scale-out gate failed in the measured run"
+        )
+    return failures
+
+
 def compare_section(bench, base, meas, tolerance, label, missing_fails):
     """Compares one key→number section; returns (failures, notes)."""
     failures = []
@@ -507,6 +582,8 @@ def main():
             failures.extend(validate_adaptive(meas_doc, meas_path))
         if meas_doc["bench"] == FUSION_BENCH:
             failures.extend(validate_fusion(meas_doc, meas_path))
+        if meas_doc["bench"] == SHARDING_BENCH:
+            failures.extend(validate_sharding(meas_doc, meas_path))
         checked += len(base_doc["metrics"])
         for msg in notes:
             print(f"note: {msg}")

@@ -118,6 +118,21 @@ usage(const std::string &error)
            "(0.25)\n"
            "  --fingerprint-lanes=N       lanes sampled per fingerprint\n"
            "                              update (32)\n"
+           "multi-device sharding (single device by default; banking,\n"
+           "open-loop arrivals only):\n"
+           "  --devices=N                 serve from an N-device fleet:\n"
+           "                              per-device event streams,\n"
+           "                              PCIe links, copy engines and\n"
+           "                              backends behind a front-end\n"
+           "                              balancer (1; outputs are\n"
+           "                              byte-identical across\n"
+           "                              --sim-threads for any N)\n"
+           "  --balance=hash|least        session-hash or least-\n"
+           "                              outstanding routing (hash)\n"
+           "  --shard-seed=N              user-to-shard map seed\n"
+           "  --cross-shard=F             fraction of arrivals that also\n"
+           "                              start a two-phase cross-shard\n"
+           "                              transfer (0)\n"
            "open-loop arrivals (closed loop by default; banking only):\n"
            "  --arrival=closed|poisson|diurnal|flash\n"
            "                              arrival process driving "
@@ -459,6 +474,124 @@ report(const core::RhythmServer &server, const simt::Device &device,
 }
 
 /**
+ * Fleet-mode report (DESIGN.md 6k): aggregate goodput plus a
+ * per-device section. Every number is simulated state, so the JSON
+ * document is byte-identical across --sim-threads and --profile-cache
+ * settings exactly like the single-device report. The obs.* ride-along
+ * uses the same baseline-excluded span; the flatten rule additionally
+ * drops the per-device "dev<i>." namespaces from that gated set.
+ */
+void
+fleetReport(core::Fleet &fleet, const des::EventQueue &queue,
+            bench::Reporter *rep)
+{
+    const double elapsed = des::toSeconds(queue.now());
+    const uint64_t responses = fleet.totalResponses();
+    const double goodput =
+        elapsed > 0 ? static_cast<double>(responses) / elapsed : 0.0;
+    const double throughput =
+        elapsed > 0 ? static_cast<double>(responses +
+                                          fleet.totalErrors()) /
+                          elapsed
+                    : 0.0;
+    const core::Fleet::Stats &fs = fleet.stats();
+
+    TableWriter t({"fleet metric", "value"});
+    t.addRow({"devices (alive / total)",
+              std::to_string(fleet.aliveCount()) + " / " +
+                  std::to_string(fleet.devices())});
+    t.addRow({"requests completed", withCommas(responses)});
+    t.addRow({"error responses", withCommas(fleet.totalErrors())});
+    t.addRow({"requests shed (503)", withCommas(fleet.totalShed())});
+    t.addRow({"reader drops", withCommas(fleet.totalReaderDrops())});
+    t.addRow({"simulated time", formatDouble(elapsed * 1e3, 2) + " ms"});
+    t.addRow({"goodput", humanCount(goodput) + "reqs/s"});
+    t.addRow({"cohorts launched", withCommas(fleet.totalCohorts())});
+    t.addRow({"cross-shard started / completed / rejected",
+              withCommas(fs.crossStarted) + " / " +
+                  withCommas(fs.crossCompleted) + " / " +
+                  withCommas(fs.crossRejected)});
+    if (fs.devicesKilled) {
+        t.addRow({"devices killed", withCommas(fs.devicesKilled)});
+        t.addRow({"sessions re-sharded",
+                  withCommas(fs.sessionsResharded)});
+        t.addRow({"cookie rewrites", withCommas(fs.rewrittenCookies)});
+    }
+    t.printAscii(std::cout);
+
+    TableWriter d({"device", "responses", "errors", "shed", "cohorts",
+                   "util", "p99 ms"});
+    for (uint32_t i = 0; i < fleet.devices(); ++i) {
+        const core::RhythmStats &s = fleet.server(i).stats();
+        d.addRow({"dev" + std::to_string(i) +
+                      (fleet.alive(i) ? "" : " (dead)"),
+                  withCommas(s.responsesCompleted),
+                  withCommas(s.errorResponses),
+                  withCommas(s.requestsShed),
+                  withCommas(s.cohortsLaunched),
+                  formatDouble(fleet.device(i).kernelUtilization(), 3),
+                  formatDouble(s.latencyMs.percentile(99), 2)});
+    }
+    d.printAscii(std::cout);
+
+    if (!rep)
+        return;
+    rep->metric("throughput", throughput);
+    rep->metric("goodput", goodput);
+    rep->metric("fleet.devices", static_cast<double>(fleet.devices()));
+    rep->metric("fleet.alive", static_cast<double>(fleet.aliveCount()));
+    rep->metric("fleet.accepted",
+                static_cast<double>(fleet.totalAccepted()));
+    rep->metric("fleet.shed", static_cast<double>(fleet.totalShed()));
+    rep->metric("fleet.reader_drops",
+                static_cast<double>(fleet.totalReaderDrops()));
+    rep->metric("fleet.cohorts",
+                static_cast<double>(fleet.totalCohorts()));
+    rep->metric("fleet.cross.started",
+                static_cast<double>(fs.crossStarted));
+    rep->metric("fleet.cross.completed",
+                static_cast<double>(fs.crossCompleted));
+    rep->metric("fleet.cross.rejected",
+                static_cast<double>(fs.crossRejected));
+    rep->metric("fleet.devices_killed",
+                static_cast<double>(fs.devicesKilled));
+    rep->metric("fleet.resharded_sessions",
+                static_cast<double>(fs.sessionsResharded));
+    rep->metric("fleet.reshard_drops",
+                static_cast<double>(fs.reshardDrops));
+    rep->metric("fleet.cookie_rewrites",
+                static_cast<double>(fs.rewrittenCookies));
+    rep->metric("des.clock_seconds", elapsed);
+    rep->metric("des.events", static_cast<double>(queue.dispatched()));
+    rep->metric("des.order_hash_hi",
+                static_cast<double>(queue.orderHash() >> 32));
+    rep->metric("des.order_hash_lo",
+                static_cast<double>(queue.orderHash() & 0xffffffffull));
+    for (uint32_t i = 0; i < fleet.devices(); ++i) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "dev%u.", i);
+        const std::string p(prefix);
+        const core::RhythmStats &s = fleet.server(i).stats();
+        rep->metric(p + "responses",
+                    static_cast<double>(s.responsesCompleted));
+        rep->metric(p + "errors",
+                    static_cast<double>(s.errorResponses));
+        rep->metric(p + "shed", static_cast<double>(s.requestsShed));
+        rep->metric(p + "reader_drops",
+                    static_cast<double>(s.readerDrops));
+        rep->metric(p + "cohorts",
+                    static_cast<double>(s.cohortsLaunched));
+        rep->metric(p + "device_utilization",
+                    fleet.device(i).kernelUtilization());
+        rep->metric(p + "latency.p99_ms", s.latencyMs.percentile(99));
+    }
+    if (obs::global().enabled())
+        rep->metricsFrom(obs::global().metrics(), "obs.",
+                         std::span<const std::string_view>(
+                             obs::kBaselineExcludedPrefixes));
+}
+
+/**
  * Order-insensitive fingerprint of the full response stream.
  *
  * Each response hashes independently (FNV-1a over the client id, the
@@ -590,7 +723,8 @@ main(int argc, char **argv)
          "flash-mult", "flash-start-ms", "flash-dur-ms",
          "diurnal-period-ms", "diurnal-trough", "fusion",
          "fusion-threshold", "fusion-max-cohorts", "fingerprint-alpha",
-         "fingerprint-lanes"};
+         "fingerprint-lanes", "devices", "balance", "shard-seed",
+         "cross-shard"};
     // Per-type deadlines are open vocabulary (--deadline-ms-<type>);
     // BatchingFlags validates the slug against the service's types.
     for (const std::string &name : flags.names()) {
@@ -659,6 +793,9 @@ main(int argc, char **argv)
     // Cross-type cohort fusion family (DESIGN.md 6j), same shared-helper
     // arrangement.
     const bench::FusionFlags fusion = bench::FusionFlags::parse(argc, argv);
+    // Multi-device sharding family (DESIGN.md 6k).
+    const bench::ShardingFlags sharding =
+        bench::ShardingFlags::parse(argc, argv);
 
     core::RhythmConfig cfg = variant.server;
     overlap.apply(cfg);
@@ -765,6 +902,7 @@ main(int argc, char **argv)
     batching.recordConfig(json_report);
     arrival.recordConfig(json_report);
     fusion.recordConfig(json_report);
+    sharding.recordConfig(json_report);
 
     ResponseDigest digest;
     digest.path = flags.getString("digest-out", "");
@@ -797,6 +935,114 @@ main(int argc, char **argv)
                 cfg.sessionNodesPerBucket = static_cast<uint32_t>(
                     3 * total / std::min<uint64_t>(users, cfg.cohortSize) +
                     16);
+        }
+
+        // ---- Multi-device fleet (DESIGN.md 6k) -----------------------
+        // Sharded serving needs open-loop arrivals (a closed-loop pull
+        // source cannot be routed) and the mixed type distribution.
+        // --devices=1 deliberately takes the single-device path below,
+        // so the default output stays byte-identical to the seed tree.
+        if (sharding.fleet()) {
+            if (!arrival.open())
+                return usage(
+                    "--devices > 1 requires an open-loop --arrival");
+            if (only)
+                return usage("--type isolation is single-device only");
+
+            des::EventQueue queue;
+            if (observe)
+                obs::global().enable(queue);
+            core::FleetConfig fc = sharding.toFleetConfig();
+            fc.recovery = recovery_on;
+            fc.checkpointInterval =
+                flags.getU64("checkpoint-interval", 4096);
+            // The batching policy resolves per-type deadline slugs
+            // against a service instance; a front-end throwaway works
+            // because every shard shares this one RhythmConfig.
+            core::BankingService slug_service(db);
+            batching.apply(cfg, slug_service);
+            core::Fleet fleet(queue, variant.device, cfg, fc, users,
+                              seed);
+            specweb::StaticContent content(32, seed);
+            fleet.setStaticContent(&content);
+            if (!digest.path.empty())
+                fleet.setResponseCallback(
+                    [&digest](uint64_t client_id,
+                              std::string_view response, des::Time) {
+                        digest.add(client_id, response);
+                    });
+            // Per-device profile caches: one shared cache would leak
+            // warp profiles across shards.
+            std::vector<std::unique_ptr<simt::ProfileCache>> caches;
+            fault::FaultPlan plan(fcfg);
+            for (uint32_t i = 0; i < fleet.devices(); ++i) {
+                if (pc_on) {
+                    caches.push_back(
+                        std::make_unique<simt::ProfileCache>(
+                            pc_entries));
+                    fleet.device(i).engine().setProfileCache(
+                        caches.back().get());
+                }
+                if (faults_on) {
+                    fleet.server(i).setFaultPlan(&plan);
+                    fault::installDeviceFaults(fleet.device(i), plan,
+                                               queue);
+                }
+            }
+
+            const uint64_t per_shard = std::max<uint64_t>(
+                std::min<uint64_t>(total, 8192) / fc.devices, 1);
+            const auto &pools =
+                fleet.populateSessions(per_shard, users);
+            // Round-robin interleave of the per-shard pools so
+            // consecutive arrivals spread across the whole fleet.
+            std::vector<std::pair<uint64_t, uint64_t>> flat;
+            size_t longest = 0;
+            for (const auto &p : pools)
+                longest = std::max(longest, p.size());
+            for (size_t k = 0; k < longest; ++k)
+                for (const auto &p : pools)
+                    if (k < p.size())
+                        flat.push_back(p[k]);
+            if (flat.empty())
+                return usage("no sessions could be populated");
+
+            const uint64_t cross_every =
+                sharding.crossShard > 0
+                    ? std::max<uint64_t>(
+                          1, static_cast<uint64_t>(
+                                 1.0 / sharding.crossShard + 0.5))
+                    : 0;
+
+            uint64_t issued = 0;
+            std::optional<net::ArrivalProcess> arrivals;
+            std::function<void()> arrive;
+            arrivals.emplace(arrival.config);
+            arrive = [&]() {
+                if (issued >= total)
+                    return;
+                specweb::RequestType type;
+                do {
+                    type = gen.sampleType();
+                } while (type == specweb::RequestType::Login ||
+                         type == specweb::RequestType::Logout);
+                const auto &[sid, user] = flat[issued % flat.size()];
+                specweb::GeneratedRequest req =
+                    gen.generate(type, user, sid);
+                ++issued;
+                fleet.injectRequest(std::move(req.raw), issued, user,
+                                    static_cast<uint32_t>(type));
+                if (cross_every && issued % cross_every == 0)
+                    fleet.beginCrossShardTransfer(
+                        gen.sampleUser(), gen.sampleUser(),
+                        100 + static_cast<int64_t>(issued % 32) * 25);
+                if (issued < total)
+                    queue.scheduleAfter(arrivals->nextGap(), arrive);
+            };
+            queue.scheduleAfter(arrivals->nextGap(), arrive);
+            queue.run();
+            fleetReport(fleet, queue, &json_report);
+            return finish(json_report, trace_path, digest);
         }
 
         des::EventQueue queue;

@@ -584,5 +584,99 @@ class FusionGateTest(GateHarness):
         self.assertEqual(code, 0, out)
 
 
+def sharding_doc(**overrides):
+    """A minimal valid ext_sharding --json document."""
+    d = {
+        "bench": "ext_sharding",
+        "config": {
+            "devices": 4.0,
+            "balance": "hash",
+            "shard_seed": 5.947e18,
+            "arrival_rate": 16e6,
+            "arrival_seed": 1,
+            "window_ms": 14.0,
+            "cohort_size": 512,
+            "quick": 0,
+        },
+        "metrics": {
+            "sharding.d1.goodput": 946e3,
+            "sharding.speedup_d2": 2.10,
+            "sharding.speedup_d4": 3.27,
+            "acceptance_pass": 1,
+        },
+    }
+    d.update(overrides)
+    return d
+
+
+class ShardingGateTest(GateHarness):
+    """ext_sharding-specific schema and scale-out gate checks."""
+
+    def test_valid_sharding_document_passes(self):
+        base = sharding_doc()
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+    def test_every_sharding_metadata_key_is_required(self):
+        for key in ("devices", "balance", "shard_seed", "arrival_rate",
+                    "arrival_seed", "window_ms", "cohort_size"):
+            meas = sharding_doc()
+            meas["config"] = {k: v for k, v in meas["config"].items()
+                              if k != key}
+            code, out = self.gate(sharding_doc(), meas)
+            self.assertEqual(code, 1, key)
+            self.assertIn(f"missing sharding metadata '{key}'", out)
+
+    def test_speedup_below_ratio_gate_fails(self):
+        meas = sharding_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               **{"sharding.speedup_d4": 2.9})
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("below the 3.2x gate", out)
+
+    def test_collapsed_single_device_baseline_fails(self):
+        # Great ratios against a collapsed single-device arm must not
+        # pass: the d1 goodput has an absolute floor.
+        meas = sharding_doc()
+        meas["metrics"] = dict(meas["metrics"],
+                               **{"sharding.d1.goodput": 100e3,
+                                  "sharding.speedup_d2": 5.0,
+                                  "sharding.speedup_d4": 9.0})
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("below the 800000 absolute floor", out)
+
+    def test_quick_mode_scales_the_floor_down(self):
+        # --quick halves the warm-up window; 554K is a quick pass but
+        # would fail the full-mode floor.
+        meas = sharding_doc()
+        meas["config"] = dict(meas["config"], quick=1)
+        meas["metrics"] = dict(meas["metrics"],
+                               **{"sharding.d1.goodput": 554e3})
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 0, out)
+
+    def test_missing_ratio_metric_fails(self):
+        meas = sharding_doc()
+        meas["metrics"] = {k: v for k, v in meas["metrics"].items()
+                           if k != "sharding.speedup_d2"}
+        code, out = self.gate(meas, meas)
+        self.assertEqual(code, 1)
+        self.assertIn("missing metric 'sharding.speedup_d2'", out)
+
+    def test_failed_acceptance_fails_gate(self):
+        meas = sharding_doc()
+        meas["metrics"] = dict(meas["metrics"], acceptance_pass=0)
+        code, out = self.gate(sharding_doc(), meas)
+        self.assertEqual(code, 1)
+        self.assertIn("acceptance_pass", out)
+
+    def test_gate_not_applied_to_other_benches(self):
+        base = doc(metrics={"sharding.speedup_d4": 0.5})
+        code, out = self.gate(base, base)
+        self.assertEqual(code, 0, out)
+
+
 if __name__ == "__main__":
     unittest.main()
